@@ -1,0 +1,177 @@
+// Command relaxfault regenerates the tables and figures of "RelaxFault
+// Memory Repair" (Kim & Erez, ISCA 2016) from this repository's simulators.
+//
+// Usage:
+//
+//	relaxfault [-scale quick|paper] [-seed N] <experiment> [...]
+//
+// Experiments: tab1 tab2 tab3 tab4 fig2 fig8 fig9 fig10 fig11 fig12 fig13
+// fig14 fig15 fig16 all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"relaxfault/internal/experiments"
+)
+
+func main() {
+	scaleFlag := flag.String("scale", "quick", "effort level: quick or paper")
+	seed := flag.Uint64("seed", 7, "Monte Carlo seed")
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() == 0 {
+		usage()
+		os.Exit(2)
+	}
+	var scale experiments.Scale
+	switch *scaleFlag {
+	case "quick":
+		scale = experiments.QuickScale()
+	case "paper":
+		scale = experiments.PaperScale()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q (want quick or paper)\n", *scaleFlag)
+		os.Exit(2)
+	}
+	scale.Seed = *seed
+
+	args := flag.Args()
+	if len(args) == 1 && args[0] == "all" {
+		args = []string{"tab1", "tab2", "tab3", "tab4", "fig2", "fig8", "fig9",
+			"fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16"}
+	}
+	for _, name := range args {
+		start := time.Now()
+		if err := runExperiment(name, scale); err != nil {
+			fmt.Fprintf(os.Stderr, "relaxfault: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func runExperiment(name string, scale experiments.Scale) error {
+	switch strings.ToLower(name) {
+	case "tab1":
+		fmt.Print(experiments.Table1())
+	case "tab2":
+		fmt.Print(experiments.Table2())
+	case "tab3":
+		fmt.Print(experiments.Table3())
+	case "tab4":
+		fmt.Print(experiments.Table4())
+	case "fig2":
+		fmt.Print(experiments.Fig2())
+	case "fig8":
+		r, err := experiments.Fig8(scale)
+		if err != nil {
+			return err
+		}
+		fmt.Print(r)
+	case "fig9":
+		r, err := experiments.Fig9(scale)
+		if err != nil {
+			return err
+		}
+		fmt.Print(r)
+	case "fig10":
+		r, err := experiments.Fig10(scale)
+		if err != nil {
+			return err
+		}
+		fmt.Print(r)
+	case "fig11":
+		r, err := experiments.Fig11(scale)
+		if err != nil {
+			return err
+		}
+		fmt.Print(r)
+	case "fig12":
+		one, ten, err := experiments.Fig12(scale)
+		if err != nil {
+			return err
+		}
+		fmt.Print(one)
+		fmt.Print(ten)
+	case "fig13":
+		one, ten, err := experiments.Fig13(scale)
+		if err != nil {
+			return err
+		}
+		fmt.Print(one.StringSDC())
+		fmt.Print(ten.StringSDC())
+	case "fig14":
+		r, err := experiments.Fig14(scale)
+		if err != nil {
+			return err
+		}
+		fmt.Print(r)
+	case "fig15":
+		r, err := experiments.Fig15And16(scale)
+		if err != nil {
+			return err
+		}
+		fmt.Print(r)
+	case "fig16":
+		r, err := experiments.Fig15And16(scale)
+		if err != nil {
+			return err
+		}
+		fmt.Print(r.StringPower())
+	case "ablate":
+		r, err := experiments.Ablations(scale)
+		if err != nil {
+			return err
+		}
+		fmt.Print(r)
+	case "variants":
+		r, err := experiments.GeometryVariants(scale)
+		if err != nil {
+			return err
+		}
+		fmt.Print(r)
+	case "prefetch":
+		r, err := experiments.PrefetchAblation(scale)
+		if err != nil {
+			return err
+		}
+		fmt.Print(r)
+	default:
+		return fmt.Errorf("unknown experiment %q", name)
+	}
+	return nil
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `relaxfault regenerates the evaluation of "RelaxFault Memory Repair" (ISCA 2016).
+
+usage: relaxfault [-scale quick|paper] [-seed N] <experiment> [...]
+
+experiments:
+  tab1   Table 1:  RelaxFault storage overhead
+  tab2   Table 2:  DDR3 fault rates (FIT/device)
+  tab3   Table 3:  simulated system parameters
+  tab4   Table 4:  workload inventory
+  fig2   Figure 2: field-study fault rates (Cielo, Hopper)
+  fig8   Figure 8: coverage vs LLC set-index hashing
+  fig9   Figure 9: fault-model sensitivity sweeps
+  fig10  Figure 10: coverage vs LLC capacity (1x FIT)
+  fig11  Figure 11: coverage vs LLC capacity (10x FIT)
+  fig12  Figure 12: expected DUEs per system
+  fig13  Figure 13: expected SDCs per system
+  fig14  Figure 14: expected DIMM replacements
+  fig15  Figure 15: weighted speedup under repair
+  fig16  Figure 16: relative DRAM dynamic power
+  all    everything above in order
+
+extensions beyond the paper:
+  ablate    design-choice ablations + retirement baselines (page retirement, mirroring)
+  variants  RelaxFault coverage on DDR4 / HBM / LPDDR4 organisations
+  prefetch  sensitivity of the performance conclusions to a stream prefetcher
+`)
+}

@@ -1,0 +1,3 @@
+module relaxfault
+
+go 1.22

@@ -1,0 +1,163 @@
+package cache
+
+import (
+	"testing"
+
+	"relaxfault/internal/stats"
+)
+
+// refSet is a straightforward reference model of one LRU set with locking,
+// against which the cache implementation is checked operation by operation.
+type refSet struct {
+	lines []refLine
+	clock uint64
+}
+
+type refLine struct {
+	valid  bool
+	tag    uint64
+	rf     bool
+	locked bool
+	dirty  bool
+	lru    uint64
+}
+
+func (r *refSet) probe(tag uint64, rf bool) int {
+	for i, l := range r.lines {
+		if l.valid && l.tag == tag && l.rf == rf {
+			return i
+		}
+	}
+	return -1
+}
+
+func (r *refSet) touch(i int) {
+	r.clock++
+	r.lines[i].lru = r.clock
+}
+
+func (r *refSet) fill(tag uint64, rf bool) int {
+	if i := r.probe(tag, rf); i >= 0 {
+		r.touch(i)
+		return i
+	}
+	victim := -1
+	var oldest uint64
+	for i, l := range r.lines {
+		if !l.valid {
+			victim = i
+			break
+		}
+		if l.locked {
+			continue
+		}
+		if victim < 0 || l.lru < oldest {
+			victim, oldest = i, l.lru
+		}
+	}
+	if victim < 0 {
+		return -1
+	}
+	r.lines[victim] = refLine{valid: true, tag: tag, rf: rf}
+	r.touch(victim)
+	return victim
+}
+
+// TestGoldenModelEquivalence drives the cache and the reference model with
+// the same random operation stream and requires identical observable state
+// after every step: residency, dirtiness, and lock counts per (tag, rf).
+func TestGoldenModelEquivalence(t *testing.T) {
+	const ways = 4
+	c, err := New(1, ways, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := &refSet{lines: make([]refLine, ways)}
+	rng := stats.NewRNG(99)
+
+	snapshot := func(m map[[2]uint64][2]bool, valid bool, tag uint64, rf, locked, dirty bool) {
+		if valid {
+			key := [2]uint64{tag, b2u(rf)}
+			m[key] = [2]bool{locked, dirty}
+		}
+	}
+	compare := func(step int) {
+		got := map[[2]uint64][2]bool{}
+		want := map[[2]uint64][2]bool{}
+		for w := 0; w < ways; w++ {
+			l := c.Line(0, w)
+			snapshot(got, l.Valid, l.Tag, l.RF, l.Locked, l.Dirty)
+			r := ref.lines[w]
+			snapshot(want, r.valid, r.tag, r.rf, r.locked, r.dirty)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("step %d: residency diverged: %v vs %v", step, got, want)
+		}
+		for k, v := range want {
+			if got[k] != v {
+				t.Fatalf("step %d: line %v state %v, want %v", step, k, got[k], v)
+			}
+		}
+	}
+
+	for step := 0; step < 30000; step++ {
+		tag := rng.Uint64n(8)
+		rf := rng.Bool(0.3)
+		switch rng.Intn(5) {
+		case 0: // access
+			wc := c.Access(0, tag, rf)
+			wr := ref.probe(tag, rf)
+			if wr >= 0 {
+				ref.touch(wr)
+			}
+			if (wc >= 0) != (wr >= 0) {
+				t.Fatalf("step %d: hit mismatch", step)
+			}
+		case 1: // fill
+			wc, _ := c.Fill(0, tag, rf)
+			wr := ref.fill(tag, rf)
+			if (wc >= 0) != (wr >= 0) {
+				t.Fatalf("step %d: fill mismatch", step)
+			}
+		case 2: // dirty
+			if wc := c.Probe(0, tag, rf); wc >= 0 {
+				c.MarkDirty(0, wc)
+			}
+			if wr := ref.probe(tag, rf); wr >= 0 {
+				ref.lines[wr].dirty = true
+			}
+		case 3: // lock/unlock (cap locks at ways-1 so fills keep working)
+			if wc := c.Probe(0, tag, rf); wc >= 0 {
+				wr := ref.probe(tag, rf)
+				if rng.Bool(0.5) {
+					locked := 0
+					for _, l := range ref.lines {
+						if l.locked {
+							locked++
+						}
+					}
+					if locked < ways-1 {
+						c.Lock(0, wc)
+						ref.lines[wr].locked = true
+					}
+				} else {
+					c.Unlock(0, wc)
+					ref.lines[wr].locked = false
+				}
+			}
+		case 4: // invalidate
+			if wc := c.Probe(0, tag, rf); wc >= 0 && rng.Bool(0.2) {
+				c.Invalidate(0, wc)
+				ref.lines[ref.probe(tag, rf)] = refLine{}
+			}
+		}
+		compare(step)
+	}
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"relaxfault/internal/ecc"
+	"relaxfault/internal/stats"
+)
+
+func TestByteAPIRoundTrip(t *testing.T) {
+	c := testController(t)
+	msg := []byte("the quick brown fox jumps over the lazy dog")
+	if _, err := c.Write(1000, msg); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	st, err := c.Read(1000, got)
+	if err != nil || st != ecc.OK {
+		t.Fatalf("read: status=%v err=%v", st, err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestByteAPICrossesLines(t *testing.T) {
+	c := testController(t)
+	// 300 bytes starting 10 bytes before a line boundary.
+	pa := uint64(64*5 - 10)
+	data := make([]byte, 300)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	if _, err := c.Write(pa, data); err != nil {
+		t.Fatal(err)
+	}
+	c.Flush()
+	got := make([]byte, len(data))
+	if _, err := c.Read(pa, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("cross-line round trip failed")
+	}
+	// Partial-line read-modify-write must preserve neighbours.
+	neighbour := make([]byte, 10)
+	if _, err := c.Read(64*5-10, neighbour); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(neighbour, data[:10]) {
+		t.Fatal("neighbour bytes clobbered")
+	}
+}
+
+func TestByteAPIBounds(t *testing.T) {
+	c := testController(t)
+	cap := c.cfg.Geometry.NodeDataBytes()
+	if _, err := c.Read(cap-4, make([]byte, 8)); err == nil {
+		t.Error("out-of-bounds read accepted")
+	}
+	if _, err := c.Write(cap-4, make([]byte, 8)); err == nil {
+		t.Error("out-of-bounds write accepted")
+	}
+	if _, err := c.Write(cap-8, make([]byte, 8)); err != nil {
+		t.Error("in-bounds write at the edge rejected")
+	}
+}
+
+// TestByteAPIPropertyRandomOffsets: random (offset, length) writes round
+// trip through a shadow buffer.
+func TestByteAPIPropertyRandomOffsets(t *testing.T) {
+	c := testController(t)
+	rng := stats.NewRNG(9)
+	const region = 8 << 10
+	shadow := make([]byte, region)
+	base := uint64(1 << 20)
+	// Initialise.
+	if _, err := c.Write(base, shadow); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 300; i++ {
+		off := rng.Intn(region - 1)
+		n := 1 + rng.Intn(region-off-1)
+		if n > 400 {
+			n = 400
+		}
+		buf := make([]byte, n)
+		for j := range buf {
+			buf[j] = byte(rng.Uint32())
+		}
+		if _, err := c.Write(base+uint64(off), buf); err != nil {
+			t.Fatal(err)
+		}
+		copy(shadow[off:off+n], buf)
+		if i%50 == 0 {
+			c.Flush()
+		}
+	}
+	got := make([]byte, region)
+	if _, err := c.Read(base, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, shadow) {
+		t.Fatal("random-offset writes diverged from shadow")
+	}
+}

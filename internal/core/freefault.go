@@ -1,0 +1,132 @@
+package core
+
+import (
+	"fmt"
+
+	"relaxfault/internal/addrmap"
+	"relaxfault/internal/dram"
+	"relaxfault/internal/ecc"
+	"relaxfault/internal/fault"
+)
+
+// repairFreeFault implements the prior FreeFault mechanism: every cacheline
+// whose physical address touches the faulty region is fetched, corrected,
+// and locked in place in the LLC at its own (set, tag); from then on all
+// accesses to those addresses hit the cache and never see the faulty DRAM.
+// Compared with RelaxFault this spends one full line per spanned cacheline
+// — 16x more for single-device faults — which is precisely the overhead the
+// paper's mapping eliminates.
+func (c *Controller) repairFreeFault(f *fault.Fault) (RepairOutcome, error) {
+	g := c.cfg.Geometry
+	ranks := []int{f.Dev.Rank}
+	if f.MirrorRanks {
+		ranks = ranks[:0]
+		for r := 0; r < g.DIMMsPerChan; r++ {
+			ranks = append(ranks, r)
+		}
+	}
+
+	budget := int64(c.cfg.LLCSets) * int64(c.cfg.MaxRepairWaysPerSet)
+	var analytic int64
+	for _, e := range f.Extents {
+		analytic += e.LineCount(g, g.ColumnsPerBlk) * int64(len(ranks))
+	}
+	if analytic > budget {
+		c.Stats.RepairsRejected++
+		return RepairOutcome{Reason: fmt.Sprintf("fault needs %d locked lines, repair budget is %d", analytic, budget)}, nil
+	}
+
+	type pending struct {
+		loc dram.Location
+		set int
+		tag uint64
+	}
+	var newLines []pending
+	setDemand := make(map[int]int)
+	for _, rank := range ranks {
+		for _, e := range f.Extents {
+			e.ForEachLine(g, g.ColumnsPerBlk, func(bank, row, cb int) bool {
+				loc := dram.Location{Channel: f.Dev.Channel, Rank: rank, Bank: bank, Row: row, ColBlock: cb}
+				set, tag := c.mapper.CacheIndex(c.mapper.Encode(loc), c.cfg.HashSetIndex)
+				if w := c.llc.Probe(set, tag, false); w >= 0 && c.llc.Line(set, w).Locked {
+					return true // already locked by an earlier repair
+				}
+				newLines = append(newLines, pending{loc, set, tag})
+				setDemand[set]++
+				return true
+			})
+		}
+	}
+	for set, n := range setDemand {
+		if int(c.rfWays[set])+n > c.cfg.MaxRepairWaysPerSet {
+			c.Stats.RepairsRejected++
+			return RepairOutcome{Reason: fmt.Sprintf(
+				"set %d would hold %d locked repair lines, cap is %d", set, int(c.rfWays[set])+n, c.cfg.MaxRepairWaysPerSet)}, nil
+		}
+	}
+
+	out := RepairOutcome{Accepted: true}
+	for _, p := range newLines {
+		line, status := c.readForRepair(p.loc)
+		if status == ecc.DUE {
+			out.FillDUEs++
+		}
+		way, evicted := c.llc.Fill(p.set, p.tag, false)
+		if way < 0 {
+			c.Stats.RepairsRejected++
+			return out, fmt.Errorf("core: no victim available in set %d", p.set)
+		}
+		if evicted.Valid && evicted.Dirty && !evicted.RF {
+			c.writeBack(evicted.Tag, p.set, evicted.Data)
+		}
+		c.llc.SetData(p.set, way, dram.LineToBytes(g, line))
+		if !c.llc.Line(p.set, way).Locked {
+			c.llc.Lock(p.set, way)
+			c.rfWays[p.set]++
+		}
+		out.LinesAllocated++
+		c.Stats.RFLineFills++
+	}
+	c.Stats.RepairedFaults++
+	return out, nil
+}
+
+// ReleaseDIMMRepairs unlocks and invalidates every repair line belonging to
+// the given DIMM — the controller-side counterpart of a DIMM replacement,
+// returning the LLC capacity to normal use. It returns the number of lines
+// released. RelaxFault remap lines are identified by their packed repair
+// tag; FreeFault locked lines by decoding their own address.
+func (c *Controller) ReleaseDIMMRepairs(channel, rank int) int {
+	released := 0
+	for set := 0; set < c.llc.Sets(); set++ {
+		for way := 0; way < c.llc.Ways(); way++ {
+			l := c.llc.Line(set, way)
+			if !l.Valid || !l.Locked {
+				continue
+			}
+			var match bool
+			if l.RF {
+				key := c.mapper.RFKeyFromTarget(addrmap.RFTarget{Set: set, Tag: l.Tag})
+				match = key.Channel == channel && key.Rank == rank
+			} else {
+				loc := c.mapper.Decode(c.lineAddrFromIndex(set, l.Tag))
+				match = loc.Channel == channel && loc.Rank == rank
+			}
+			if !match {
+				continue
+			}
+			c.llc.Invalidate(set, way)
+			if c.rfWays[set] > 0 {
+				c.rfWays[set]--
+			}
+			released++
+		}
+	}
+	// Conservatively clear the DIMM's faulty-bank bits; remaining repairs
+	// on other DIMMs keep their own bits.
+	dimm := channel*c.cfg.Geometry.DIMMsPerChan + rank
+	if dimm >= 0 && dimm < len(c.faultyBank) {
+		c.faultyBank[dimm] = 0
+	}
+	return released
+}

@@ -1,0 +1,202 @@
+package core
+
+import (
+	"fmt"
+
+	"relaxfault/internal/addrmap"
+	"relaxfault/internal/dram"
+	"relaxfault/internal/ecc"
+	"relaxfault/internal/fault"
+)
+
+// RepairOutcome reports what a repair attempt did.
+type RepairOutcome struct {
+	// Accepted is false when the fault exceeded the per-set way cap or the
+	// enumeration bound; nothing is allocated in that case (repair is
+	// all-or-nothing per fault).
+	Accepted bool
+	Reason   string
+	// LinesAllocated counts new remap lines locked for this fault (lines
+	// already resident from earlier repairs are reused, not recounted).
+	LinesAllocated int
+	// FillDUEs counts sub-block fills whose DRAM read was uncorrectable;
+	// the remap line then holds best-effort data.
+	FillDUEs int
+}
+
+// RepairFault allocates, locks, and fills repair lines covering every
+// extent of a permanent fault (Faulty Memory Region Repair Allocation,
+// Section 3.1). In RelaxFault mode the lines are coalesced remap lines; in
+// FreeFault mode every spanned cacheline is locked in place. The repaired
+// regions are immediately masked from subsequent reads.
+func (c *Controller) RepairFault(f *fault.Fault) (RepairOutcome, error) {
+	if f.Transient {
+		return RepairOutcome{}, fmt.Errorf("core: transient faults are not repaired (ECC handles them)")
+	}
+	if c.cfg.Mode == FreeFaultMode {
+		return c.repairFreeFault(f)
+	}
+	g := c.cfg.Geometry
+	colsPerGroup := g.ColumnsPerBlk * addrmap.SubBlocksPerLine
+
+	ranks := []int{f.Dev.Rank}
+	if f.MirrorRanks {
+		ranks = ranks[:0]
+		for r := 0; r < g.DIMMsPerChan; r++ {
+			ranks = append(ranks, r)
+		}
+	}
+
+	// Fast reject: more lines than the repair budget could ever hold.
+	budget := int64(c.cfg.LLCSets) * int64(c.cfg.MaxRepairWaysPerSet)
+	var analytic int64
+	for _, e := range f.Extents {
+		analytic += e.LineCount(g, colsPerGroup) * int64(len(ranks))
+	}
+	if analytic > budget {
+		c.Stats.RepairsRejected++
+		return RepairOutcome{Reason: fmt.Sprintf("fault needs %d lines, repair budget is %d", analytic, budget)}, nil
+	}
+
+	// Collect the new keys (dedup against lines already resident).
+	type pending struct {
+		key addrmap.RFKey
+		t   addrmap.RFTarget
+	}
+	var newLines []pending
+	seen := make(map[addrmap.RFTarget]bool)
+	setDemand := make(map[int]int)
+	for _, rank := range ranks {
+		for _, e := range f.Extents {
+			e.ForEachLine(g, colsPerGroup, func(bank, row, cg int) bool {
+				key := addrmap.RFKey{
+					Channel: f.Dev.Channel, Rank: rank, Device: f.Dev.Device,
+					Bank: bank, Row: row, CbHi: cg,
+				}
+				t := c.mapper.RFIndex(key)
+				if seen[t] || c.llc.Probe(t.Set, t.Tag, true) >= 0 {
+					return true
+				}
+				seen[t] = true
+				newLines = append(newLines, pending{key, t})
+				setDemand[t.Set]++
+				return true
+			})
+		}
+	}
+
+	// Enforce the per-set repair-way cap atomically.
+	for set, n := range setDemand {
+		if int(c.rfWays[set])+n > c.cfg.MaxRepairWaysPerSet {
+			c.Stats.RepairsRejected++
+			return RepairOutcome{Reason: fmt.Sprintf(
+				"set %d would hold %d repair ways, cap is %d", set, int(c.rfWays[set])+n, c.cfg.MaxRepairWaysPerSet)}, nil
+		}
+	}
+
+	out := RepairOutcome{Accepted: true}
+	payload := make([]byte, g.LineBytes)
+	for _, p := range newLines {
+		// Gather the device's corrected data for all 16 sub-blocks,
+		// back-to-back over the open row (one-time fill cost).
+		for sub := 0; sub < addrmap.SubBlocksPerLine; sub++ {
+			loc := c.mapper.LocationFor(p.key, sub)
+			line, status := c.readForRepair(loc)
+			if status == ecc.DUE {
+				out.FillDUEs++
+			}
+			writeSubBlock(payload, sub, line[p.key.Device])
+		}
+		way, evicted := c.llc.Fill(p.t.Set, p.t.Tag, true)
+		if way < 0 {
+			// Unreachable given the cap check, but fail safe.
+			c.Stats.RepairsRejected++
+			return out, fmt.Errorf("core: no victim available in set %d", p.t.Set)
+		}
+		if evicted.Valid && evicted.Dirty && !evicted.RF {
+			c.writeBack(evicted.Tag, p.t.Set, evicted.Data)
+		}
+		c.llc.SetData(p.t.Set, way, payload)
+		c.llc.Lock(p.t.Set, way)
+		c.rfWays[p.t.Set]++
+		out.LinesAllocated++
+		c.Stats.RFLineFills++
+		c.Stats.SubBlocksRemapped += addrmap.SubBlocksPerLine
+	}
+
+	// Publish the repair in the faulty-bank table.
+	for _, rank := range ranks {
+		for _, e := range f.Extents {
+			for b := e.BankLo; b <= e.BankHi; b++ {
+				loc := dram.Location{Channel: f.Dev.Channel, Rank: rank, Bank: b}
+				dimm, bit := c.bankBit(loc)
+				c.faultyBank[dimm] |= bit
+			}
+		}
+	}
+	c.Stats.RepairedFaults++
+	return out, nil
+}
+
+// readForRepair returns the freshest corrected view of a line: a dirty copy
+// in the LLC if present, otherwise the merged-and-decoded DRAM contents.
+func (c *Controller) readForRepair(loc dram.Location) (dram.Line, ecc.Status) {
+	la := c.mapper.Encode(loc)
+	set, tag := c.mapper.CacheIndex(la, c.cfg.HashSetIndex)
+	if way := c.llc.Probe(set, tag, false); way >= 0 {
+		data := c.llc.DataAt(set, way)
+		line, err := dram.BytesToLine(c.cfg.Geometry, data)
+		if err == nil {
+			_ = ecc.EncodeLine(line)
+			return line, ecc.OK
+		}
+	}
+	line, status, err := c.fetchAndMerge(loc)
+	if err != nil {
+		// Treat hard errors as uncorrectable fills.
+		line = make(dram.Line, c.cfg.Geometry.DevicesPerDIMM())
+		status = ecc.DUE
+	}
+	return line, status
+}
+
+// RepairNode repairs a node's accumulated permanent faults in order,
+// returning the per-fault outcomes; faults that do not fit the repair
+// budget are skipped (greedy arrival-order policy, as in the reliability
+// simulation).
+func (c *Controller) RepairNode(faults []*fault.Fault) ([]RepairOutcome, error) {
+	outcomes := make([]RepairOutcome, len(faults))
+	for i, f := range faults {
+		if f.Transient {
+			continue
+		}
+		o, err := c.RepairFault(f)
+		if err != nil {
+			return outcomes, err
+		}
+		outcomes[i] = o
+	}
+	return outcomes, nil
+}
+
+// FaultyBankTableBytes returns the size of the faulty-bank table in bytes
+// (Table 1: one bit per bank per DIMM).
+func (c *Controller) FaultyBankTableBytes() int {
+	return c.cfg.Geometry.DIMMs() * c.cfg.Geometry.Banks / 8
+}
+
+// TagExtensionBytes returns the storage added by the 1-bit-per-tag
+// RelaxFault indicator (Table 1).
+func (c *Controller) TagExtensionBytes() int {
+	return c.cfg.LLCSets * c.cfg.LLCWays / 8
+}
+
+// CoalescerBytes returns the pre-computed bitmask storage of the data
+// coalescer (Table 1: one 64B clear mask and one 64B set mask per device
+// position pair, folded to 128 bytes in the paper's accounting).
+func (c *Controller) CoalescerBytes() int { return 128 }
+
+// MetadataBytes returns the total added storage (Table 1).
+func (c *Controller) MetadataBytes() int {
+	return c.FaultyBankTableBytes() + c.TagExtensionBytes() + c.CoalescerBytes()
+}

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"sort"
+
+	"relaxfault/internal/dram"
+	"relaxfault/internal/fault"
+)
+
+// Tracker is the hardware fault-identification component RelaxFault shares
+// with FreeFault: it watches the addresses of corrected errors per device
+// and, once a device repeats errors, infers the smallest fault extent
+// (bit/word, row, column, or bank) that explains the observations. The
+// inferred extent drives repair allocation.
+type Tracker struct {
+	geo dram.Geometry
+	obs map[dram.DeviceCoord][]cellObs
+	// Threshold is how many corrected errors a device must produce before
+	// the tracker declares a permanent fault (filters one-off transients).
+	Threshold int
+}
+
+type cellObs struct {
+	bank, row, colBlock int
+}
+
+// NewTracker creates a tracker; threshold <= 0 defaults to 2, so a single
+// (likely transient) error never triggers repair.
+func NewTracker(g dram.Geometry, threshold int) *Tracker {
+	if threshold <= 0 {
+		threshold = 2
+	}
+	return &Tracker{geo: g, obs: make(map[dram.DeviceCoord][]cellObs), Threshold: threshold}
+}
+
+// Observe records a corrected error attributed to device dev at the given
+// location. It returns (fault, true) when the device crossed the threshold
+// and a fault extent could be inferred; the caller typically passes the
+// fault to Controller.RepairFault.
+func (t *Tracker) Observe(dev dram.DeviceCoord, loc dram.Location) (*fault.Fault, bool) {
+	t.obs[dev] = append(t.obs[dev], cellObs{bank: loc.Bank, row: loc.Row, colBlock: loc.ColBlock})
+	if len(t.obs[dev]) < t.Threshold {
+		return nil, false
+	}
+	return t.infer(dev), true
+}
+
+// Reset forgets a device's history (after repair or DIMM replacement).
+func (t *Tracker) Reset(dev dram.DeviceCoord) { delete(t.obs, dev) }
+
+// Observations returns how many corrected errors dev has accumulated.
+func (t *Tracker) Observations(dev dram.DeviceCoord) int { return len(t.obs[dev]) }
+
+// infer builds the tightest extent hypothesis consistent with the
+// observations: same (bank,row,colblock) -> word; same row -> row; same
+// column block across rows -> column; same bank -> spanning rows of that
+// bank; otherwise the spanned banks.
+func (t *Tracker) infer(dev dram.DeviceCoord) *fault.Fault {
+	obs := t.obs[dev]
+	sameBank, sameRow, sameCol := true, true, true
+	for _, o := range obs[1:] {
+		if o.bank != obs[0].bank {
+			sameBank = false
+		}
+		if o.row != obs[0].row || o.bank != obs[0].bank {
+			sameRow = false
+		}
+		if o.colBlock != obs[0].colBlock || o.bank != obs[0].bank {
+			sameCol = false
+		}
+	}
+	f := &fault.Fault{Dev: dev}
+	cb := t.geo.ColumnsPerBlk
+	switch {
+	case sameRow && sameCol:
+		f.Mode = fault.SingleBit
+		f.Extents = []fault.Extent{{
+			BankLo: obs[0].bank, BankHi: obs[0].bank,
+			Rows:  fault.OneRow(obs[0].row),
+			ColLo: obs[0].colBlock * cb, ColHi: (obs[0].colBlock+1)*cb - 1,
+		}}
+	case sameRow:
+		f.Mode = fault.SingleRow
+		f.Extents = []fault.Extent{{
+			BankLo: obs[0].bank, BankHi: obs[0].bank,
+			Rows:  fault.OneRow(obs[0].row),
+			ColLo: 0, ColHi: t.geo.Columns - 1,
+		}}
+	case sameCol:
+		f.Mode = fault.SingleColumn
+		rows := make([]int, 0, len(obs))
+		for _, o := range obs {
+			rows = append(rows, o.row)
+		}
+		lo, hi := subarraySpan(rows)
+		f.Extents = []fault.Extent{{
+			BankLo: obs[0].bank, BankHi: obs[0].bank,
+			Rows:  fault.RowRange(lo, hi),
+			ColLo: obs[0].colBlock * cb, ColHi: (obs[0].colBlock+1)*cb - 1,
+		}}
+	case sameBank:
+		f.Mode = fault.SingleBank
+		rows := make([]int, 0, len(obs))
+		for _, o := range obs {
+			rows = append(rows, o.row)
+		}
+		f.Extents = []fault.Extent{{
+			BankLo: obs[0].bank, BankHi: obs[0].bank,
+			Rows:  fault.RowList(rows),
+			ColLo: 0, ColHi: t.geo.Columns - 1,
+		}}
+	default:
+		f.Mode = fault.MultiBank
+		lo, hi := obs[0].bank, obs[0].bank
+		for _, o := range obs {
+			if o.bank < lo {
+				lo = o.bank
+			}
+			if o.bank > hi {
+				hi = o.bank
+			}
+		}
+		f.Extents = []fault.Extent{{
+			BankLo: lo, BankHi: hi,
+			Rows:  fault.AllRows(),
+			ColLo: 0, ColHi: t.geo.Columns - 1,
+		}}
+	}
+	return f
+}
+
+// subarraySpan returns the subarray-aligned row range covering the
+// observed rows — the physical footprint of a bitline fault.
+func subarraySpan(rows []int) (int, int) {
+	sort.Ints(rows)
+	lo := (rows[0] / dram.SubarrayRows) * dram.SubarrayRows
+	hi := (rows[len(rows)-1]/dram.SubarrayRows)*dram.SubarrayRows + dram.SubarrayRows - 1
+	return lo, hi
+}

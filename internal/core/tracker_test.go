@@ -1,0 +1,181 @@
+package core
+
+import (
+	"testing"
+
+	"relaxfault/internal/dram"
+	"relaxfault/internal/fault"
+)
+
+func trackerGeom() dram.Geometry { return dram.Default8GiBNode() }
+
+func TestTrackerThreshold(t *testing.T) {
+	g := trackerGeom()
+	tr := NewTracker(g, 3)
+	dev := dram.DeviceCoord{Channel: 0, Rank: 0, Device: 1}
+	loc := dram.Location{Bank: 1, Row: 10, ColBlock: 2}
+	if _, fired := tr.Observe(dev, loc); fired {
+		t.Error("fired below threshold")
+	}
+	if _, fired := tr.Observe(dev, loc); fired {
+		t.Error("fired below threshold")
+	}
+	f, fired := tr.Observe(dev, loc)
+	if !fired || f == nil {
+		t.Fatal("did not fire at threshold")
+	}
+	if tr.Observations(dev) != 3 {
+		t.Errorf("observations %d", tr.Observations(dev))
+	}
+	tr.Reset(dev)
+	if tr.Observations(dev) != 0 {
+		t.Error("reset failed")
+	}
+}
+
+func TestTrackerInfersWordFault(t *testing.T) {
+	g := trackerGeom()
+	tr := NewTracker(g, 2)
+	dev := dram.DeviceCoord{Device: 4}
+	loc := dram.Location{Bank: 2, Row: 99, ColBlock: 7}
+	tr.Observe(dev, loc)
+	f, fired := tr.Observe(dev, loc)
+	if !fired {
+		t.Fatal("no fault inferred")
+	}
+	if f.Mode != fault.SingleBit {
+		t.Errorf("mode %v, want bit/word", f.Mode)
+	}
+	if !f.Contains(2, 99, 7*8) || f.Contains(2, 99, 8*8) {
+		t.Error("word extent wrong")
+	}
+}
+
+func TestTrackerInfersRowFault(t *testing.T) {
+	g := trackerGeom()
+	tr := NewTracker(g, 2)
+	dev := dram.DeviceCoord{Device: 4}
+	tr.Observe(dev, dram.Location{Bank: 2, Row: 99, ColBlock: 7})
+	f, fired := tr.Observe(dev, dram.Location{Bank: 2, Row: 99, ColBlock: 200})
+	if !fired || f.Mode != fault.SingleRow {
+		t.Fatalf("inferred %v", f.Mode)
+	}
+	if !f.Contains(2, 99, 0) || !f.Contains(2, 99, g.Columns-1) {
+		t.Error("row extent should span all columns")
+	}
+	if f.Contains(2, 98, 0) {
+		t.Error("row extent leaked to other rows")
+	}
+}
+
+func TestTrackerInfersColumnFault(t *testing.T) {
+	g := trackerGeom()
+	tr := NewTracker(g, 2)
+	dev := dram.DeviceCoord{Device: 2}
+	tr.Observe(dev, dram.Location{Bank: 1, Row: 600, ColBlock: 5})
+	f, fired := tr.Observe(dev, dram.Location{Bank: 1, Row: 700, ColBlock: 5})
+	if !fired || f.Mode != fault.SingleColumn {
+		t.Fatalf("inferred %v", f.Mode)
+	}
+	// The inferred extent covers the whole subarray's rows at that column
+	// block (rows 512..1023 here).
+	if !f.Contains(1, 512, 5*8) || !f.Contains(1, 1023, 5*8) {
+		t.Error("column extent should cover the subarray")
+	}
+	if f.Contains(1, 1024, 5*8) {
+		t.Error("column extent leaked past the subarray")
+	}
+}
+
+func TestTrackerInfersBankFault(t *testing.T) {
+	g := trackerGeom()
+	tr := NewTracker(g, 3)
+	dev := dram.DeviceCoord{Device: 9}
+	tr.Observe(dev, dram.Location{Bank: 3, Row: 10, ColBlock: 1})
+	tr.Observe(dev, dram.Location{Bank: 3, Row: 20, ColBlock: 9})
+	f, fired := tr.Observe(dev, dram.Location{Bank: 3, Row: 30, ColBlock: 100})
+	if !fired || f.Mode != fault.SingleBank {
+		t.Fatalf("inferred %v", f.Mode)
+	}
+	for _, r := range []int{10, 20, 30} {
+		if !f.Contains(3, r, 0) {
+			t.Errorf("row %d missing from bank-cluster extent", r)
+		}
+	}
+	if f.Contains(3, 11, 0) {
+		t.Error("bank cluster covers unobserved rows")
+	}
+	_ = g
+}
+
+func TestTrackerInfersMultiBank(t *testing.T) {
+	tr := NewTracker(trackerGeom(), 2)
+	dev := dram.DeviceCoord{Device: 0}
+	tr.Observe(dev, dram.Location{Bank: 1, Row: 5, ColBlock: 0})
+	f, fired := tr.Observe(dev, dram.Location{Bank: 6, Row: 9, ColBlock: 3})
+	if !fired || f.Mode != fault.MultiBank {
+		t.Fatalf("inferred %v", f.Mode)
+	}
+	if !f.Contains(1, 0, 0) || !f.Contains(6, 0, 0) {
+		t.Error("multi-bank extent should span observed banks")
+	}
+}
+
+// TestTrackerDrivenRepairEndToEnd: inject a real fault, read until the
+// tracker infers it, repair, and verify clean reads — the full hardware
+// fault-management loop.
+func TestTrackerDrivenRepairEndToEnd(t *testing.T) {
+	c := testController(t)
+	g := c.cfg.Geometry
+	tr := NewTracker(g, 2)
+	dev := dram.DeviceCoord{Channel: 1, Rank: 1, Device: 8}
+	real := rowFaultAt(g, dev, 4, 321)
+	if err := c.InjectFault(real); err != nil {
+		t.Fatal(err)
+	}
+
+	var inferred *fault.Fault
+	for cb := 0; cb < 8 && inferred == nil; cb++ {
+		loc := dram.Location{Channel: 1, Rank: 1, Bank: 4, Row: 321, ColBlock: cb * 31 % g.ColBlocks()}
+		buf := make([]byte, 64)
+		fillPattern(buf, byte(cb))
+		if err := c.WriteLine(c.Mapper().Encode(loc), buf); err != nil {
+			t.Fatal(err)
+		}
+		c.Flush()
+		_, st, err := c.ReadLine(c.Mapper().Encode(loc))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st != 1 { // ecc.Corrected
+			t.Fatalf("expected corrected error, got %v", st)
+		}
+		if f, fired := tr.Observe(dev, loc); fired {
+			inferred = f
+		}
+	}
+	if inferred == nil {
+		t.Fatal("tracker never fired")
+	}
+	if inferred.Mode != fault.SingleRow {
+		t.Fatalf("inferred %v, want single-row", inferred.Mode)
+	}
+	out, err := c.RepairFault(inferred)
+	if err != nil || !out.Accepted {
+		t.Fatalf("repair failed: %+v err=%v", out, err)
+	}
+	loc := dram.Location{Channel: 1, Rank: 1, Bank: 4, Row: 321, ColBlock: 0}
+	buf := make([]byte, 64)
+	fillPattern(buf, 99)
+	if err := c.WriteLine(c.Mapper().Encode(loc), buf); err != nil {
+		t.Fatal(err)
+	}
+	c.Flush()
+	_, st, err := c.ReadLine(c.Mapper().Encode(loc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != 0 { // ecc.OK
+		t.Fatalf("post-repair status %v, want OK", st)
+	}
+}

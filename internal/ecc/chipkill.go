@@ -1,0 +1,210 @@
+package ecc
+
+import (
+	"fmt"
+
+	"relaxfault/internal/dram"
+)
+
+// Code parameters: 18 symbols per codeword (16 data devices + 2 check
+// devices), one symbol per device. A 64B cacheline with 4B per device
+// decomposes into 4 interleaved codewords; codeword j takes byte j of every
+// device's sub-block.
+const (
+	DataSymbols  = 16
+	CheckSymbols = 2
+	TotalSymbols = DataSymbols + CheckSymbols
+	// CodewordsPerLine is the number of interleaved codewords protecting
+	// one cacheline (one per byte of the 4-byte device sub-block).
+	CodewordsPerLine = dram.DeviceBytesPerLine
+)
+
+// Status classifies the outcome of decoding one codeword or one line.
+type Status int
+
+const (
+	// OK: the codeword was error free.
+	OK Status = iota
+	// Corrected: a single-symbol error was corrected (a correctable
+	// error, CE, in RAS terms).
+	Corrected
+	// DUE: a detected uncorrectable error.
+	DUE
+	// Miscorrected is reported only by test instrumentation that knows the
+	// transmitted word: the decoder "corrected" to the wrong codeword. At
+	// run time this is indistinguishable from Corrected — it is the SDC
+	// channel.
+	Miscorrected
+)
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case OK:
+		return "OK"
+	case Corrected:
+		return "Corrected"
+	case DUE:
+		return "DUE"
+	case Miscorrected:
+		return "Miscorrected"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Codeword is one RS[18,16] codeword: data symbols in [0,16), check symbols
+// in [16,18).
+type Codeword [TotalSymbols]byte
+
+// Encode fills the two check symbols so that both syndromes are zero:
+//
+//	S0 = sum_i c_i           = 0
+//	S1 = sum_i c_i * alpha^i = 0
+//
+// solving the 2x2 system for c_16 and c_17.
+func (c *Codeword) Encode() {
+	var s0, s1 byte
+	for i := 0; i < DataSymbols; i++ {
+		s0 = Add(s0, c[i])
+		s1 = Add(s1, Mul(c[i], Exp(i)))
+	}
+	// c16 + c17 = s0 ; a16*c16 + a17*c17 = s1, with a16 != a17.
+	a16, a17 := Exp(DataSymbols), Exp(DataSymbols+1)
+	den := Add(a16, a17)
+	// c17 = (s1 + a16*s0) / (a16 + a17)
+	c17 := Div(Add(s1, Mul(a16, s0)), den)
+	c16 := Add(s0, c17)
+	c[DataSymbols] = c16
+	c[DataSymbols+1] = c17
+}
+
+// Syndromes returns (S0, S1) of the codeword.
+func (c *Codeword) Syndromes() (byte, byte) {
+	var s0, s1 byte
+	for i := 0; i < TotalSymbols; i++ {
+		s0 = Add(s0, c[i])
+		s1 = Add(s1, Mul(c[i], Exp(i)))
+	}
+	return s0, s1
+}
+
+// Decode corrects the codeword in place if possible. It returns the status
+// and, when Status == Corrected, the symbol position that was repaired.
+// Multi-symbol errors whose syndrome happens to look like a single-symbol
+// error are silently miscorrected — Decode cannot know; use DecodeKnown in
+// tests to distinguish.
+func (c *Codeword) Decode() (Status, int) {
+	s0, s1 := c.Syndromes()
+	if s0 == 0 && s1 == 0 {
+		return OK, -1
+	}
+	if s0 == 0 || s1 == 0 {
+		// A single error at position p gives S0 = e != 0 and
+		// S1 = e*alpha^p != 0; a zero on one side only is therefore
+		// uncorrectable.
+		return DUE, -1
+	}
+	// Candidate position: alpha^p = S1/S0.
+	p := Log(Div(s1, s0))
+	if p < 0 || p >= TotalSymbols {
+		return DUE, -1
+	}
+	c[p] = Add(c[p], s0)
+	return Corrected, p
+}
+
+// DecodeKnown decodes like Decode but compares against the known
+// transmitted codeword, upgrading wrong corrections to Miscorrected. The
+// returned position is the corrected position (meaningful for Corrected and
+// Miscorrected).
+func (c *Codeword) DecodeKnown(sent *Codeword) (Status, int) {
+	st, p := c.Decode()
+	if st == Corrected && *c != *sent {
+		return Miscorrected, p
+	}
+	if st == OK && *c != *sent {
+		// The error vector was itself a codeword: completely silent.
+		return Miscorrected, -1
+	}
+	return st, p
+}
+
+// LineResult summarises decoding a full 64B cacheline (4 codewords).
+type LineResult struct {
+	// Status is the worst per-codeword status (DUE > Corrected > OK).
+	Status Status
+	// CorrectedDevices lists the distinct device indices whose symbols
+	// were corrected.
+	CorrectedDevices []int
+	// DUECodewords counts codewords flagged uncorrectable.
+	DUECodewords int
+}
+
+// EncodeLine computes check-device sub-blocks for the line in place.
+// line must have TotalSymbols sub-blocks (data devices then check devices).
+func EncodeLine(line dram.Line) error {
+	if len(line) != TotalSymbols {
+		return fmt.Errorf("ecc: line has %d devices, want %d", len(line), TotalSymbols)
+	}
+	for j := 0; j < CodewordsPerLine; j++ {
+		var cw Codeword
+		for d := 0; d < DataSymbols; d++ {
+			cw[d] = byte(line[d] >> (8 * uint(j)))
+		}
+		cw.Encode()
+		for d := DataSymbols; d < TotalSymbols; d++ {
+			shift := 8 * uint(j)
+			mask := dram.SubBlock(0xFF) << shift
+			line[d] = (line[d] &^ mask) | (dram.SubBlock(cw[d]) << shift)
+		}
+	}
+	return nil
+}
+
+// DecodeLine decodes and corrects the 4 codewords of a line in place,
+// returning the aggregate result.
+func DecodeLine(line dram.Line) (LineResult, error) {
+	if len(line) != TotalSymbols {
+		return LineResult{}, fmt.Errorf("ecc: line has %d devices, want %d", len(line), TotalSymbols)
+	}
+	res := LineResult{Status: OK}
+	seen := map[int]bool{}
+	for j := 0; j < CodewordsPerLine; j++ {
+		var cw Codeword
+		for d := 0; d < TotalSymbols; d++ {
+			cw[d] = byte(line[d] >> (8 * uint(j)))
+		}
+		st, p := cw.Decode()
+		switch st {
+		case Corrected:
+			if !seen[p] {
+				seen[p] = true
+				res.CorrectedDevices = append(res.CorrectedDevices, p)
+			}
+			shift := 8 * uint(j)
+			mask := dram.SubBlock(0xFF) << shift
+			line[p] = (line[p] &^ mask) | (dram.SubBlock(cw[p]) << shift)
+			if res.Status == OK {
+				res.Status = Corrected
+			}
+		case DUE:
+			res.DUECodewords++
+			res.Status = DUE
+		}
+	}
+	return res, nil
+}
+
+// MiscorrectionProbability returns the probability that a uniformly random
+// error pattern touching >= 2 symbols passes the decoder as a plausible
+// single-symbol correction (or as error-free), i.e. the per-codeword SDC
+// escape rate the analytical reliability model uses. For RS[18,16] over
+// GF(2^8) the single-error syndrome set has 255*18 members out of 2^16 - 1
+// nonzero syndromes, plus the 1/(2^16) chance the error is itself a
+// codeword.
+func MiscorrectionProbability() float64 {
+	singles := 255.0 * float64(TotalSymbols)
+	space := 65536.0
+	return (singles + 1) / space
+}

@@ -1,0 +1,215 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"relaxfault/internal/addrmap"
+	"relaxfault/internal/dram"
+	"relaxfault/internal/perf"
+	"relaxfault/internal/relsim"
+	"relaxfault/internal/repair"
+	"relaxfault/internal/trace"
+)
+
+// AblationRow is one mechanism's coverage/capacity outcome in the ablation
+// study.
+type AblationRow struct {
+	Label     string
+	WayLimit  int
+	Coverage  float64
+	P90Bytes  float64
+	MeanBytes float64
+}
+
+// AblationResult covers the design-choice studies DESIGN.md calls out:
+// what each ingredient of the RelaxFault mapping buys (coalescing, set
+// spreading), and how LLC-based repair compares against the retirement
+// alternatives of Section 6 (OS page retirement at 4KiB and 2MiB frames,
+// channel mirroring).
+type AblationResult struct {
+	Rows           []AblationRow
+	FaultyFraction float64
+}
+
+// Ablations runs the coverage study over the ablated mappings and the
+// retirement baselines.
+func Ablations(s Scale) (AblationResult, error) {
+	m := defaultMapper()
+	g := m.Geometry()
+	cfg := relsim.DefaultCoverageConfig()
+	cfg.FaultyNodes = s.FaultyNodes
+	cfg.Seed = s.Seed
+	cfg.WayLimits = []int{1, 4}
+	cfg.Planners = []repair.Planner{
+		repair.NewRelaxFault(m, 16),
+		repair.NewRelaxFaultAblated(m, 16, repair.RelaxFaultOptions{NoCoalescing: true}),
+		repair.NewRelaxFaultAblated(m, 16, repair.RelaxFaultOptions{NoSpread: true}),
+		repair.NewFreeFault(m, 16, true),
+		repair.NewPageRetirement(m, 4<<10, 0),
+		repair.NewPageRetirement(m, 2<<20, 0),
+		repair.NewMirroring(g),
+	}
+	res, err := relsim.CoverageStudy(cfg)
+	if err != nil {
+		return AblationResult{}, err
+	}
+	out := AblationResult{FaultyFraction: res.FaultyFraction}
+	for _, c := range res.Curves {
+		// Page retirement and mirroring ignore way limits; show them once.
+		if (strings.HasPrefix(c.Planner, "PageRetire") || c.Planner == "Mirroring") && c.WayLimit != 1 {
+			continue
+		}
+		out.Rows = append(out.Rows, AblationRow{
+			Label:    c.Planner,
+			WayLimit: c.WayLimit,
+			Coverage: c.Coverage(),
+			P90Bytes: c.CapacityQuantile(0.90),
+		})
+	}
+	return out, nil
+}
+
+// String prints the ablation table.
+func (r AblationResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ablations: what each design choice buys (coverage over faulty nodes;\n")
+	fmt.Fprintf(&b, "capacity is LLC bytes for remap engines, lost DRAM for retirement)\n")
+	fmt.Fprintf(&b, "%-26s %5s %9s %14s\n", "mechanism", "ways", "coverage", "p90 capacity")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-26s %5d %8.1f%% %13.0fB\n", row.Label, row.WayLimit, 100*row.Coverage, row.P90Bytes)
+	}
+	return b.String()
+}
+
+// VariantRow reports RelaxFault coverage on an alternative memory
+// organisation.
+type VariantRow struct {
+	Name           string
+	Coverage1Way   float64
+	Coverage4Way   float64
+	FaultyFraction float64
+}
+
+// VariantResult backs Section 2's claim that the mechanism transfers across
+// DRAM organisations.
+type VariantResult struct {
+	Rows []VariantRow
+}
+
+// GeometryVariants runs the RelaxFault coverage study on DDR4, HBM-like,
+// and LPDDR4 organisations.
+func GeometryVariants(s Scale) (VariantResult, error) {
+	var out VariantResult
+	variants := []struct {
+		name string
+		geo  dram.Geometry
+	}{
+		{"DDR3 8GiB DIMMs (paper)", dram.Default8GiBNode()},
+		{"DDR4 16GiB DIMMs", dram.DDR4Node()},
+		{"HBM-like stacks", dram.HBMStackNode()},
+		{"LPDDR4 soldered", dram.LPDDR4Node()},
+	}
+	for _, v := range variants {
+		m, err := addrmap.New(v.geo, 8192)
+		if err != nil {
+			return out, err
+		}
+		cfg := relsim.DefaultCoverageConfig()
+		cfg.Model.Geometry = v.geo
+		cfg.FaultyNodes = s.FaultyNodes / 2
+		cfg.Seed = s.Seed
+		cfg.WayLimits = []int{1, 4}
+		cfg.Planners = []repair.Planner{repair.NewRelaxFault(m, 16)}
+		res, err := relsim.CoverageStudy(cfg)
+		if err != nil {
+			return out, err
+		}
+		out.Rows = append(out.Rows, VariantRow{
+			Name:           v.name,
+			Coverage1Way:   res.Curve("RelaxFault", 1).Coverage(),
+			Coverage4Way:   res.Curve("RelaxFault", 4).Coverage(),
+			FaultyFraction: res.FaultyFraction,
+		})
+	}
+	return out, nil
+}
+
+// String prints the variants table.
+func (r VariantResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Geometry variants: RelaxFault coverage across DRAM organisations\n")
+	fmt.Fprintf(&b, "%-26s %10s %10s %10s\n", "organisation", "1-way", "4-way", "faulty")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-26s %9.1f%% %9.1f%% %9.1f%%\n",
+			row.Name, 100*row.Coverage1Way, 100*row.Coverage4Way, 100*row.FaultyFraction)
+	}
+	return b.String()
+}
+
+// PrefetchRow is one workload's outcome in the prefetcher ablation.
+type PrefetchRow struct {
+	Workload      string
+	WSOff, WSOn   float64
+	WS4WayOff     float64
+	WS4WayOn      float64
+	PrefetchFills uint64
+}
+
+// PrefetchResult checks that the paper's conclusion (repair capacity is
+// essentially free) survives adding a stream prefetcher to the cores.
+type PrefetchResult struct {
+	Rows []PrefetchRow
+}
+
+// PrefetchAblation runs SP (streaming, prefetch-friendly) and LULESH
+// (capacity-sensitive) with and without prefetching, at no-repair and
+// 4-way-locked configurations.
+func PrefetchAblation(s Scale) (PrefetchResult, error) {
+	var out PrefetchResult
+	for _, name := range []string{"SP", "LULESH"} {
+		w := trace.WorkloadByName(name)
+		if w == nil {
+			return out, fmt.Errorf("missing workload %s", name)
+		}
+		row := PrefetchRow{Workload: name}
+		for _, pf := range []bool{false, true} {
+			cfg := perf.DefaultSystemConfig()
+			cfg.TargetInstructions = s.Instructions
+			cfg.Seed = s.Seed
+			if pf {
+				cfg.Core.PrefetchDegree = 4
+			}
+			ws, alone, res, err := perf.WeightedSpeedup(cfg, w.Threads, nil)
+			if err != nil {
+				return out, err
+			}
+			cfg4 := cfg
+			cfg4.LockWays = 4
+			ws4, _, _, err := perf.WeightedSpeedup(cfg4, w.Threads, alone)
+			if err != nil {
+				return out, err
+			}
+			if pf {
+				row.WSOn, row.WS4WayOn = ws, ws4
+				row.PrefetchFills = res.Prefetches
+			} else {
+				row.WSOff, row.WS4WayOff = ws, ws4
+			}
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// String prints the prefetch ablation.
+func (r PrefetchResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Prefetcher ablation: weighted speedup with/without a degree-4 stream prefetcher\n")
+	fmt.Fprintf(&b, "%-8s %10s %10s %12s %12s %11s\n", "workload", "WS off", "WS on", "WS4way off", "WS4way on", "prefetches")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-8s %10.2f %10.2f %12.2f %12.2f %11d\n",
+			row.Workload, row.WSOff, row.WSOn, row.WS4WayOff, row.WS4WayOn, row.PrefetchFills)
+	}
+	return b.String()
+}

@@ -1,0 +1,443 @@
+package fault
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"relaxfault/internal/dram"
+	"relaxfault/internal/stats"
+)
+
+// ShapeParams controls how fault extents are drawn within a device. The
+// defaults are calibrated (see EXPERIMENTS.md) so the resulting repair
+// coverage matches the paper's reported numbers; the field studies publish
+// mode frequencies but not sub-mode extents, so these are the model's free
+// parameters.
+type ShapeParams struct {
+	// WordFrac is the fraction of bit/word faults affecting a full 8-column
+	// word rather than a single column cell.
+	WordFrac float64
+	// TwoRowFrac is the fraction of single-row faults affecting two
+	// adjacent rows ("typically just one" row, per the paper).
+	TwoRowFrac float64
+	// ColFullSubarrayFrac is the fraction of column faults affecting the
+	// bitline through an entire subarray; the rest affect a few rows of
+	// one column.
+	ColFullSubarrayFrac float64
+	// ColFewRowsMax bounds the affected row count of partial column
+	// faults (uniform in [2, ColFewRowsMax]).
+	ColFewRowsMax int
+	// BankWholeFrac is the fraction of single-bank faults that disable the
+	// entire bank — the "massive" faults beyond any LLC-based repair.
+	BankWholeFrac float64
+	// BankRowClusterFrac splits the remaining bank faults between row
+	// clusters (this fraction) and column clusters.
+	BankRowClusterFrac float64
+	// BankClusterMaxRows bounds row-cluster size; cluster sizes are
+	// log-uniform in [2, BankClusterMaxRows] at random row positions.
+	BankClusterMaxRows int
+	// BankColClusterMaxCols bounds column-cluster width.
+	BankColClusterMaxCols int
+	// BankColClusterMaxSubarrays bounds how many adjacent subarrays a
+	// column cluster spans.
+	BankColClusterMaxSubarrays int
+	// MultiBankWholeFrac is the fraction of multi-bank faults that disable
+	// their banks entirely (the rest are row clusters repeated per bank).
+	MultiBankWholeFrac float64
+	// IntermittentFrac is the fraction of permanent faults that are
+	// hard-intermittent rather than hard-permanent.
+	IntermittentFrac float64
+	// ActivationMinPerHour/ActivationMaxPerHour bound the log-uniform
+	// activation rate of intermittent faults (paper: roughly once per
+	// month to more than once per hour).
+	ActivationMinPerHour float64
+	ActivationMaxPerHour float64
+}
+
+// DefaultShape returns the calibrated extent distribution.
+func DefaultShape() ShapeParams {
+	return ShapeParams{
+		WordFrac:                   0.25,
+		TwoRowFrac:                 0.15,
+		ColFullSubarrayFrac:        0.50,
+		ColFewRowsMax:              32,
+		BankWholeFrac:              0.07,
+		BankRowClusterFrac:         0.60,
+		BankClusterMaxRows:         512,
+		BankColClusterMaxCols:      16,
+		BankColClusterMaxSubarrays: 4,
+		MultiBankWholeFrac:         0.40,
+		IntermittentFrac:           0.45,
+		ActivationMinPerHour:       1.0 / 720, // about once a month
+		ActivationMaxPerHour:       5.0,       // several times an hour
+	}
+}
+
+// Config parameterises the refined fault-injection model of Section 4.1.2.
+type Config struct {
+	Geometry dram.Geometry
+	Rates    Rates
+	// Hours is the simulated horizon (the paper uses 6 years).
+	Hours float64
+	// VarianceFrac sets per-device lognormal rate variation: the variance
+	// of a device's rate multiplier is VarianceFrac (the paper uses a
+	// variance equal to 1/4 of the mean, i.e. multiplier mean 1, variance
+	// 0.25 relative to a unit mean).
+	VarianceFrac float64
+	// AccelFactor is the FIT acceleration applied to unlucky nodes and
+	// DIMMs (paper: 100x).
+	AccelFactor float64
+	// AccelNodeFrac and AccelDIMMFrac are the fractions of accelerated
+	// nodes and DIMMs (paper: 0.1% each).
+	AccelNodeFrac float64
+	AccelDIMMFrac float64
+	Shape         ShapeParams
+}
+
+// DefaultConfig returns the paper's baseline model: Cielo rates, 6 years,
+// 100x acceleration of 0.1% of nodes and DIMMs.
+func DefaultConfig() Config {
+	return Config{
+		Geometry:      dram.Default8GiBNode(),
+		Rates:         CieloRates(),
+		Hours:         6 * HoursPerYear,
+		VarianceFrac:  0.25,
+		AccelFactor:   100,
+		AccelNodeFrac: 0.001,
+		AccelDIMMFrac: 0.001,
+		Shape:         DefaultShape(),
+	}
+}
+
+// Model samples per-node fault histories.
+type Model struct {
+	cfg Config
+	// adjustedMult is the rate multiplier of non-accelerated devices,
+	// chosen per Equation (1) so the fleet-average FIT stays constant.
+	adjustedMult float64
+	// modeCDF is the cumulative probability of each (mode, persistence)
+	// pair; index 2*mode for transient, 2*mode+1 for permanent.
+	modeCDF   []float64
+	totalFIT  float64
+	devPerDMM int
+}
+
+// NewModel validates the configuration and precomputes sampling tables.
+func NewModel(cfg Config) (*Model, error) {
+	if err := cfg.Geometry.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Hours <= 0 {
+		return nil, fmt.Errorf("fault: Hours must be positive")
+	}
+	if cfg.AccelNodeFrac+cfg.AccelDIMMFrac >= 1 {
+		return nil, fmt.Errorf("fault: acceleration fractions must sum below 1")
+	}
+	m := &Model{cfg: cfg, devPerDMM: cfg.Geometry.DevicesPerDIMM()}
+	pn, pd, a := cfg.AccelNodeFrac, cfg.AccelDIMMFrac, cfg.AccelFactor
+	if a <= 0 {
+		a = 1
+	}
+	// Equation (1): FIT = PN*A*FIT + PD*A*FIT + (1-PN-PD)*adj*FIT.
+	m.adjustedMult = (1 - (pn+pd)*a) / (1 - pn - pd)
+	if m.adjustedMult < 0 {
+		return nil, fmt.Errorf("fault: acceleration %v of %v+%v of parts exceeds the FIT budget", a, pn, pd)
+	}
+	m.modeCDF = make([]float64, 2*NumModes)
+	var cum float64
+	for mode := Mode(0); mode < NumModes; mode++ {
+		cum += cfg.Rates.Transient[mode]
+		m.modeCDF[2*mode] = cum
+		cum += cfg.Rates.Permanent[mode]
+		m.modeCDF[2*mode+1] = cum
+	}
+	m.totalFIT = cum
+	if cum <= 0 {
+		return nil, fmt.Errorf("fault: all FIT rates are zero")
+	}
+	return m, nil
+}
+
+// Config returns the model configuration.
+func (m *Model) Config() Config { return m.cfg }
+
+// AdjustedMultiplier returns the rate multiplier applied to devices in
+// non-accelerated parts (Equation 1); e.g. about 0.8 for the default 100x /
+// 0.1% / 0.1% setting.
+func (m *Model) AdjustedMultiplier() float64 { return m.adjustedMult }
+
+// NodeFaults is one node's sampled fault history.
+type NodeFaults struct {
+	// Faults are sorted by arrival time.
+	Faults []*Fault
+	// NodeAccelerated marks a node drawn from the unlucky 0.1%.
+	NodeAccelerated bool
+	// AcceleratedDIMMs lists node-local DIMM indices drawn as unlucky.
+	AcceleratedDIMMs []int
+}
+
+// PermanentCount returns the number of permanent faults.
+func (nf *NodeFaults) PermanentCount() int {
+	n := 0
+	for _, f := range nf.Faults {
+		if f.Permanent() {
+			n++
+		}
+	}
+	return n
+}
+
+// PermanentFaults returns the permanent faults in arrival order.
+func (nf *NodeFaults) PermanentFaults() []*Fault {
+	out := make([]*Fault, 0, len(nf.Faults))
+	for _, f := range nf.Faults {
+		if f.Permanent() {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// SampleNode draws one node's fault history over the configured horizon.
+// The hot path — nodes with no faults at all — costs one Poisson draw, so
+// fleet-scale Monte Carlo stays cheap.
+func (m *Model) SampleNode(rng *stats.RNG) NodeFaults {
+	g := m.cfg.Geometry
+	nDIMMs := g.DIMMs()
+	nf := NodeFaults{}
+	nodeMult := m.adjustedMult
+	if rng.Bool(m.cfg.AccelNodeFrac) {
+		nf.NodeAccelerated = true
+		nodeMult = m.cfg.AccelFactor
+	}
+	// DIMM-level acceleration applies to DIMMs in otherwise-normal nodes.
+	dimmMult := make([]float64, nDIMMs)
+	lambda := 0.0
+	perDevRate := FITToRate(m.totalFIT) * m.cfg.Hours
+	for d := 0; d < nDIMMs; d++ {
+		mult := nodeMult
+		if !nf.NodeAccelerated && rng.Bool(m.cfg.AccelDIMMFrac) {
+			mult = m.cfg.AccelFactor
+			nf.AcceleratedDIMMs = append(nf.AcceleratedDIMMs, d)
+		}
+		dimmMult[d] = mult
+		lambda += mult * float64(m.devPerDMM) * perDevRate
+	}
+	n := rng.Poisson(lambda)
+	if n == 0 {
+		return nf
+	}
+
+	// Materialise per-device lognormal weights only for nodes that have
+	// faults. The weight is shared across a device's fault processes; the
+	// paper draws one rate per process per device, which at fleet scale is
+	// statistically indistinguishable for the metrics reported (the
+	// weights matter through same-device and same-DIMM clustering).
+	weights := make([]float64, nDIMMs*m.devPerDMM)
+	var totalW float64
+	for i := range weights {
+		w := rng.Lognormal(1, m.cfg.VarianceFrac) * dimmMult[i/m.devPerDMM]
+		weights[i] = w
+		totalW += w
+	}
+
+	for i := 0; i < n; i++ {
+		// Pick the device by weight.
+		target := rng.Float64() * totalW
+		devIdx := 0
+		for acc := 0.0; devIdx < len(weights)-1; devIdx++ {
+			acc += weights[devIdx]
+			if target < acc {
+				break
+			}
+		}
+		dimm := devIdx / m.devPerDMM
+		dev := dram.DeviceCoord{
+			Channel: dimm / g.DIMMsPerChan,
+			Rank:    dimm % g.DIMMsPerChan,
+			Device:  devIdx % m.devPerDMM,
+		}
+		f := m.sampleFault(rng, dev)
+		f.AtHours = rng.Float64() * m.cfg.Hours
+		nf.Faults = append(nf.Faults, f)
+	}
+	sort.Slice(nf.Faults, func(a, b int) bool { return nf.Faults[a].AtHours < nf.Faults[b].AtHours })
+	return nf
+}
+
+// sampleFault draws the mode, persistence, and extents of one fault.
+func (m *Model) sampleFault(rng *stats.RNG, dev dram.DeviceCoord) *Fault {
+	target := rng.Float64() * m.totalFIT
+	idx := sort.SearchFloat64s(m.modeCDF, target)
+	if idx >= len(m.modeCDF) {
+		idx = len(m.modeCDF) - 1
+	}
+	mode := Mode(idx / 2)
+	transient := idx%2 == 0
+	f := &Fault{Dev: dev, Mode: mode, Transient: transient}
+	m.sampleExtents(rng, f)
+	if f.Permanent() && rng.Bool(m.cfg.Shape.IntermittentFrac) {
+		f.Intermittent = true
+		f.ActivationsPerHour = logUniform(rng, m.cfg.Shape.ActivationMinPerHour, m.cfg.Shape.ActivationMaxPerHour)
+	}
+	return f
+}
+
+// logUniform samples log-uniformly in [lo, hi].
+func logUniform(rng *stats.RNG, lo, hi float64) float64 {
+	if lo <= 0 || hi <= lo {
+		return lo
+	}
+	return lo * math.Exp(rng.Float64()*math.Log(hi/lo))
+}
+
+// sampleExtents fills f.Extents according to the mode and shape parameters.
+func (m *Model) sampleExtents(rng *stats.RNG, f *Fault) {
+	g := m.cfg.Geometry
+	sp := m.cfg.Shape
+	bank := rng.Intn(g.Banks)
+	switch f.Mode {
+	case SingleBit:
+		row := rng.Intn(g.Rows)
+		if rng.Bool(sp.WordFrac) {
+			blk := rng.Intn(g.ColBlocks())
+			f.Extents = []Extent{{
+				BankLo: bank, BankHi: bank,
+				Rows:  OneRow(row),
+				ColLo: blk * g.ColumnsPerBlk, ColHi: (blk+1)*g.ColumnsPerBlk - 1,
+			}}
+		} else {
+			col := rng.Intn(g.Columns)
+			f.Extents = []Extent{{
+				BankLo: bank, BankHi: bank,
+				Rows:  OneRow(row),
+				ColLo: col, ColHi: col,
+			}}
+		}
+
+	case SingleRow:
+		row := rng.Intn(g.Rows)
+		rows := OneRow(row)
+		if rng.Bool(sp.TwoRowFrac) && row+1 < g.Rows {
+			rows = RowRange(row, row+1)
+		}
+		f.Extents = []Extent{{
+			BankLo: bank, BankHi: bank,
+			Rows:  rows,
+			ColLo: 0, ColHi: g.Columns - 1,
+		}}
+
+	case SingleColumn:
+		col := rng.Intn(g.Columns)
+		nSub := g.Rows / dram.SubarrayRows
+		if nSub < 1 {
+			nSub = 1
+		}
+		base := rng.Intn(nSub) * dram.SubarrayRows
+		top := base + dram.SubarrayRows - 1
+		if top >= g.Rows {
+			top = g.Rows - 1
+		}
+		var rows RowSpec
+		if rng.Bool(sp.ColFullSubarrayFrac) {
+			rows = RowRange(base, top)
+		} else {
+			k := 2 + rng.Intn(maxi(sp.ColFewRowsMax-1, 1))
+			picks := make([]int, 0, k)
+			for j := 0; j < k; j++ {
+				picks = append(picks, base+rng.Intn(top-base+1))
+			}
+			rows = RowList(picks)
+		}
+		f.Extents = []Extent{{
+			BankLo: bank, BankHi: bank,
+			Rows:  rows,
+			ColLo: col, ColHi: col,
+		}}
+
+	case SingleBank:
+		f.Extents = []Extent{m.sampleBankExtent(rng, bank, bank)}
+
+	case MultiBank:
+		nb := 2 + rng.Intn(maxi(g.Banks-1, 1))
+		if nb > g.Banks {
+			nb = g.Banks
+		}
+		lo := rng.Intn(g.Banks - nb + 1)
+		hi := lo + nb - 1
+		if rng.Bool(sp.MultiBankWholeFrac) {
+			f.Extents = []Extent{{
+				BankLo: lo, BankHi: hi,
+				Rows:  AllRows(),
+				ColLo: 0, ColHi: g.Columns - 1,
+			}}
+		} else {
+			f.Extents = []Extent{m.sampleBankExtent(rng, lo, hi)}
+		}
+
+	case MultiRank:
+		f.Extents = []Extent{{
+			BankLo: 0, BankHi: g.Banks - 1,
+			Rows:  AllRows(),
+			ColLo: 0, ColHi: g.Columns - 1,
+		}}
+		f.MirrorRanks = true
+	}
+}
+
+// sampleBankExtent draws the in-bank structure of a bank-mode fault:
+// whole-bank, a cluster of rows at random positions, or a cluster of
+// adjacent columns through one or more subarrays.
+func (m *Model) sampleBankExtent(rng *stats.RNG, bankLo, bankHi int) Extent {
+	g := m.cfg.Geometry
+	sp := m.cfg.Shape
+	switch {
+	case rng.Bool(sp.BankWholeFrac):
+		return Extent{
+			BankLo: bankLo, BankHi: bankHi,
+			Rows:  AllRows(),
+			ColLo: 0, ColHi: g.Columns - 1,
+		}
+	case rng.Bool(sp.BankRowClusterFrac):
+		maxRows := maxi(sp.BankClusterMaxRows, 2)
+		k := int(math.Round(logUniform(rng, 2, float64(maxRows))))
+		if k > g.Rows {
+			k = g.Rows
+		}
+		picks := make([]int, 0, k)
+		for j := 0; j < k; j++ {
+			picks = append(picks, rng.Intn(g.Rows))
+		}
+		return Extent{
+			BankLo: bankLo, BankHi: bankHi,
+			Rows:  RowList(picks),
+			ColLo: 0, ColHi: g.Columns - 1,
+		}
+	default:
+		width := 2 + rng.Intn(maxi(sp.BankColClusterMaxCols-1, 1))
+		colLo := rng.Intn(maxi(g.Columns-width, 1))
+		nSubTotal := maxi(g.Rows/dram.SubarrayRows, 1)
+		span := 1 + rng.Intn(maxi(sp.BankColClusterMaxSubarrays, 1))
+		if span > nSubTotal {
+			span = nSubTotal
+		}
+		base := rng.Intn(nSubTotal-span+1) * dram.SubarrayRows
+		top := base + span*dram.SubarrayRows - 1
+		if top >= g.Rows {
+			top = g.Rows - 1
+		}
+		return Extent{
+			BankLo: bankLo, BankHi: bankHi,
+			Rows:  RowRange(base, top),
+			ColLo: colLo, ColHi: colLo + width - 1,
+		}
+	}
+}
+
+func maxi(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,148 @@
+// Package fault models DRAM fault occurrence the way the RelaxFault paper
+// does: independent Poisson processes per fault mode at field-measured FIT
+// rates (Table 2), refined with device-to-device lognormal rate variation
+// and node/DIMM FIT acceleration (Section 4.1.2, Equation 1). It also
+// describes each fault's physical extent — which cells of which device are
+// affected — which is what the repair engines and the DUE/SDC overlap
+// analysis consume.
+package fault
+
+import "fmt"
+
+// Mode is a DRAM fault mode as classified by the field studies the paper
+// builds on (Sridharan et al.).
+type Mode int
+
+const (
+	// SingleBit faults affect one bit or one word (the studies merge
+	// bit and word granularity into one category).
+	SingleBit Mode = iota
+	// SingleRow faults affect one (occasionally a couple of) full rows of
+	// one bank of one device.
+	SingleRow
+	// SingleColumn faults affect one column — a bitline — which is
+	// physically confined to one subarray: up to SubarrayRows rows.
+	SingleColumn
+	// SingleBank faults affect many locations spread within one bank:
+	// clusters of rows or columns, or in the worst case the entire bank
+	// (the "massive" faults no LLC-based repair can absorb).
+	SingleBank
+	// MultiBank faults affect several banks of one device.
+	MultiBank
+	// MultiRank faults affect shared circuitry and manifest across ranks;
+	// they are modelled as whole-device faults mirrored onto the same
+	// device position of every rank in the channel.
+	MultiRank
+
+	NumModes
+)
+
+// String names the mode the way the paper's Table 2 does.
+func (m Mode) String() string {
+	switch m {
+	case SingleBit:
+		return "single-bit/word"
+	case SingleRow:
+		return "single-row"
+	case SingleColumn:
+		return "single-column"
+	case SingleBank:
+		return "single-bank"
+	case MultiBank:
+		return "multi-bank"
+	case MultiRank:
+		return "multi-rank"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Rates holds per-mode FIT rates (failures per 10^9 device-hours), split by
+// persistence.
+type Rates struct {
+	Transient [NumModes]float64
+	Permanent [NumModes]float64
+}
+
+// CieloRates returns the DDR3 FIT rates of the Cielo system (Table 2),
+// which the paper uses as its baseline fault model. The "multiple ranks"
+// row of Table 2 is split: its transient component behaves like a bus
+// glitch, its permanent component like failed shared circuitry.
+func CieloRates() Rates {
+	return Rates{
+		Transient: [NumModes]float64{
+			SingleBit:    14.5,
+			SingleRow:    2.3,
+			SingleColumn: 1.6,
+			SingleBank:   1.6,
+			MultiBank:    0.1,
+			MultiRank:    0.2,
+		},
+		Permanent: [NumModes]float64{
+			SingleBit:    13.0,
+			SingleRow:    2.4,
+			SingleColumn: 1.9,
+			SingleBank:   2.2,
+			MultiBank:    0.3,
+			MultiRank:    0.2,
+		},
+	}
+}
+
+// HopperRates returns approximate per-mode FIT rates for the Hopper system
+// (Figure 2), used to confirm the conclusions are not Cielo-specific.
+func HopperRates() Rates {
+	return Rates{
+		Transient: [NumModes]float64{
+			SingleBit:    11.0,
+			SingleRow:    1.8,
+			SingleColumn: 1.4,
+			SingleBank:   1.8,
+			MultiBank:    0.2,
+			MultiRank:    0.3,
+		},
+		Permanent: [NumModes]float64{
+			SingleBit:    10.5,
+			SingleRow:    2.8,
+			SingleColumn: 2.1,
+			SingleBank:   2.6,
+			MultiBank:    0.4,
+			MultiRank:    0.3,
+		},
+	}
+}
+
+// Scale returns a copy of r with every rate multiplied by f (the paper's
+// 10x-FIT sensitivity study uses f = 10).
+func (r Rates) Scale(f float64) Rates {
+	out := r
+	for m := Mode(0); m < NumModes; m++ {
+		out.Transient[m] *= f
+		out.Permanent[m] *= f
+	}
+	return out
+}
+
+// TotalTransient returns the summed transient FIT per device.
+func (r Rates) TotalTransient() float64 {
+	var s float64
+	for _, v := range r.Transient {
+		s += v
+	}
+	return s
+}
+
+// TotalPermanent returns the summed permanent FIT per device.
+func (r Rates) TotalPermanent() float64 {
+	var s float64
+	for _, v := range r.Permanent {
+		s += v
+	}
+	return s
+}
+
+// HoursPerYear is the conversion the FIT bookkeeping uses.
+const HoursPerYear = 8760.0
+
+// FITToRate converts a FIT value to a per-hour event rate.
+func FITToRate(fit float64) float64 { return fit * 1e-9 }

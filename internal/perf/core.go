@@ -1,0 +1,223 @@
+package perf
+
+import (
+	"relaxfault/internal/addrmap"
+	"relaxfault/internal/trace"
+)
+
+// Core approximates a 4-wide out-of-order core driven by a synthetic trace:
+// compute bursts retire at 4 instructions per cycle, cache hits are
+// pipelined, and up to MLP outstanding misses overlap. The core stalls when
+// a critical (dependent) load misses, or when its miss-level parallelism is
+// exhausted — the two first-order mechanisms through which reduced LLC
+// capacity shows up as lost IPC.
+type Core struct {
+	ID  int
+	gen trace.Generator
+	l1  *timingCache
+	l2  *timingCache
+	mlp int
+
+	waitUntil     int64
+	blocked       *Request
+	outstanding   []*Request
+	missPenalty   int64
+	llcHitPenalty int64
+
+	prefetchDegree int
+	lastMissLine   addrmap.LineAddr
+	streamRuns     int
+	Prefetched     uint64
+
+	// Retired counts instructions; DoneCycle is when Target was reached
+	// (0 while running). The core keeps executing afterwards so shared
+	// resources stay contended, matching the paper's methodology.
+	Retired   uint64
+	Target    uint64
+	DoneCycle int64
+
+	L1Hits, L2Hits, LLCLevel, MemLevel uint64
+}
+
+// CoreConfig sets the private hierarchy sizes (Table 3).
+type CoreConfig struct {
+	L1Sets, L1Ways int // 32KiB: 64 sets x 8 ways x 64B
+	L2Sets, L2Ways int // 128KiB: 256 sets x 8 ways x 64B
+	MLP            int
+	// MissPenalty is the ROB-pressure cost (cycles) of each DRAM miss
+	// even when its latency overlaps other work: a miss occupies the
+	// reorder buffer and issue slots, so a 4-wide window cannot stream
+	// misses for free.
+	MissPenalty int64
+	// LLCHitPenalty is the analogous, smaller cost of an LLC hit.
+	LLCHitPenalty int64
+	// PrefetchDegree enables a per-core next-line stream prefetcher into
+	// the LLC: after two sequential demand misses, the next N lines are
+	// fetched ahead (0 disables; kept off by default to match the
+	// paper's Table 3, which lists no prefetcher).
+	PrefetchDegree int
+}
+
+// DefaultCoreConfig matches Table 3.
+func DefaultCoreConfig() CoreConfig {
+	return CoreConfig{L1Sets: 64, L1Ways: 8, L2Sets: 256, L2Ways: 8, MLP: 8, MissPenalty: 16, LLCHitPenalty: 4}
+}
+
+// Latencies (CPU cycles) of each hit level, from Table 3. L1 hits are fully
+// pipelined; deeper hits stall only critical loads.
+const (
+	latL2  = 8
+	latLLC = 30
+)
+
+// NewCore builds a core over its generator.
+func NewCore(id int, cfg CoreConfig, gen trace.Generator) (*Core, error) {
+	l1, err := newTimingCache(cfg.L1Sets, cfg.L1Ways)
+	if err != nil {
+		return nil, err
+	}
+	l2, err := newTimingCache(cfg.L2Sets, cfg.L2Ways)
+	if err != nil {
+		return nil, err
+	}
+	mlp := cfg.MLP
+	if mlp < 1 {
+		mlp = 1
+	}
+	return &Core{ID: id, gen: gen, l1: l1, l2: l2, mlp: mlp,
+		missPenalty: cfg.MissPenalty, llcHitPenalty: cfg.LLCHitPenalty,
+		prefetchDegree: cfg.PrefetchDegree}, nil
+}
+
+// Done reports whether the core reached its instruction target.
+func (c *Core) Done() bool { return c.DoneCycle != 0 }
+
+// NextWake returns the earliest cycle the core could make progress, or -1
+// when it is blocked on an unscheduled memory request.
+func (c *Core) NextWake() int64 {
+	if c.blocked != nil {
+		if !c.blocked.Scheduled {
+			return -1
+		}
+		if c.blocked.DoneAt > c.waitUntil {
+			return c.blocked.DoneAt
+		}
+	}
+	return c.waitUntil
+}
+
+// Tick advances the core by one CPU cycle.
+func (c *Core) Tick(now int64, ms *MemSystem) {
+	if c.blocked != nil {
+		if !c.blocked.Done(now) {
+			return
+		}
+		c.blocked = nil
+	}
+	if c.waitUntil > now {
+		return
+	}
+
+	op := c.gen.Next()
+	c.Retired += uint64(op.NonMem) + 1
+	if c.DoneCycle == 0 && c.Retired >= c.Target {
+		c.DoneCycle = now
+	}
+	// Compute burst at 4-wide retire.
+	delay := int64(op.NonMem) / 4
+
+	la := addrmap.LineAddr(op.Addr >> 6)
+	var lat int64
+	switch {
+	case c.l1.access(la, op.Write):
+		c.L1Hits++
+	case c.l2.access(la, op.Write):
+		c.L2Hits++
+		c.installL1(la, op.Write, ms, now)
+		if op.Critical {
+			lat = latL2
+		}
+	default:
+		hit, req := ms.Access(la, op.Write, now)
+		if hit {
+			c.LLCLevel++
+			if op.Critical {
+				lat = latLLC
+			} else {
+				lat = c.llcHitPenalty
+			}
+		} else {
+			c.MemLevel++
+			c.retireDone(now)
+			c.outstanding = append(c.outstanding, req)
+			if op.Critical {
+				c.blocked = req
+			} else {
+				lat = c.missPenalty
+				if len(c.outstanding) > c.mlp {
+					c.blocked = c.outstanding[0]
+					c.outstanding = c.outstanding[1:]
+				}
+			}
+			c.maybePrefetch(la, ms, now)
+		}
+		c.installL2(la, op.Write, ms, now)
+		c.installL1(la, op.Write, ms, now)
+	}
+	c.waitUntil = now + 1 + delay + lat
+}
+
+// maybePrefetch runs the next-line stream detector: two sequential demand
+// misses arm the stream, after which the next PrefetchDegree lines are
+// pulled into the LLC ahead of use.
+func (c *Core) maybePrefetch(la addrmap.LineAddr, ms *MemSystem, now int64) {
+	if c.prefetchDegree <= 0 {
+		return
+	}
+	if la == c.lastMissLine+1 {
+		c.streamRuns++
+	} else {
+		c.streamRuns = 0
+	}
+	c.lastMissLine = la
+	if c.streamRuns < 2 {
+		return
+	}
+	for i := 1; i <= c.prefetchDegree; i++ {
+		if ms.Prefetch(la+addrmap.LineAddr(i), now) != nil {
+			c.Prefetched++
+		}
+	}
+}
+
+// retireDone drops completed requests from the MSHR window.
+func (c *Core) retireDone(now int64) {
+	keep := c.outstanding[:0]
+	for _, r := range c.outstanding {
+		if !r.Done(now) {
+			keep = append(keep, r)
+		}
+	}
+	c.outstanding = keep
+}
+
+// installL1 fills L1 and spills a dirty victim into L2.
+func (c *Core) installL1(la addrmap.LineAddr, dirty bool, ms *MemSystem, now int64) {
+	victim, vdirty, ok := c.l1.install(la, dirty)
+	if ok && vdirty {
+		// Dirty L1 victim merges into L2 (allocate on writeback).
+		if !c.l2.access(victim, true) {
+			c.installL2(victim, true, ms, now)
+		}
+	}
+}
+
+// installL2 fills L2 and spills a dirty victim into the LLC.
+func (c *Core) installL2(la addrmap.LineAddr, dirty bool, ms *MemSystem, now int64) {
+	victim, vdirty, ok := c.l2.install(la, dirty)
+	if ok && vdirty {
+		// Dirty L2 victims write into the LLC; with the inclusive sizing
+		// they nearly always hit there.
+		ms.Access(victim, true, now)
+	}
+}

@@ -1,0 +1,208 @@
+// Package perf is the trace-driven performance model standing in for the
+// paper's MacSim setup (Table 3): eight 4-wide cores with private L1/L2
+// caches, a shared 8MiB 16-way LLC that can sacrifice ways or individual
+// lines to RelaxFault repair, and FR-FCFS open-page DDR3-1600 memory
+// controllers with bank XOR hashing. It reports per-core IPC (for weighted
+// speedup) and DRAM operation counts (for the dynamic-power model).
+package perf
+
+import (
+	"relaxfault/internal/dram"
+)
+
+// DDR3-1600 11-11-11 timing in memory-clock cycles (tCK = 1.25ns), from the
+// Micron MT41J datasheet the paper configures.
+const (
+	tCK      = 1.25 // ns
+	tRCD     = 11
+	tRP      = 11
+	tCL      = 11
+	tCWL     = 8
+	tRAS     = 28
+	tCCD     = 4
+	tBurst   = 4 // BL8, double data rate
+	tWR      = 12
+	tWTR     = 6
+	tRTP     = 6
+	CPUPerMC = 5 // 4GHz CPU cycles per 800MHz memory cycle
+)
+
+// Request is one DRAM transaction (a 64B line fill or writeback).
+type Request struct {
+	Loc     dram.Location
+	Write   bool
+	Arrival int64 // CPU cycle the request reached the controller
+	// DoneAt is the CPU cycle the data transfer completes; valid once
+	// Scheduled.
+	DoneAt    int64
+	Scheduled bool
+}
+
+// Done reports completion at the given CPU cycle.
+func (r *Request) Done(nowCPU int64) bool { return r.Scheduled && r.DoneAt <= nowCPU }
+
+// bank tracks one DRAM bank's open row and timing state (times in tCK).
+type bank struct {
+	openRow     int   // -1 when closed
+	casReady    int64 // earliest next column command
+	lastAct     int64 // time of the last activate (for tRAS)
+	busyUntil   int64 // bank busy for row commands until this time
+	lastDataEnd int64 // end of the last data burst (+tWR for writes)
+}
+
+// OpCounts tallies DRAM commands for the power model.
+type OpCounts struct {
+	Activates  uint64
+	Precharges uint64
+	Reads      uint64
+	Writes     uint64
+}
+
+// Add accumulates counts.
+func (o *OpCounts) Add(b OpCounts) {
+	o.Activates += b.Activates
+	o.Precharges += b.Precharges
+	o.Reads += b.Reads
+	o.Writes += b.Writes
+}
+
+// Channel models one memory channel: per-(rank,bank) state, FR-FCFS read
+// scheduling with an opportunistically drained write queue, open-page
+// policy, and a shared data bus.
+type Channel struct {
+	banks     [][]bank // [rank][bank]
+	readQ     []*Request
+	writeQ    []*Request
+	busFree   int64 // tCK when the data bus frees
+	draining  bool
+	Ops       OpCounts
+	RowHits   uint64
+	RowMisses uint64
+	// writeDrainHigh/Low are the write-queue watermarks.
+	writeDrainHigh int
+	writeDrainLow  int
+}
+
+// NewChannel builds a channel for the geometry's ranks and banks.
+func NewChannel(ranks, banks int) *Channel {
+	ch := &Channel{writeDrainHigh: 32, writeDrainLow: 8}
+	ch.banks = make([][]bank, ranks)
+	for r := range ch.banks {
+		ch.banks[r] = make([]bank, banks)
+		for b := range ch.banks[r] {
+			ch.banks[r][b].openRow = -1
+		}
+	}
+	return ch
+}
+
+// Enqueue adds a request to the appropriate queue.
+func (c *Channel) Enqueue(r *Request) {
+	if r.Write {
+		c.writeQ = append(c.writeQ, r)
+	} else {
+		c.readQ = append(c.readQ, r)
+	}
+}
+
+// Busy reports whether the channel still has work queued.
+func (c *Channel) Busy() bool { return len(c.readQ) > 0 || len(c.writeQ) > 0 }
+
+// QueueLen returns the total queued requests.
+func (c *Channel) QueueLen() int { return len(c.readQ) + len(c.writeQ) }
+
+// Tick makes one scheduling decision at memory-clock time nowTck. FR-FCFS:
+// the oldest row-hit request wins; otherwise the oldest request. Writes are
+// serviced when the read queue is empty or the write queue crosses its high
+// watermark, and drain down to the low watermark.
+func (c *Channel) Tick(nowTck int64) {
+	if len(c.writeQ) >= c.writeDrainHigh {
+		c.draining = true
+	}
+	if len(c.writeQ) <= c.writeDrainLow {
+		c.draining = false
+	}
+	useWrites := len(c.readQ) == 0 || c.draining
+	q := &c.readQ
+	if useWrites && len(c.writeQ) > 0 {
+		q = &c.writeQ
+	}
+	if len(*q) == 0 {
+		return
+	}
+	// First-ready: oldest request whose bank has its row open (the CAS may
+	// start slightly in the future; keeping the row stream together is
+	// what preserves row-buffer locality under multi-core interleaving).
+	pick := -1
+	for i, r := range *q {
+		b := &c.banks[r.Loc.Rank][r.Loc.Bank]
+		if b.openRow == r.Loc.Row {
+			pick = i
+			break
+		}
+	}
+	if pick < 0 {
+		pick = 0 // FCFS fallback: oldest
+	}
+	r := (*q)[pick]
+	if c.schedule(r, nowTck) {
+		*q = append((*q)[:pick], (*q)[pick+1:]...)
+	}
+}
+
+// schedule assigns the full command timeline of a request, returning false
+// when the bank cannot accept a new row command yet.
+func (c *Channel) schedule(r *Request, nowTck int64) bool {
+	b := &c.banks[r.Loc.Rank][r.Loc.Bank]
+	var casAt int64
+	switch {
+	case b.openRow == r.Loc.Row:
+		casAt = maxi64(nowTck, b.casReady)
+		c.RowHits++
+	case b.openRow >= 0:
+		// Precharge after tRAS from the activate and after the last data
+		// burst drains (+ write recovery), then activate, then CAS.
+		preAt := maxi64(nowTck, maxi64(b.lastAct+tRAS, maxi64(b.busyUntil, b.lastDataEnd+tRTP)))
+		actAt := preAt + tRP
+		casAt = actAt + tRCD
+		c.Ops.Precharges++
+		c.Ops.Activates++
+		b.lastAct = actAt
+		b.busyUntil = actAt
+		b.openRow = r.Loc.Row
+		c.RowMisses++
+	default:
+		actAt := maxi64(nowTck, b.busyUntil)
+		casAt = actAt + tRCD
+		c.Ops.Activates++
+		b.lastAct = actAt
+		b.busyUntil = actAt
+		b.openRow = r.Loc.Row
+		c.RowMisses++
+	}
+	// Serialise the data bus.
+	lat := int64(tCL)
+	if r.Write {
+		lat = tCWL
+	}
+	dataStart := maxi64(casAt+lat, c.busFree)
+	c.busFree = dataStart + tBurst
+	b.casReady = maxi64(dataStart-lat+tCCD, casAt+tCCD)
+	if r.Write {
+		c.Ops.Writes++
+		b.lastDataEnd = dataStart + tBurst + tWR
+	} else {
+		c.Ops.Reads++
+		b.lastDataEnd = dataStart + tBurst
+	}
+	r.DoneAt = (dataStart + tBurst) * CPUPerMC
+	r.Scheduled = true
+	return true
+}
+
+func maxi64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

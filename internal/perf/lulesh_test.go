@@ -1,0 +1,54 @@
+package perf_test
+
+import (
+	"testing"
+
+	"relaxfault/internal/perf"
+	"relaxfault/internal/trace"
+)
+
+// TestLULESHCapacitySensitivity reproduces the one performance-visible case
+// of Figure 15: LULESH, whose hot state sits just above the LLC capacity,
+// loses weighted speedup when 4 ways of every set are dedicated to repair,
+// while 1-way locking stays in the noise. The run is long enough to warm
+// the 8MiB LLC.
+func TestLULESHCapacitySensitivity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long perf run")
+	}
+	w := trace.WorkloadByName("LULESH")
+	if w == nil {
+		t.Fatal("missing LULESH workload")
+	}
+	cfg := perf.DefaultSystemConfig()
+	cfg.TargetInstructions = 1_200_000
+
+	base, alone, _, err := perf.WeightedSpeedup(cfg, w.Threads, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg1 := cfg
+	cfg1.LockWays = 1
+	ws1, _, _, err := perf.WeightedSpeedup(cfg1, w.Threads, alone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg4 := cfg
+	cfg4.LockWays = 4
+	ws4, _, _, err := perf.WeightedSpeedup(cfg4, w.Threads, alone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("LULESH WS: none=%.3f 1way=%.3f (%.1f%%) 4way=%.3f (%.1f%%)",
+		base, ws1, 100*ws1/base-100, ws4, 100*ws4/base-100)
+	if ws1 < base*0.93 {
+		t.Errorf("1-way repair should be near-free: %.3f -> %.3f", base, ws1)
+	}
+	drop := 1 - ws4/base
+	if drop < 0.02 {
+		t.Errorf("4-way locking should perceptibly hurt LULESH (paper: ~7%%), got %.1f%%", 100*drop)
+	}
+	if drop > 0.35 {
+		t.Errorf("4-way LULESH loss implausibly large: %.1f%%", 100*drop)
+	}
+}

@@ -1,0 +1,202 @@
+package perf
+
+import (
+	"fmt"
+
+	"relaxfault/internal/trace"
+)
+
+// SystemConfig describes one simulation run.
+type SystemConfig struct {
+	Mem  MemConfig
+	Core CoreConfig
+	// TargetInstructions is the per-core retirement budget; statistics
+	// freeze per core once it is reached, but all cores keep running so
+	// shared-resource contention stays realistic.
+	TargetInstructions uint64
+	// LockWays removes this many ways from every LLC set (repair
+	// pessimism experiment); LockBytes instead locks individual lines
+	// totalling the given capacity at most one way deep per set (the
+	// 100KiB RelaxFault experiment). At most one should be non-zero.
+	LockWays  int
+	LockBytes int64
+	Seed      uint64
+	// MaxCycles aborts runaway simulations (0 = no limit).
+	MaxCycles int64
+}
+
+// DefaultSystemConfig mirrors Table 3 with a 2M-instruction budget.
+func DefaultSystemConfig() SystemConfig {
+	return SystemConfig{
+		Mem:                DefaultMemConfig(),
+		Core:               DefaultCoreConfig(),
+		TargetInstructions: 2_000_000,
+		Seed:               1,
+	}
+}
+
+// CoreResult is one core's outcome.
+type CoreResult struct {
+	Name         string
+	Instructions uint64
+	Cycles       int64
+	IPC          float64
+	L1Hits       uint64
+	L2Hits       uint64
+	LLCHits      uint64
+	MemAccesses  uint64
+}
+
+// Result is a full-system outcome.
+type Result struct {
+	Cores      []CoreResult
+	Cycles     int64
+	Ops        OpCounts
+	LLCHits    uint64
+	LLCMisses  uint64
+	Prefetches uint64
+	RowHits    uint64
+	RowMisses  uint64
+	// Seconds is wall time at the 4GHz clock.
+	Seconds float64
+}
+
+// TotalIPC sums per-core IPCs.
+func (r *Result) TotalIPC() float64 {
+	var s float64
+	for _, c := range r.Cores {
+		s += c.IPC
+	}
+	return s
+}
+
+// Run simulates the given threads (one per core) to completion.
+func Run(cfg SystemConfig, threads []trace.ThreadParams) (*Result, error) {
+	if len(threads) == 0 {
+		return nil, fmt.Errorf("perf: no threads")
+	}
+	if cfg.TargetInstructions == 0 {
+		return nil, fmt.Errorf("perf: zero instruction target")
+	}
+	ms, err := NewMemSystem(cfg.Mem)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.LockWays > 0 {
+		ms.LockWays(cfg.LockWays)
+	}
+	if cfg.LockBytes > 0 {
+		ms.LockRandomLines(cfg.LockBytes, cfg.Seed)
+	}
+	cores := make([]*Core, len(threads))
+	for i, tp := range threads {
+		tp.Seed ^= cfg.Seed * 0x9E3779B9
+		gen := trace.NewThread(tp)
+		c, err := NewCore(i, cfg.Core, gen)
+		if err != nil {
+			return nil, err
+		}
+		c.Target = cfg.TargetInstructions
+		cores[i] = c
+	}
+
+	var cycle int64
+	for {
+		cycle++
+		if cfg.MaxCycles > 0 && cycle > cfg.MaxCycles {
+			break
+		}
+		ms.Tick(cycle)
+		allDone := true
+		for _, c := range cores {
+			c.Tick(cycle, ms)
+			if !c.Done() {
+				allDone = false
+			}
+		}
+		if allDone {
+			break
+		}
+		// Fast-forward through globally idle stretches.
+		if !ms.Busy() {
+			next := int64(-1)
+			for _, c := range cores {
+				w := c.NextWake()
+				if w < 0 {
+					next = -1
+					break
+				}
+				if next < 0 || w < next {
+					next = w
+				}
+			}
+			if next > cycle+1 {
+				// Align to the next cycle before the wake so channel ticks
+				// stay on their grid.
+				cycle = next - 1
+			}
+		}
+	}
+
+	res := &Result{
+		Cycles:     cycle,
+		Ops:        ms.TotalOps(),
+		LLCHits:    ms.LLCHits,
+		LLCMisses:  ms.LLCMisses,
+		Prefetches: ms.Prefetches,
+		Seconds:    float64(cycle) / 4e9,
+	}
+	for _, ch := range ms.Channels() {
+		res.RowHits += ch.RowHits
+		res.RowMisses += ch.RowMisses
+	}
+	for _, c := range cores {
+		done := c.DoneCycle
+		if done == 0 {
+			done = cycle
+		}
+		res.Cores = append(res.Cores, CoreResult{
+			Name:         threads[c.ID].Name,
+			Instructions: cfg.TargetInstructions,
+			Cycles:       done,
+			IPC:          float64(cfg.TargetInstructions) / float64(done),
+			L1Hits:       c.L1Hits,
+			L2Hits:       c.L2Hits,
+			LLCHits:      c.LLCLevel,
+			MemAccesses:  c.MemLevel,
+		})
+	}
+	return res, nil
+}
+
+// WeightedSpeedup evaluates Equation (2) for a workload under a
+// repair-capacity configuration: each thread's shared-mode IPC is divided
+// by its IPC when run alone on the full-capacity system.
+//
+// aloneIPC may be supplied (from a previous call) to avoid recomputing the
+// baselines; pass nil to compute them here.
+func WeightedSpeedup(cfg SystemConfig, threads []trace.ThreadParams, aloneIPC []float64) (ws float64, alone []float64, shared *Result, err error) {
+	if aloneIPC == nil {
+		aloneIPC = make([]float64, len(threads))
+		for i := range threads {
+			soloCfg := cfg
+			soloCfg.LockWays = 0
+			soloCfg.LockBytes = 0
+			res, err := Run(soloCfg, []trace.ThreadParams{threads[i]})
+			if err != nil {
+				return 0, nil, nil, err
+			}
+			aloneIPC[i] = res.Cores[0].IPC
+		}
+	}
+	shared, err = Run(cfg, threads)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	for i, c := range shared.Cores {
+		if aloneIPC[i] > 0 {
+			ws += c.IPC / aloneIPC[i]
+		}
+	}
+	return ws, aloneIPC, shared, nil
+}

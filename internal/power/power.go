@@ -1,0 +1,65 @@
+// Package power estimates DRAM dynamic power from operation counts, the
+// way the paper does (Section 4.2): each activate/precharge pair, read
+// burst, and write burst is charged the energy the Micron power methodology
+// (TN-41-01) assigns for DDR3-1600 x4 devices, summed over the rank's 18
+// devices. Only relative power matters for Figure 16, but the constants are
+// kept physical so absolute numbers are plausible too. The package also
+// carries the RelaxFault metadata-energy accounting of Section 3.3.
+package power
+
+import "relaxfault/internal/perf"
+
+// Per-rank operation energies in nanojoules (18 x4 DDR3-1600 devices;
+// derived from IDD values per TN-41-01).
+const (
+	ActPreEnergyNJ = 13.2 // one activate+precharge pair
+	ReadEnergyNJ   = 4.4  // one BL8 read burst
+	WriteEnergyNJ  = 4.6  // one BL8 write burst
+)
+
+// RelaxFault metadata energies (Section 3.3).
+const (
+	// TagLookupNJ is the augmented LLC tag probe (9pJ per 1MiB bank,
+	// scaled to the 8-bank 8MiB LLC worst case).
+	TagLookupNJ = 0.009
+	// LLCAccessNJ is a full LLC data access.
+	LLCAccessNJ = 0.641
+	// DRAMMissNJ is the paper's quoted energy to service a miss from
+	// DDR3 DRAM.
+	DRAMMissNJ = 36.0
+)
+
+// DynamicEnergyNJ returns total DRAM dynamic energy for the op counts.
+func DynamicEnergyNJ(ops perf.OpCounts) float64 {
+	// Precharges pair with activates; charge the pair on the activate
+	// count (every opened row is eventually closed).
+	return float64(ops.Activates)*ActPreEnergyNJ +
+		float64(ops.Reads)*ReadEnergyNJ +
+		float64(ops.Writes)*WriteEnergyNJ
+}
+
+// DynamicPowerW returns average DRAM dynamic power over the interval.
+func DynamicPowerW(ops perf.OpCounts, seconds float64) float64 {
+	if seconds <= 0 {
+		return 0
+	}
+	return DynamicEnergyNJ(ops) * 1e-9 / seconds
+}
+
+// RelativeDynamicPower returns the percentage of baseline dynamic power a
+// configuration consumes (Figure 16 reports this per workload).
+func RelativeDynamicPower(cfg, baseline perf.OpCounts, cfgSeconds, baseSeconds float64) float64 {
+	base := DynamicPowerW(baseline, baseSeconds)
+	if base == 0 {
+		return 0
+	}
+	return 100 * DynamicPowerW(cfg, cfgSeconds) / base
+}
+
+// MetadataOverheadFraction returns the worst-case fraction of LLC access
+// energy the RelaxFault metadata costs (paper: < 1.5% of an LLC access and
+// < 0.03% of a DRAM miss).
+func MetadataOverheadFraction() (ofLLCAccess, ofDRAMMiss float64) {
+	meta := TagLookupNJ // faulty-bank table lookup energy is negligible
+	return meta / LLCAccessNJ, meta / DRAMMissNJ
+}

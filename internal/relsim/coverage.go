@@ -1,0 +1,236 @@
+package relsim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"relaxfault/internal/fault"
+	"relaxfault/internal/repair"
+	"relaxfault/internal/stats"
+)
+
+// CoverageConfig describes a repair-coverage study (Figures 8, 10, 11):
+// sample nodes after the full horizon, and for every faulty node ask each
+// repair engine whether it can fully repair the node under each LLC way
+// limit, and how much LLC capacity that repair needs.
+type CoverageConfig struct {
+	Model    fault.Config
+	Planners []repair.Planner
+	// WayLimits are evaluated per planner (paper: 1, 4, 16).
+	WayLimits []int
+	// FaultyNodes is how many faulty nodes to collect; sampling stops
+	// after MaxNodes regardless.
+	FaultyNodes int
+	MaxNodes    int
+	Seed        uint64
+	Workers     int
+}
+
+// DefaultCoverageConfig evaluates the paper's default engines and limits.
+func DefaultCoverageConfig() CoverageConfig {
+	return CoverageConfig{
+		Model:       fault.DefaultConfig(),
+		WayLimits:   []int{1, 4, 16},
+		FaultyNodes: 20000,
+		MaxNodes:    5_000_000,
+		Seed:        7,
+	}
+}
+
+// CoverageCurve is the cumulative repair coverage of one (planner, way
+// limit) pair: the fraction of faulty nodes fully repairable within a given
+// LLC capacity budget.
+type CoverageCurve struct {
+	Planner  string
+	WayLimit int
+
+	faultyNodes int
+	repairable  int
+	caps        stats.Quantiler // bytes needed, one sample per repairable node
+}
+
+// FaultyNodes returns the number of faulty nodes observed.
+func (c *CoverageCurve) FaultyNodes() int { return c.faultyNodes }
+
+// Coverage returns the asymptotic coverage: repairable nodes (under the way
+// limit, any capacity) over faulty nodes.
+func (c *CoverageCurve) Coverage() float64 {
+	if c.faultyNodes == 0 {
+		return 0
+	}
+	return float64(c.repairable) / float64(c.faultyNodes)
+}
+
+// CoverageAt returns the fraction of faulty nodes repairable with at most
+// the given LLC capacity in bytes.
+func (c *CoverageCurve) CoverageAt(capBytes int64) float64 {
+	if c.faultyNodes == 0 {
+		return 0
+	}
+	return c.caps.CDFAt(float64(capBytes)) * float64(c.repairable) / float64(c.faultyNodes)
+}
+
+// CapacityQuantile returns the LLC bytes needed at quantile p among
+// repairable nodes (e.g. the "90% of nodes need at most X KiB" numbers).
+func (c *CoverageCurve) CapacityQuantile(p float64) float64 {
+	return c.caps.Quantile(p)
+}
+
+// CapacityForCoverage returns the smallest capacity achieving the target
+// coverage fraction (over faulty nodes), or -1 when unreachable.
+func (c *CoverageCurve) CapacityForCoverage(target float64) float64 {
+	if c.Coverage() < target || c.repairable == 0 {
+		return -1
+	}
+	// target over faulty nodes = quantile target*faulty/repairable over
+	// repairable nodes.
+	q := target * float64(c.faultyNodes) / float64(c.repairable)
+	if q > 1 {
+		return -1
+	}
+	return c.caps.Quantile(q)
+}
+
+// CoverageResult holds one curve per (planner, way limit).
+type CoverageResult struct {
+	Curves      []*CoverageCurve
+	FaultyNodes int
+	TotalNodes  int
+	// FaultyFraction is faulty nodes over all sampled nodes (the paper
+	// reports 12% at 1x FIT and 71% at 10x over 6 years).
+	FaultyFraction float64
+}
+
+// Curve finds the curve for (planner, wayLimit); nil if absent.
+func (r *CoverageResult) Curve(planner string, wayLimit int) *CoverageCurve {
+	for _, c := range r.Curves {
+		if c.Planner == planner && c.WayLimit == wayLimit {
+			return c
+		}
+	}
+	return nil
+}
+
+// nodeOutcome is the planning result of one faulty node for one curve.
+type nodeOutcome struct {
+	repairable bool
+	bytes      float64
+}
+
+// CoverageStudy runs the Monte Carlo coverage experiment.
+func CoverageStudy(cfg CoverageConfig) (*CoverageResult, error) {
+	if len(cfg.Planners) == 0 {
+		return nil, fmt.Errorf("relsim: no planners configured")
+	}
+	if cfg.FaultyNodes <= 0 || cfg.MaxNodes <= 0 {
+		return nil, fmt.Errorf("relsim: FaultyNodes and MaxNodes must be positive")
+	}
+	model, err := fault.NewModel(cfg.Model)
+	if err != nil {
+		return nil, err
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	nCurves := len(cfg.Planners) * len(cfg.WayLimits)
+
+	type workerState struct {
+		outcomes [][]nodeOutcome // per curve
+		faulty   int
+		nodes    int
+	}
+	states := make([]workerState, workers)
+	root := stats.NewRNG(cfg.Seed)
+	var next int64
+	var done bool
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+
+	// Workers claim node-index chunks until enough faulty nodes are
+	// collected fleet-wide. Determinism: node i always uses fork(i), and
+	// results are keyed by node index only through RNG streams, so the
+	// sample is exchangeable; curves aggregate counts, which are
+	// insensitive to which worker processed which node.
+	const chunkSize = 2048
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			st := &states[w]
+			st.outcomes = make([][]nodeOutcome, nCurves)
+			for {
+				mu.Lock()
+				if done || next >= int64(cfg.MaxNodes) {
+					mu.Unlock()
+					return
+				}
+				lo := next
+				next += chunkSize
+				mu.Unlock()
+				hi := lo + chunkSize
+				if hi > int64(cfg.MaxNodes) {
+					hi = int64(cfg.MaxNodes)
+				}
+				for i := lo; i < hi; i++ {
+					st.nodes++
+					nf := model.SampleNode(root.Fork(uint64(i)))
+					perm := nf.PermanentFaults()
+					if len(perm) == 0 {
+						continue
+					}
+					st.faulty++
+					ci := 0
+					for _, pl := range cfg.Planners {
+						plan := pl.PlanNode(perm)
+						for _, wl := range cfg.WayLimits {
+							st.outcomes[ci] = append(st.outcomes[ci], nodeOutcome{
+								repairable: plan.RepairableUnder(wl),
+								bytes:      float64(plan.Bytes),
+							})
+							ci++
+						}
+					}
+				}
+				mu.Lock()
+				total := 0
+				for i := range states {
+					total += states[i].faulty
+				}
+				if total >= cfg.FaultyNodes {
+					done = true
+				}
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	res := &CoverageResult{}
+	ci := 0
+	for _, pl := range cfg.Planners {
+		for _, wl := range cfg.WayLimits {
+			curve := &CoverageCurve{Planner: pl.Name(), WayLimit: wl}
+			for w := range states {
+				for _, o := range states[w].outcomes[ci] {
+					curve.faultyNodes++
+					if o.repairable {
+						curve.repairable++
+						curve.caps.Add(o.bytes)
+					}
+				}
+			}
+			res.Curves = append(res.Curves, curve)
+			ci++
+		}
+	}
+	for _, st := range states {
+		res.FaultyNodes += st.faulty
+		res.TotalNodes += st.nodes
+	}
+	if res.TotalNodes > 0 {
+		res.FaultyFraction = float64(res.FaultyNodes) / float64(res.TotalNodes)
+	}
+	return res, nil
+}

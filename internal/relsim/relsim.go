@@ -1,0 +1,375 @@
+// Package relsim is the Monte Carlo reliability simulator behind the
+// paper's evaluation (Sections 4.1 and 5.1): it samples per-node DRAM fault
+// histories from the refined fault model, drives the repair and
+// DIMM-replacement policies, and reports the fleet-level metrics the paper
+// plots — repair coverage versus LLC capacity, expected DUEs and SDCs, and
+// expected DIMM replacements.
+package relsim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"relaxfault/internal/fault"
+	"relaxfault/internal/repair"
+	"relaxfault/internal/stats"
+)
+
+// ReplacementPolicy selects when a faulty DIMM is replaced.
+type ReplacementPolicy int
+
+const (
+	// ReplaceNever keeps DIMMs in service regardless of errors (used for
+	// coverage studies).
+	ReplaceNever ReplacementPolicy = iota
+	// ReplaceAfterDUE (ReplA) replaces a DIMM after it produces a
+	// non-transient DUE.
+	ReplaceAfterDUE
+	// ReplaceAfterThreshold (ReplB) replaces a DIMM once a permanent
+	// fault produces corrected errors above a rate threshold — the
+	// aggressive policy production systems use.
+	ReplaceAfterThreshold
+)
+
+// String names the policy.
+func (p ReplacementPolicy) String() string {
+	switch p {
+	case ReplaceNever:
+		return "none"
+	case ReplaceAfterDUE:
+		return "ReplA(after-DUE)"
+	case ReplaceAfterThreshold:
+		return "ReplB(after-CE-threshold)"
+	default:
+		return fmt.Sprintf("ReplacementPolicy(%d)", int(p))
+	}
+}
+
+// Config describes one reliability experiment.
+type Config struct {
+	Model fault.Config
+	// Nodes per system (paper: 16,384).
+	Nodes int
+	// Planner is the repair engine; nil disables repair.
+	Planner repair.Planner
+	// WayLimit caps repair lines per LLC set (1, 4, or 16 in the paper).
+	WayLimit int
+	Policy   ReplacementPolicy
+	// ReplBActivationsPerHour is the CE-rate threshold of ReplB: an
+	// unrepaired permanent fault whose error-producing rate meets it
+	// triggers replacement. Hard-permanent faults always trigger.
+	ReplBActivationsPerHour float64
+	// SDCAliasProb is the probability a two-device overlap escapes the
+	// chipkill detector and silently corrupts data instead of raising a
+	// DUE. SDC counts are accumulated in expectation so the tiny rates
+	// the paper reports resolve without enormous trial counts.
+	SDCAliasProb float64
+	// TripleSDCProb is the probability a three-device codeword overlap
+	// defeats detection (three-symbol errors exceed the code's guarantee
+	// but are still often flagged).
+	TripleSDCProb float64
+	// Replicas repeats the whole-system simulation to tighten expectation
+	// estimates; results are reported per system.
+	Replicas int
+	Seed     uint64
+	// Workers bounds parallelism (0 = GOMAXPROCS).
+	Workers int
+}
+
+// DefaultConfig returns the paper's system: 16,384 nodes, no repair,
+// replace-after-DUE.
+func DefaultConfig() Config {
+	return Config{
+		Model:                   fault.DefaultConfig(),
+		Nodes:                   16384,
+		Planner:                 nil,
+		WayLimit:                1,
+		Policy:                  ReplaceAfterDUE,
+		ReplBActivationsPerHour: 1.0 / 24, // about one activation burst a day
+		SDCAliasProb:            0.002,
+		TripleSDCProb:           0.25,
+		Replicas:                1,
+		Seed:                    1,
+	}
+}
+
+// Result aggregates per-system expectations (averaged over replicas).
+type Result struct {
+	// FaultyNodes counts nodes that saw at least one permanent fault.
+	FaultyNodes float64
+	// MultiDeviceFaultDIMMs counts DIMMs where two or more distinct
+	// devices developed permanent faults during the horizon.
+	MultiDeviceFaultDIMMs float64
+	// DUEs and SDCs are expected event counts per system over the horizon.
+	DUEs float64
+	SDCs float64
+	// Replacements is the expected number of DIMM replacements.
+	Replacements float64
+	// RepairedNodes counts faulty nodes whose permanent faults were all
+	// repaired (and never needed replacement).
+	RepairedNodes float64
+	// RepairedDIMMs counts DIMMs with permanent faults fully masked by
+	// repair — the modules saved from replacement ("transparently
+	// repaired").
+	RepairedDIMMs float64
+	// FaultyDIMMs counts DIMMs that saw at least one permanent fault.
+	FaultyDIMMs float64
+	Replicas    int
+}
+
+// Run simulates cfg.Replicas systems and returns per-system averages.
+func Run(cfg Config) (Result, error) {
+	if cfg.Nodes <= 0 {
+		return Result{}, fmt.Errorf("relsim: Nodes must be positive")
+	}
+	if cfg.Replicas <= 0 {
+		cfg.Replicas = 1
+	}
+	model, err := fault.NewModel(cfg.Model)
+	if err != nil {
+		return Result{}, err
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	totalNodes := cfg.Nodes * cfg.Replicas
+	root := stats.NewRNG(cfg.Seed)
+
+	type chunk struct{ lo, hi int }
+	chunks := make(chan chunk, workers)
+	results := make([]Result, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sim := newNodeSim(model, cfg)
+			for c := range chunks {
+				for i := c.lo; i < c.hi; i++ {
+					sim.runNode(root.Fork(uint64(i)), &results[w])
+				}
+			}
+		}(w)
+	}
+	const chunkSize = 4096
+	for lo := 0; lo < totalNodes; lo += chunkSize {
+		hi := lo + chunkSize
+		if hi > totalNodes {
+			hi = totalNodes
+		}
+		chunks <- chunk{lo, hi}
+	}
+	close(chunks)
+	wg.Wait()
+
+	var sum Result
+	for _, r := range results {
+		sum.FaultyNodes += r.FaultyNodes
+		sum.MultiDeviceFaultDIMMs += r.MultiDeviceFaultDIMMs
+		sum.DUEs += r.DUEs
+		sum.SDCs += r.SDCs
+		sum.Replacements += r.Replacements
+		sum.RepairedNodes += r.RepairedNodes
+		sum.RepairedDIMMs += r.RepairedDIMMs
+		sum.FaultyDIMMs += r.FaultyDIMMs
+	}
+	inv := 1 / float64(cfg.Replicas)
+	sum.FaultyNodes *= inv
+	sum.MultiDeviceFaultDIMMs *= inv
+	sum.DUEs *= inv
+	sum.SDCs *= inv
+	sum.Replacements *= inv
+	sum.RepairedNodes *= inv
+	sum.RepairedDIMMs *= inv
+	sum.FaultyDIMMs *= inv
+	sum.Replicas = cfg.Replicas
+	return sum, nil
+}
+
+// liveFault is a permanent fault currently in service (not repaired, DIMM
+// not replaced).
+type liveFault struct {
+	f        *fault.Fault
+	dimm     int
+	repaired bool
+}
+
+// nodeSim holds per-worker scratch state.
+type nodeSim struct {
+	model *fault.Model
+	cfg   Config
+	inc   repair.Incremental // nil when no repair is configured
+}
+
+func newNodeSim(model *fault.Model, cfg Config) *nodeSim {
+	s := &nodeSim{model: model, cfg: cfg}
+	if cfg.Planner != nil {
+		inc, ok := cfg.Planner.(repair.Incremental)
+		if !ok {
+			panic("relsim: planner does not support incremental planning")
+		}
+		s.inc = inc
+	}
+	return s
+}
+
+// runNode simulates one node's 6-year history and accumulates metrics.
+func (s *nodeSim) runNode(rng *stats.RNG, res *Result) {
+	nf := s.model.SampleNode(rng)
+	if len(nf.Faults) == 0 {
+		return
+	}
+	g := s.model.Config().Geometry
+
+	// Live permanent faults in arrival order (all DIMMs of the node).
+	var live []liveFault
+	var state repair.NodeState
+	if s.inc != nil {
+		state = s.inc.NewState()
+	}
+	// Track distinct faulty devices per DIMM over the whole horizon
+	// (for the multi-device-fault metric, independent of replacement).
+	devsSeen := make(map[int]map[int]bool)
+	replacedDIMMs := make(map[int]bool)
+	anyPermanent := false
+	nodeReplaced := false
+	nodeUnrepaired := false
+
+	// replaceDIMM removes a DIMM's live faults; repair state is rebuilt by
+	// replaying the survivors in arrival order (prefix-stable greedy).
+	replaceDIMM := func(dimm int) {
+		keep := live[:0]
+		for _, lf := range live {
+			if lf.dimm != dimm {
+				keep = append(keep, lf)
+			}
+		}
+		live = keep
+		replacedDIMMs[dimm] = true
+		if s.inc != nil {
+			state.Reset()
+			for i := range live {
+				live[i].repaired = s.inc.TryRepair(state, live[i].f, s.cfg.WayLimit)
+			}
+		}
+	}
+
+	for _, f := range nf.Faults {
+		dimm := f.Dev.DIMMIndex(g)
+		newRepaired := false
+		if f.Permanent() {
+			anyPermanent = true
+			if devsSeen[dimm] == nil {
+				devsSeen[dimm] = make(map[int]bool)
+			}
+			devsSeen[dimm][f.Dev.Device] = true
+
+			// The repair policy acts on every observed permanent fault
+			// before errors can accumulate (Section 4.1.1): a repairable
+			// fault never contributes to a DUE, even when it lands on top
+			// of an older unrepairable fault, because its data stops being
+			// served from the faulty cells.
+			if s.inc != nil {
+				newRepaired = s.inc.TryRepair(state, f, s.cfg.WayLimit)
+			}
+			live = append(live, liveFault{f: f, dimm: dimm, repaired: newRepaired})
+		}
+
+		// Error analysis: an unrepaired new fault that shares an ECC
+		// codeword with a live, unrepaired fault on another device of the
+		// same rank produces an uncorrectable word. Live faults across the
+		// whole channel are considered because MirrorRanks faults project
+		// onto sibling ranks.
+		var hits []*fault.Fault
+		if !newRepaired {
+			for i := range live {
+				lf := &live[i]
+				if lf.repaired || lf.f == f {
+					continue
+				}
+				if fault.Overlaps(f, lf.f, g) {
+					hits = append(hits, lf.f)
+				}
+			}
+		}
+		if len(hits) > 0 {
+			res.DUEs += 1 - s.cfg.SDCAliasProb
+			res.SDCs += s.cfg.SDCAliasProb
+			// Three devices sharing one codeword defeats the detection
+			// guarantee outright; that needs the two older faults to also
+			// overlap each other at the new fault's coordinates.
+		tripleScan:
+			for i := 0; i < len(hits); i++ {
+				for j := i + 1; j < len(hits); j++ {
+					if fault.Overlaps(hits[i], hits[j], g) {
+						res.SDCs += s.cfg.TripleSDCProb
+						break tripleScan // count at most one per event
+					}
+				}
+			}
+			// ReplA: the DIMM "exhibited a DUE" (Section 4.1.1's baseline
+			// policy); every overlap here implicates a live permanent
+			// fault, so the implicated DIMM is retired. A DUE raised by a
+			// transient fault landing on a permanently faulty DIMM still
+			// identifies that DIMM as broken.
+			if s.cfg.Policy == ReplaceAfterDUE {
+				res.Replacements++
+				replaceDIMM(hits[0].Dev.DIMMIndex(g))
+				nodeReplaced = true
+				// The new fault leaves with the replaced DIMM, except in
+				// the rare mirror-rank case where it lives on a sibling
+				// DIMM and simply stays in service.
+				continue
+			}
+		}
+
+		if !f.Permanent() {
+			continue
+		}
+
+		// ReplB: an unrepaired permanent fault that produces frequent
+		// corrected errors triggers replacement.
+		if s.cfg.Policy == ReplaceAfterThreshold && !newRepaired && s.triggersReplB(f) {
+			res.Replacements++
+			replaceDIMM(dimm)
+			nodeReplaced = true
+		}
+	}
+
+	unrepairedDIMMs := make(map[int]bool)
+	for _, lf := range live {
+		if !lf.repaired {
+			unrepairedDIMMs[lf.dimm] = true
+		}
+	}
+	if anyPermanent {
+		res.FaultyNodes++
+	}
+	for dimm, devs := range devsSeen {
+		res.FaultyDIMMs++
+		if len(devs) >= 2 {
+			res.MultiDeviceFaultDIMMs++
+		}
+		// A DIMM counts as transparently repaired when it had permanent
+		// faults, was never replaced, and none remain unrepaired.
+		if unrepairedDIMMs[dimm] {
+			nodeUnrepaired = true
+		} else if s.cfg.Planner != nil && !replacedDIMMs[dimm] {
+			res.RepairedDIMMs++
+		}
+	}
+	if anyPermanent && s.cfg.Planner != nil && !nodeUnrepaired && !nodeReplaced {
+		res.RepairedNodes++
+	}
+}
+
+// triggersReplB decides whether an unrepaired permanent fault produces
+// corrected errors frequently enough for the aggressive replacement policy.
+func (s *nodeSim) triggersReplB(f *fault.Fault) bool {
+	if !f.Intermittent {
+		return true // hard-permanent faults error on nearly every access
+	}
+	return f.ActivationsPerHour >= s.cfg.ReplBActivationsPerHour
+}

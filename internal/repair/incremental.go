@@ -1,0 +1,130 @@
+package repair
+
+import "relaxfault/internal/fault"
+
+// NodeState is per-node incremental planning state. Obtain one from
+// Incremental.NewState and thread it through TryRepair calls in fault
+// arrival order; the result matches Plan.GreedyUnder exactly because greedy
+// arrival-order decisions are prefix-stable.
+type NodeState interface {
+	// Reset clears the state (used when a DIMM replacement removes
+	// faults; callers then replay the surviving faults).
+	Reset()
+}
+
+// Incremental is implemented by every planner in this package: it repairs
+// faults one at a time, which is how the reliability simulation consumes
+// them (a full PlanNode per arrival would be quadratic in the node's fault
+// count and re-enumerate large extents every time).
+type Incremental interface {
+	Planner
+	NewState() NodeState
+	// TryRepair attempts to repair f on top of the repairs recorded in st
+	// under the per-set way limit. On success the state is updated and
+	// true is returned; on failure the state is unchanged.
+	TryRepair(st NodeState, f *fault.Fault, wayLimit int) bool
+}
+
+// llcState is the incremental state of the LLC-based planners.
+type llcState struct {
+	seen map[lineKey]struct{}
+	load map[int32]int32
+}
+
+// Reset implements NodeState.
+func (s *llcState) Reset() {
+	clear(s.seen)
+	clear(s.load)
+}
+
+// NewState implements Incremental.
+func (p *llcPlanner) NewState() NodeState {
+	return &llcState{seen: make(map[lineKey]struct{}), load: make(map[int32]int32)}
+}
+
+// TryRepair implements Incremental for RelaxFault and FreeFault.
+func (p *llcPlanner) TryRepair(st NodeState, f *fault.Fault, wayLimit int) bool {
+	s := st.(*llcState)
+	g := p.mapper.Geometry()
+	ranks := []int{f.Dev.Rank}
+	if f.MirrorRanks {
+		ranks = ranks[:0]
+		for r := 0; r < g.DIMMsPerChan; r++ {
+			ranks = append(ranks, r)
+		}
+	}
+	var analytic int64
+	for _, e := range f.Extents {
+		analytic += e.LineCount(g, p.colsPerGroup) * int64(len(ranks))
+	}
+	if analytic > p.maxEnumerate || wayLimit <= 0 {
+		return false
+	}
+	// First pass: collect the fault's new lines and per-set demand,
+	// deduplicating both against prior repairs and within the fault.
+	newKeys := make(map[lineKey]struct{})
+	demand := make(map[int32]int32)
+	ok := true
+	for _, rank := range ranks {
+		for _, e := range f.Extents {
+			e.ForEachLine(g, p.colsPerGroup, func(bank, row, cg int) bool {
+				set, tag := p.target(f, rank, bank, row, cg)
+				k := lineKey{set: set, tag: tag}
+				if _, dup := s.seen[k]; dup {
+					return true
+				}
+				if _, dup := newKeys[k]; dup {
+					return true
+				}
+				newKeys[k] = struct{}{}
+				demand[set]++
+				if int(s.load[set]+demand[set]) > wayLimit {
+					ok = false
+					return false
+				}
+				return true
+			})
+			if !ok {
+				return false
+			}
+		}
+	}
+	// Commit.
+	for k := range newKeys {
+		s.seen[k] = struct{}{}
+		s.load[k.set]++
+	}
+	return true
+}
+
+// pprState tracks fused spare rows per (device, bank group).
+type pprState struct {
+	used map[pprGroupKey]int
+}
+
+// Reset implements NodeState. PPR fuses are physically permanent; Reset
+// models DIMM replacement, where the new module arrives with fresh spares.
+func (s *pprState) Reset() { clear(s.used) }
+
+// NewState implements Incremental.
+func (p *pprPlanner) NewState() NodeState {
+	return &pprState{used: make(map[pprGroupKey]int)}
+}
+
+// TryRepair implements Incremental for PPR.
+func (p *pprPlanner) TryRepair(st NodeState, f *fault.Fault, _ int) bool {
+	s := st.(*pprState)
+	need, ok := p.sparesNeeded(f)
+	if !ok {
+		return false
+	}
+	for key, n := range need {
+		if s.used[key]+n > p.sparesPerGroup {
+			return false
+		}
+	}
+	for key, n := range need {
+		s.used[key] += n
+	}
+	return true
+}

@@ -1,0 +1,300 @@
+// Package repair implements the three fine-grained memory-repair mechanisms
+// the paper compares:
+//
+//   - RelaxFault: remaps data from faulty devices into LLC lines using the
+//     coalescing repair mapping of Figure 7c, so a fault confined to one
+//     device needs 16x fewer lines than FreeFault and the lines spread
+//     across sets by construction.
+//   - FreeFault (Kim & Erez, HPCA'15): locks every cacheline whose physical
+//     address touches a faulty location, placed by the LLC's own (optionally
+//     XOR-hashed) set mapping.
+//   - PPR: DDR4/LPDDR4 post-package repair — one spare row per bank group,
+//     permanent once fused.
+//
+// Each planner turns a node's accumulated permanent faults into a Plan that
+// reports, per fault and jointly, how many LLC lines the repair needs and
+// how hard it presses on individual sets, which is what the paper's
+// "at most N ways in any set" repair-coverage metric queries.
+package repair
+
+import (
+	"relaxfault/internal/addrmap"
+	"relaxfault/internal/dram"
+	"relaxfault/internal/fault"
+)
+
+// FaultPlan is the repair footprint of a single fault.
+type FaultPlan struct {
+	// Mappable is false for faults whose footprint exceeds the whole LLC
+	// (the "massive" faults) or, for PPR, faults that are not row-shaped.
+	Mappable bool
+	// Lines is the number of repair cachelines the fault needs (after
+	// dedup against lines the node already uses); 0 for PPR.
+	Lines int64
+	// Sets lists the LLC set index of each of those lines (with
+	// multiplicity, before dedup across faults); nil for PPR.
+	Sets []int32
+	// SpareRows, for PPR, is the number of (device, bank-group) spare rows
+	// the fault consumes.
+	SpareRows int
+}
+
+// Plan is the joint repair footprint of all permanent faults on a node.
+type Plan struct {
+	Engine string
+	// PerFault follows the input fault order.
+	PerFault []FaultPlan
+	// AllMappable is true when every fault can be expressed by the engine
+	// at all (ignoring way limits).
+	AllMappable bool
+	// TotalLines is the deduplicated number of repair lines for the whole
+	// node; Bytes is the LLC capacity those lines occupy.
+	TotalLines int64
+	Bytes      int64
+	// MaxWaysPerSet is the largest number of repair lines mapped into any
+	// single LLC set when all mappable faults are repaired.
+	MaxWaysPerSet int
+	// setLoad maps set index -> line count (only sets with load > 0).
+	setLoad map[int32]int32
+}
+
+// RepairableUnder reports whether the node is *fully* repairable when the
+// engine may use at most wayLimit ways in any LLC set: every fault must be
+// mappable and the joint per-set pressure must fit.
+func (p *Plan) RepairableUnder(wayLimit int) bool {
+	if !p.AllMappable {
+		return false
+	}
+	if p.setLoad == nil { // PPR-style plans carry no set pressure
+		return true
+	}
+	return p.MaxWaysPerSet <= wayLimit
+}
+
+// GreedyUnder selects faults in input order (arrival order), repairing each
+// fault whose lines still fit under the way limit given previously selected
+// faults. It returns the per-fault repaired flags and the lines consumed.
+// This models the incremental repair-at-fault-arrival policy the
+// reliability simulation uses when a node is not fully repairable.
+func (p *Plan) GreedyUnder(wayLimit int) (repaired []bool, lines int64) {
+	repaired = make([]bool, len(p.PerFault))
+	if wayLimit <= 0 {
+		return repaired, 0
+	}
+	load := make(map[int32]int32)
+	extra := make(map[int32]int32)
+	for i, fp := range p.PerFault {
+		if !fp.Mappable {
+			continue
+		}
+		if fp.Sets == nil { // PPR handled by its own planner
+			repaired[i] = true
+			continue
+		}
+		// Tally this fault's own per-set demand, then test and commit.
+		clear(extra)
+		for _, s := range fp.Sets {
+			extra[s]++
+		}
+		ok := true
+		for s, n := range extra {
+			if int(load[s]+n) > wayLimit {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		for s, n := range extra {
+			load[s] += n
+		}
+		repaired[i] = true
+		lines += int64(len(fp.Sets))
+	}
+	return repaired, lines
+}
+
+// Planner plans node-level repairs.
+type Planner interface {
+	Name() string
+	// PlanNode computes the joint footprint of the given permanent faults.
+	PlanNode(faults []*fault.Fault) *Plan
+}
+
+// lineKey identifies one repair cacheline uniquely across the node.
+type lineKey struct {
+	set int32
+	tag uint64
+}
+
+// llcPlanner is the shared machinery of RelaxFault and FreeFault: both
+// enumerate repair lines per fault, differing only in how a faulty
+// (device, bank, row, column-block) maps to an LLC (set, tag).
+type llcPlanner struct {
+	name   string
+	mapper *addrmap.Mapper
+	// colsPerGroup is the column granularity one repair line covers for a
+	// single device: 8 columns (one block) for FreeFault, 128 columns (16
+	// blocks) for RelaxFault.
+	colsPerGroup int
+	// target maps one faulty line group to its LLC placement.
+	target func(f *fault.Fault, rank, bank, row, cg int) (int32, uint64)
+	// maxEnumerate bounds enumeration: a fault needing more lines than the
+	// entire LLC can hold is unmappable regardless of way limit, so there
+	// is no reason to enumerate it.
+	maxEnumerate int64
+}
+
+// RelaxFaultOptions ablate individual design choices of the repair mapping
+// for the sensitivity benchmarks; the zero value disables nothing.
+type RelaxFaultOptions struct {
+	// NoCoalescing allocates one remap line per column block (8 columns)
+	// instead of per 16-block group, discarding the 16x footprint
+	// reduction of Section 3.2.
+	NoCoalescing bool
+	// NoSpread drops the identity fold from the set index, so repairs of
+	// different structures collide in the same sets.
+	NoSpread bool
+}
+
+// NewRelaxFault returns the RelaxFault planner for the given mapper and LLC
+// way count.
+func NewRelaxFault(m *addrmap.Mapper, llcWays int) Planner {
+	return NewRelaxFaultAblated(m, llcWays, RelaxFaultOptions{})
+}
+
+// NewRelaxFaultAblated returns a RelaxFault planner with selected design
+// choices disabled (ablation studies).
+func NewRelaxFaultAblated(m *addrmap.Mapper, llcWays int, opts RelaxFaultOptions) Planner {
+	g := m.Geometry()
+	name := "RelaxFault"
+	colsPerGroup := g.ColumnsPerBlk * addrmap.SubBlocksPerLine
+	if opts.NoCoalescing {
+		name += "-nocoalesce"
+		colsPerGroup = g.ColumnsPerBlk
+	}
+	index := m.RFIndex
+	if opts.NoSpread {
+		name += "-nospread"
+		index = m.RFIndexNoSpread
+	}
+	setMask := (int64(1) << m.SetBits()) - 1
+	return &llcPlanner{
+		name:         name,
+		mapper:       m,
+		colsPerGroup: colsPerGroup,
+		maxEnumerate: int64(1) << m.SetBits() * int64(llcWays),
+		target: func(f *fault.Fault, rank, bank, row, cg int) (int32, uint64) {
+			key := addrmap.RFKey{
+				Channel: f.Dev.Channel,
+				Rank:    rank,
+				Device:  f.Dev.Device,
+				Bank:    bank,
+				Row:     row,
+				CbHi:    cg,
+			}
+			if !opts.NoCoalescing {
+				t := index(key)
+				return int32(t.Set), t.Tag
+			}
+			// One line per column block: cg here is a block index, so the
+			// group field carries cg>>4 and the block-within-group bits
+			// extend the tag (keeping placements injective) and perturb
+			// the set (keeping blocks of one row spread).
+			sub := cg & (addrmap.SubBlocksPerLine - 1)
+			key.CbHi = cg >> addrmap.SubBlockBits
+			t := index(key)
+			set := (int64(t.Set) ^ int64(sub)) & setMask
+			return int32(set), t.Tag<<addrmap.SubBlockBits | uint64(sub)
+		},
+	}
+}
+
+// NewFreeFault returns the FreeFault planner. hash selects whether the LLC
+// applies XOR set-index hashing (Figure 8 evaluates both).
+func NewFreeFault(m *addrmap.Mapper, llcWays int, hash bool) Planner {
+	name := "FreeFault"
+	if hash {
+		name = "FreeFault+hash"
+	}
+	g := m.Geometry()
+	return &llcPlanner{
+		name:         name,
+		mapper:       m,
+		colsPerGroup: g.ColumnsPerBlk,
+		maxEnumerate: int64(1) << m.SetBits() * int64(llcWays),
+		target: func(f *fault.Fault, rank, bank, row, cg int) (int32, uint64) {
+			loc := dram.Location{
+				Channel:  f.Dev.Channel,
+				Rank:     rank,
+				Bank:     bank,
+				Row:      row,
+				ColBlock: cg,
+			}
+			set, tag := m.CacheIndex(m.Encode(loc), hash)
+			return int32(set), tag
+		},
+	}
+}
+
+func (p *llcPlanner) Name() string { return p.name }
+
+// PlanNode enumerates, for each fault, the deduplicated repair lines it
+// adds on top of earlier faults (FreeFault lines repair all devices of a
+// location at once; RelaxFault lines are per device, and the key includes
+// the device, so lines shared between faults on the same device dedup too).
+func (p *llcPlanner) PlanNode(faults []*fault.Fault) *Plan {
+	g := p.mapper.Geometry()
+	plan := &Plan{
+		Engine:      p.name,
+		AllMappable: true,
+		PerFault:    make([]FaultPlan, len(faults)),
+		setLoad:     make(map[int32]int32),
+	}
+	seen := make(map[lineKey]struct{})
+	for i, f := range faults {
+		fp := &plan.PerFault[i]
+		fp.Mappable = true
+		// Which ranks does the fault apply to?
+		ranks := []int{f.Dev.Rank}
+		if f.MirrorRanks {
+			ranks = ranks[:0]
+			for r := 0; r < g.DIMMsPerChan; r++ {
+				ranks = append(ranks, r)
+			}
+		}
+		// Fast reject: analytic line count beyond the whole LLC.
+		var analytic int64
+		for _, e := range f.Extents {
+			analytic += e.LineCount(g, p.colsPerGroup) * int64(len(ranks))
+		}
+		if analytic > p.maxEnumerate {
+			fp.Mappable = false
+			plan.AllMappable = false
+			continue
+		}
+		for _, rank := range ranks {
+			for _, e := range f.Extents {
+				e.ForEachLine(g, p.colsPerGroup, func(bank, row, cg int) bool {
+					set, tag := p.target(f, rank, bank, row, cg)
+					k := lineKey{set: set, tag: tag}
+					if _, dup := seen[k]; dup {
+						return true
+					}
+					seen[k] = struct{}{}
+					fp.Lines++
+					fp.Sets = append(fp.Sets, set)
+					plan.setLoad[set]++
+					if int(plan.setLoad[set]) > plan.MaxWaysPerSet {
+						plan.MaxWaysPerSet = int(plan.setLoad[set])
+					}
+					return true
+				})
+			}
+		}
+		plan.TotalLines += fp.Lines
+	}
+	plan.Bytes = plan.TotalLines * int64(g.LineBytes)
+	return plan
+}

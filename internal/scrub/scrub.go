@@ -1,0 +1,195 @@
+// Package scrub implements the patrol memory scrubber that closes the
+// paper's fault-management loop: hardware walks physical memory in the
+// background, the chipkill decoder attributes corrected errors to devices,
+// the tracker (internal/core.Tracker) infers each fault's physical extent,
+// and RelaxFault repairs it online. The paper assumes this machinery exists
+// ("both mechanisms ... use hardware to identify and track memory faults");
+// this package is that machinery, with a simple timing model for scrub
+// bandwidth so detection latency can be reported.
+package scrub
+
+import (
+	"fmt"
+
+	"relaxfault/internal/addrmap"
+	"relaxfault/internal/core"
+	"relaxfault/internal/dram"
+	"relaxfault/internal/ecc"
+	"relaxfault/internal/fault"
+)
+
+// Config parameterises a scrubber.
+type Config struct {
+	// Controller is the memory system being scrubbed.
+	Controller *core.Controller
+	// CEThreshold is how many corrected errors a device accumulates
+	// before the tracker declares a fault (>= 2 filters transients).
+	CEThreshold int
+	// AutoRepair repairs inferred faults immediately; otherwise they are
+	// queued on Pending.
+	AutoRepair bool
+	// LinesPerHour is the scrub rate (a typical patrol scrubber covers
+	// its DIMMs every 12-24h; 64GiB at 24h is ~12.4M lines/hour).
+	LinesPerHour float64
+}
+
+// Event records one scrubber action.
+type Event struct {
+	Line     addrmap.LineAddr
+	Status   ecc.Status
+	Devices  []dram.DeviceCoord // corrected devices
+	Repaired bool
+	Outcome  core.RepairOutcome
+}
+
+// Stats aggregates scrubber activity.
+type Stats struct {
+	LinesScrubbed   uint64
+	CorrectedErrors uint64
+	DUEs            uint64
+	FaultsInferred  uint64
+	Repairs         uint64
+	RepairsRejected uint64
+	// HoursElapsed is simulated patrol time from the scrub rate.
+	HoursElapsed float64
+}
+
+// Scrubber drives patrol scrubbing over a controller.
+type Scrubber struct {
+	cfg     Config
+	tracker *core.Tracker
+	// Pending holds inferred faults awaiting repair when AutoRepair is
+	// off.
+	Pending []*InferredFault
+	Stats   Stats
+}
+
+// InferredFault pairs an inferred fault with its triggering device.
+type InferredFault struct {
+	Dev   dram.DeviceCoord
+	Fault *fault.Fault
+}
+
+// New builds a scrubber.
+func New(cfg Config) (*Scrubber, error) {
+	if cfg.Controller == nil {
+		return nil, fmt.Errorf("scrub: nil controller")
+	}
+	if cfg.CEThreshold <= 0 {
+		cfg.CEThreshold = 2
+	}
+	if cfg.LinesPerHour <= 0 {
+		cfg.LinesPerHour = 12_000_000
+	}
+	g := cfg.Controller.Mapper().Geometry()
+	return &Scrubber{
+		cfg:     cfg,
+		tracker: core.NewTracker(g, cfg.CEThreshold),
+	}, nil
+}
+
+// Tracker exposes the CE tracker (for inspection and Reset after DIMM
+// replacement).
+func (s *Scrubber) Tracker() *core.Tracker { return s.tracker }
+
+// ScrubRange patrol-reads n consecutive line addresses starting at la,
+// returning the noteworthy events (corrected errors, DUEs, repairs).
+func (s *Scrubber) ScrubRange(la addrmap.LineAddr, n int) ([]Event, error) {
+	var events []Event
+	c := s.cfg.Controller
+	g := c.Mapper().Geometry()
+	for i := 0; i < n; i++ {
+		addr := la + addrmap.LineAddr(i)
+		if uint64(addr) >= g.NumLineAddresses() {
+			break
+		}
+		res, err := c.ScrubLine(addr)
+		if err != nil {
+			return events, err
+		}
+		s.Stats.LinesScrubbed++
+		s.Stats.HoursElapsed += 1 / s.cfg.LinesPerHour
+		if res.Status == ecc.OK {
+			continue
+		}
+		ev := Event{Line: addr, Status: res.Status}
+		loc := c.Mapper().Decode(addr)
+		if res.Status == ecc.DUE {
+			s.Stats.DUEs++
+			events = append(events, ev)
+			continue
+		}
+		s.Stats.CorrectedErrors += uint64(len(res.CorrectedDevices))
+		for _, d := range res.CorrectedDevices {
+			dev := dram.DeviceCoord{Channel: loc.Channel, Rank: loc.Rank, Device: d}
+			ev.Devices = append(ev.Devices, dev)
+			inferred, fired := s.tracker.Observe(dev, loc)
+			if !fired {
+				continue
+			}
+			s.Stats.FaultsInferred++
+			if !s.cfg.AutoRepair {
+				// Keep the evidence (the extent hypothesis refines with
+				// every CE) and keep one pending entry per device.
+				replaced := false
+				for _, p := range s.Pending {
+					if p.Dev == dev {
+						p.Fault = inferred
+						replaced = true
+					}
+				}
+				if !replaced {
+					s.Pending = append(s.Pending, &InferredFault{Dev: dev, Fault: inferred})
+				}
+				continue
+			}
+			s.tracker.Reset(dev)
+			out, err := c.RepairFault(inferred)
+			if err != nil {
+				return events, err
+			}
+			ev.Outcome = out
+			if out.Accepted {
+				ev.Repaired = true
+				s.Stats.Repairs++
+			} else {
+				s.Stats.RepairsRejected++
+			}
+		}
+		events = append(events, ev)
+	}
+	return events, nil
+}
+
+// ScrubExtent patrol-reads every line a fault extent spans (focused
+// verification scrub after an error report).
+func (s *Scrubber) ScrubExtent(channel, rank int, e ExtentLike) ([]Event, error) {
+	c := s.cfg.Controller
+	g := c.Mapper().Geometry()
+	var events []Event
+	var scanErr error
+	e.ForEachLine(g, g.ColumnsPerBlk, func(bank, row, cb int) bool {
+		loc := dram.Location{Channel: channel, Rank: rank, Bank: bank, Row: row, ColBlock: cb}
+		evs, err := s.ScrubRange(c.Mapper().Encode(loc), 1)
+		if err != nil {
+			scanErr = err
+			return false
+		}
+		events = append(events, evs...)
+		return true
+	})
+	return events, scanErr
+}
+
+// ExtentLike is the iteration surface the scrubber needs from
+// fault.Extent, declared structurally to keep the dependency thin.
+type ExtentLike interface {
+	ForEachLine(g dram.Geometry, colsPerGroup int, fn func(bank, row, cg int) bool)
+}
+
+// FullPassHours returns how long one pass over the whole node takes at the
+// configured rate.
+func (s *Scrubber) FullPassHours() float64 {
+	g := s.cfg.Controller.Mapper().Geometry()
+	return float64(g.NumLineAddresses()) / s.cfg.LinesPerHour
+}

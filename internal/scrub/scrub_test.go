@@ -1,0 +1,248 @@
+package scrub
+
+import (
+	"testing"
+
+	"relaxfault/internal/core"
+	"relaxfault/internal/dram"
+	"relaxfault/internal/ecc"
+	"relaxfault/internal/fault"
+	"relaxfault/internal/stats"
+)
+
+func newScrubbedController(t *testing.T) (*core.Controller, *Scrubber) {
+	t.Helper()
+	c, err := core.New(core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{Controller: c, CEThreshold: 2, AutoRepair: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, s
+}
+
+func rowFault(g dram.Geometry, dev dram.DeviceCoord, bank, row int) *fault.Fault {
+	return &fault.Fault{
+		Dev:  dev,
+		Mode: fault.SingleRow,
+		Extents: []fault.Extent{{
+			BankLo: bank, BankHi: bank,
+			Rows:  fault.OneRow(row),
+			ColLo: 0, ColHi: g.Columns - 1,
+		}},
+	}
+}
+
+func TestScrubCleanMemoryIsSilent(t *testing.T) {
+	_, s := newScrubbedController(t)
+	events, err := s.ScrubRange(0, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 0 {
+		t.Errorf("%d events on clean memory", len(events))
+	}
+	if s.Stats.LinesScrubbed != 1000 || s.Stats.CorrectedErrors != 0 {
+		t.Errorf("stats %+v", s.Stats)
+	}
+	if s.Stats.HoursElapsed <= 0 {
+		t.Error("no time accounted")
+	}
+}
+
+func TestScrubDetectsAttributesAndRepairs(t *testing.T) {
+	c, s := newScrubbedController(t)
+	g := c.Mapper().Geometry()
+	dev := dram.DeviceCoord{Channel: 2, Rank: 1, Device: 6}
+	f := rowFault(g, dev, 3, 777)
+	if err := c.InjectFault(f); err != nil {
+		t.Fatal(err)
+	}
+	// Scrub the faulty row's extent: the second CE crosses the threshold,
+	// the tracker infers a fault, and auto-repair masks it.
+	events, err := s.ScrubExtent(dev.Channel, dev.Rank, f.Extents[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Stats.FaultsInferred != 1 || s.Stats.Repairs != 1 {
+		t.Fatalf("inferred=%d repairs=%d, want 1/1", s.Stats.FaultsInferred, s.Stats.Repairs)
+	}
+	// Attribution must name the faulty device.
+	attributed := false
+	for _, ev := range events {
+		for _, d := range ev.Devices {
+			if d == dev {
+				attributed = true
+			}
+			if d.Channel != dev.Channel || d.Rank != dev.Rank {
+				t.Errorf("CE attributed to wrong DIMM: %v", d)
+			}
+		}
+	}
+	if !attributed {
+		t.Error("no CE attributed to the faulty device")
+	}
+	// Re-scrub: the region must now be clean.
+	s2, _ := New(Config{Controller: c, CEThreshold: 2})
+	events, err = s2.ScrubExtent(dev.Channel, dev.Rank, f.Extents[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range events {
+		if ev.Status != ecc.OK {
+			t.Fatalf("post-repair scrub saw %v at %v", ev.Status, ev.Line)
+		}
+	}
+	if s2.Stats.CorrectedErrors != 0 {
+		t.Errorf("post-repair CEs: %d", s2.Stats.CorrectedErrors)
+	}
+}
+
+func TestScrubPendingQueueWithoutAutoRepair(t *testing.T) {
+	c, err := core.New(core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{Controller: c, CEThreshold: 2, AutoRepair: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := c.Mapper().Geometry()
+	dev := dram.DeviceCoord{Channel: 0, Rank: 0, Device: 11}
+	f := rowFault(g, dev, 1, 50)
+	if err := c.InjectFault(f); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.ScrubExtent(dev.Channel, dev.Rank, f.Extents[0]); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Pending) != 1 {
+		t.Fatalf("pending %d, want 1 (per-device dedup)", len(s.Pending))
+	}
+	if s.Pending[0].Dev != dev {
+		t.Errorf("pending fault attributed to %v", s.Pending[0].Dev)
+	}
+	if s.Stats.Repairs != 0 {
+		t.Error("repair happened despite AutoRepair=false")
+	}
+	// Operator applies the pending repair explicitly.
+	out, err := c.RepairFault(s.Pending[0].Fault)
+	if err != nil || !out.Accepted {
+		t.Fatalf("manual repair: %+v err=%v", out, err)
+	}
+}
+
+func TestScrubReportsDUEs(t *testing.T) {
+	c, s := newScrubbedController(t)
+	g := c.Mapper().Geometry()
+	devA := dram.DeviceCoord{Channel: 1, Rank: 0, Device: 2}
+	devB := dram.DeviceCoord{Channel: 1, Rank: 0, Device: 9}
+	fa, fb := rowFault(g, devA, 2, 99), rowFault(g, devB, 2, 99)
+	if err := c.InjectFault(fa); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.InjectFault(fb); err != nil {
+		t.Fatal(err)
+	}
+	events, err := s.ScrubExtent(devA.Channel, devA.Rank, fa.Extents[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Stats.DUEs == 0 {
+		t.Error("overlapping faults should raise scrub DUEs")
+	}
+	for _, ev := range events {
+		if ev.Status == ecc.DUE && ev.Repaired {
+			t.Error("DUE event marked repaired")
+		}
+	}
+}
+
+// TestScrubRandomFaultFleet: scrub-driven repair over sampled faulty nodes
+// ends with every repairable small fault masked.
+func TestScrubRandomFaultFleet(t *testing.T) {
+	model, err := fault.NewModel(fault.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRNG(55)
+	repaired := 0
+	for tested := 0; tested < 6; {
+		nf := model.SampleNode(rng)
+		var small []*fault.Fault
+		for _, f := range nf.PermanentFaults() {
+			if f.Mode == fault.SingleBit || f.Mode == fault.SingleRow {
+				small = append(small, f)
+			}
+		}
+		if len(small) == 0 {
+			continue
+		}
+		tested++
+		c, err := core.New(core.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := New(Config{Controller: c, CEThreshold: 2, AutoRepair: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range small {
+			if err := c.InjectFault(f); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for pass := 0; pass < 3; pass++ {
+			for _, f := range small {
+				if _, err := s.ScrubExtent(f.Dev.Channel, f.Dev.Rank, f.Extents[0]); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		// A fault can legitimately need more than one inference (a
+		// two-row fault is discovered one row at a time), so require at
+		// least one repair per fault and a clean verification scrub.
+		if int(s.Stats.Repairs) < len(small) {
+			t.Fatalf("repaired %d of %d faults", s.Stats.Repairs, len(small))
+		}
+		verify, err := New(Config{Controller: c, CEThreshold: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range small {
+			if _, err := verify.ScrubExtent(f.Dev.Channel, f.Dev.Rank, f.Extents[0]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if verify.Stats.CorrectedErrors != 0 || verify.Stats.DUEs != 0 {
+			t.Fatalf("verification scrub still sees errors: %+v", verify.Stats)
+		}
+		repaired += int(s.Stats.Repairs)
+	}
+	if repaired == 0 {
+		t.Fatal("no repairs exercised")
+	}
+}
+
+func TestFullPassHours(t *testing.T) {
+	c, err := core.New(core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{Controller: c, LinesPerHour: 1 << 26})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2^30 lines at 2^26 lines/hour = 16 hours.
+	if h := s.FullPassHours(); h != 16 {
+		t.Errorf("full pass %f hours, want 16", h)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("nil controller accepted")
+	}
+}

@@ -1,0 +1,171 @@
+package trace
+
+import (
+	"testing"
+)
+
+func TestThreadDeterminismAndReset(t *testing.T) {
+	p := ThreadParams{Name: "x", MemRatio: 0.2, WorkingSet: 1 << 20, Pattern: PatternRandom, WriteFrac: 0.3, Seed: 5}
+	a := NewThread(p)
+	b := NewThread(p)
+	var ops []Op
+	for i := 0; i < 1000; i++ {
+		oa, ob := a.Next(), b.Next()
+		if oa != ob {
+			t.Fatal("same params diverged")
+		}
+		ops = append(ops, oa)
+	}
+	a.Reset()
+	for i := 0; i < 1000; i++ {
+		if a.Next() != ops[i] {
+			t.Fatal("Reset did not rewind the stream")
+		}
+	}
+}
+
+func TestAddressesStayInWorkingSet(t *testing.T) {
+	for _, pat := range []Pattern{PatternStream, PatternStride, PatternRandom, PatternPointer, PatternStencil, PatternBlocked} {
+		p := ThreadParams{
+			Name: "ws", MemRatio: 0.25, WorkingSet: 4 << 20, Base: 64 << 20,
+			Pattern: pat, StrideBytes: 4096, WriteFrac: 0.2, HotFrac: 0.1, HotProb: 0.3, Seed: 3,
+		}
+		g := NewThread(p)
+		for i := 0; i < 20000; i++ {
+			op := g.Next()
+			if op.Addr < p.Base || op.Addr >= p.Base+p.WorkingSet {
+				t.Fatalf("pattern %d: address %#x outside [%#x, %#x)", pat, op.Addr, p.Base, p.Base+p.WorkingSet)
+			}
+			if op.NonMem < 0 {
+				t.Fatalf("negative compute burst")
+			}
+			if op.Write && op.Critical {
+				t.Fatal("stores must not be marked critical")
+			}
+		}
+	}
+}
+
+func TestMemRatioControlsBurstLength(t *testing.T) {
+	for _, ratio := range []float64{0.05, 0.2, 0.5} {
+		g := NewThread(ThreadParams{Name: "r", MemRatio: ratio, WorkingSet: 1 << 20, Pattern: PatternStream, Seed: 1})
+		var insts, ops int64
+		for i := 0; i < 50000; i++ {
+			op := g.Next()
+			insts += int64(op.NonMem) + 1
+			ops++
+		}
+		got := float64(ops) / float64(insts)
+		if got < ratio*0.8 || got > ratio*1.2 {
+			t.Errorf("MemRatio %f: measured %f", ratio, got)
+		}
+	}
+}
+
+func TestPointerPatternAlwaysCritical(t *testing.T) {
+	g := NewThread(ThreadParams{Name: "p", MemRatio: 0.1, WorkingSet: 1 << 20, Pattern: PatternPointer, Seed: 2})
+	for i := 0; i < 5000; i++ {
+		op := g.Next()
+		if !op.Write && !op.Critical {
+			t.Fatal("pointer-chase load not critical")
+		}
+	}
+}
+
+func TestStreamHasSpatialLocality(t *testing.T) {
+	g := NewThread(ThreadParams{Name: "s", MemRatio: 0.3, WorkingSet: 8 << 20, Pattern: PatternStream, Seed: 4})
+	sameLine := 0
+	prev := g.Next().Addr >> 6
+	const n = 10000
+	for i := 0; i < n; i++ {
+		cur := g.Next().Addr >> 6
+		if cur == prev {
+			sameLine++
+		}
+		prev = cur
+	}
+	// 8-byte elements in 64B lines: 7 of 8 consecutive accesses share the
+	// line.
+	if frac := float64(sameLine) / n; frac < 0.8 {
+		t.Errorf("stream same-line fraction %f, want ~0.875", frac)
+	}
+}
+
+func TestWriteFraction(t *testing.T) {
+	g := NewThread(ThreadParams{Name: "w", MemRatio: 0.2, WorkingSet: 1 << 20, Pattern: PatternRandom, WriteFrac: 0.4, Seed: 6})
+	writes := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if g.Next().Write {
+			writes++
+		}
+	}
+	if f := float64(writes) / n; f < 0.36 || f > 0.44 {
+		t.Errorf("write fraction %f, want 0.4", f)
+	}
+}
+
+func TestThreadsStartAtDistinctPhases(t *testing.T) {
+	w := WorkloadByName("SP")
+	if w == nil {
+		t.Fatal("missing SP")
+	}
+	firsts := map[uint64]bool{}
+	for _, tp := range w.Threads {
+		g := NewThread(tp)
+		firsts[g.Next().Addr-tp.Base] = true
+	}
+	if len(firsts) < 7 {
+		t.Errorf("SPMD threads share starting phases: %d distinct of 8", len(firsts))
+	}
+}
+
+func TestWorkloadInventory(t *testing.T) {
+	ws := Workloads()
+	if len(ws) != 8 {
+		t.Fatalf("%d workloads, want 8 (Table 4)", len(ws))
+	}
+	names := map[string]bool{}
+	for _, w := range ws {
+		if names[w.Name] {
+			t.Errorf("duplicate workload %s", w.Name)
+		}
+		names[w.Name] = true
+		if len(w.Threads) != 8 {
+			t.Errorf("%s has %d threads, want 8", w.Name, len(w.Threads))
+		}
+		// Thread address ranges must not overlap.
+		for i, a := range w.Threads {
+			for j, b := range w.Threads {
+				if i < j {
+					aEnd := a.Base + a.WorkingSet
+					bEnd := b.Base + b.WorkingSet
+					if a.Base < bEnd && b.Base < aEnd {
+						t.Errorf("%s: threads %d and %d overlap", w.Name, i, j)
+					}
+				}
+			}
+		}
+	}
+	for _, want := range []string{"CG", "DC", "LU", "SP", "UA", "LULESH", "MEM", "COMP"} {
+		if !names[want] {
+			t.Errorf("missing workload %s", want)
+		}
+	}
+	if WorkloadByName("nope") != nil {
+		t.Error("unknown workload found")
+	}
+	if w := WorkloadByName("LULESH"); w == nil || w.Name != "LULESH" {
+		t.Error("WorkloadByName(LULESH) failed")
+	}
+}
+
+func TestTinyWorkingSetClamped(t *testing.T) {
+	g := NewThread(ThreadParams{Name: "tiny", MemRatio: 0.5, WorkingSet: 1, Pattern: PatternRandom, Seed: 1})
+	for i := 0; i < 100; i++ {
+		op := g.Next()
+		if op.Addr >= 64 {
+			t.Fatalf("tiny working set produced address %#x", op.Addr)
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package trace
+
+// Workload is one of the paper's Table 4 entries: eight threads (NPB /
+// LULESH run one thread per core; the SPEC mixes run one program per core).
+type Workload struct {
+	Name        string
+	Description string
+	Threads     []ThreadParams
+}
+
+const gib = uint64(1) << 30
+const mib = uint64(1) << 20
+
+// threadBase spreads thread working sets across the 32GiB perf node so the
+// programs of a multi-programmed mix never share data.
+func threadBase(i int) uint64 { return uint64(i) * 2 * gib }
+
+// replicate builds an 8-thread SPMD workload from one template (each thread
+// gets its own address range and seed).
+func replicate(name string, tp ThreadParams) Workload {
+	w := Workload{Name: name, Description: tp.Name}
+	for i := 0; i < 8; i++ {
+		t := tp
+		t.Name = name
+		t.Base = threadBase(i)
+		t.Seed = uint64(i + 1)
+		w.Threads = append(w.Threads, t)
+	}
+	return w
+}
+
+// mix builds a multi-programmed workload from 8 per-core templates.
+func mix(name, desc string, tps []ThreadParams) Workload {
+	w := Workload{Name: name, Description: desc}
+	for i, tp := range tps {
+		t := tp
+		t.Base = threadBase(i)
+		t.Seed = uint64(i + 101)
+		w.Threads = append(w.Threads, t)
+	}
+	return w
+}
+
+// SPEC program templates, parameterised by their published memory
+// behaviour class.
+func mcf() ThreadParams {
+	return ThreadParams{Name: "429.mcf", MemRatio: 0.05, WorkingSet: 1600 * mib, Pattern: PatternPointer, WriteFrac: 0.10}
+}
+func milc() ThreadParams {
+	return ThreadParams{Name: "433.milc", MemRatio: 0.012, WorkingSet: 680 * mib, Pattern: PatternStride, StrideBytes: 4096, WriteFrac: 0.20}
+}
+func soplex() ThreadParams {
+	return ThreadParams{Name: "450.soplex", MemRatio: 0.05, WorkingSet: 400 * mib, Pattern: PatternStencil, WriteFrac: 0.15, CriticalFrac: 0.25}
+}
+func libquantum() ThreadParams {
+	return ThreadParams{Name: "462.libquantum", MemRatio: 0.10, WorkingSet: 64 * mib, Pattern: PatternStream, WriteFrac: 0.25}
+}
+func lbm() ThreadParams {
+	return ThreadParams{Name: "470.lbm", MemRatio: 0.08, WorkingSet: 400 * mib, Pattern: PatternStream, WriteFrac: 0.45}
+}
+func leslie3d() ThreadParams {
+	return ThreadParams{Name: "437.leslie3d", MemRatio: 0.06, WorkingSet: 125 * mib, Pattern: PatternStencil, WriteFrac: 0.20, CriticalFrac: 0.15}
+}
+func omnetpp() ThreadParams {
+	return ThreadParams{Name: "471.omnetpp", MemRatio: 0.02, WorkingSet: 150 * mib, Pattern: PatternPointer, WriteFrac: 0.20}
+}
+func bzip2() ThreadParams {
+	return ThreadParams{Name: "401.bzip2", MemRatio: 0.08, WorkingSet: 8 * mib, Pattern: PatternBlocked, WriteFrac: 0.25, HotFrac: 0.25, HotProb: 0.5}
+}
+func sjeng() ThreadParams {
+	return ThreadParams{Name: "458.sjeng", MemRatio: 0.04, WorkingSet: 180 * mib, Pattern: PatternRandom, WriteFrac: 0.10, HotFrac: 0.01, HotProb: 0.85}
+}
+
+// Workloads returns the Table 4 suite.
+func Workloads() []Workload {
+	return []Workload{
+		// NPB CG (C): sparse conjugate gradient — indirect gathers over a
+		// large matrix with blocked vector reuse.
+		replicate("CG", ThreadParams{
+			Name: "cg.C", MemRatio: 0.035, WorkingSet: 900 * mib,
+			Pattern: PatternRandom, WriteFrac: 0.12, CriticalFrac: 0.35,
+			HotFrac: 0.02, HotProb: 0.45,
+		}),
+		// NPB DC (A): data cube — hash/aggregate over a big table with a
+		// hot index region comparable to the LLC, which is what makes it
+		// respond to 4-way repair locking in Figure 16.
+		replicate("DC", ThreadParams{
+			Name: "dc.A", MemRatio: 0.015, WorkingSet: 1536 * mib,
+			Pattern: PatternRandom, WriteFrac: 0.30,
+			HotFrac: 0.0007, HotProb: 0.78, CriticalFrac: 0.05,
+		}),
+		// NPB LU (C): regular Gauss-Seidel sweeps with strong plane reuse
+		// that fits in the private levels.
+		replicate("LU", ThreadParams{
+			Name: "lu.C", MemRatio: 0.06, WorkingSet: 600 * mib,
+			Pattern: PatternStencil, WriteFrac: 0.30, CriticalFrac: 0.10,
+		}),
+		// NPB SP (C): penta-diagonal solver — streaming sweeps over large
+		// state arrays, insensitive to LLC capacity.
+		replicate("SP", ThreadParams{
+			Name: "sp.C", MemRatio: 0.06, WorkingSet: 800 * mib,
+			Pattern: PatternStream, WriteFrac: 0.35,
+		}),
+		// NPB UA (C): unstructured adaptive mesh — pointer-heavy traversal.
+		replicate("UA", ThreadParams{
+			Name: "ua.C", MemRatio: 0.03, WorkingSet: 480 * mib,
+			Pattern: PatternPointer, WriteFrac: 0.15,
+		}),
+		// LULESH: shock hydrodynamics whose per-node hot state sits just
+		// above the 8MiB LLC, the one workload the paper finds sensitive
+		// to losing 4 ways (Figure 15).
+		replicate("LULESH", ThreadParams{
+			Name: "lulesh", MemRatio: 0.035, WorkingSet: 1280 * mib,
+			Pattern: PatternRandom, WriteFrac: 0.22,
+			HotFrac: 0.0016, HotProb: 0.88, CriticalFrac: 0.12,
+		}),
+		mix("MEM", "memory-intensive SPEC CPU2006 mix", []ThreadParams{
+			mcf(), milc(), soplex(), libquantum(), lbm(), leslie3d(), omnetpp(), mcf(),
+		}),
+		mix("COMP", "compute+memory SPEC CPU2006 mix", []ThreadParams{
+			mcf(), milc(), soplex(), libquantum(), lbm(), bzip2(), sjeng(), bzip2(),
+		}),
+	}
+}
+
+// WorkloadByName finds a workload; nil when absent.
+func WorkloadByName(name string) *Workload {
+	for _, w := range Workloads() {
+		if w.Name == name {
+			ww := w
+			return &ww
+		}
+	}
+	return nil
+}
