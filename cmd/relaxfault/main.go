@@ -3,30 +3,60 @@
 //
 // Usage:
 //
-//	relaxfault [-scale quick|paper] [-seed N] <experiment> [...]
+//	relaxfault [-scale quick|paper] [-seed N] [-timeout D] [-progress D]
+//	           [-checkpoint FILE [-resume]] <experiment> [...]
 //
 // Experiments: tab1 tab2 tab3 tab4 fig2 fig8 fig9 fig10 fig11 fig12 fig13
 // fig14 fig15 fig16 all
+//
+// The run harness makes long campaigns survivable: ^C cancels gracefully at
+// the next work-chunk boundary (a second ^C force-quits), -timeout bounds
+// each experiment, -checkpoint/-resume restart a killed run from its last
+// snapshot with bitwise-identical output, and a requested experiment that
+// fails no longer aborts the rest — failures are collected and summarised.
+//
+// Exit codes: 0 success; 1 at least one experiment failed; 2 usage error;
+// 3 all experiments completed but some Monte Carlo trials were skipped
+// after panics (partial success — see the skip report on stderr);
+// 130 interrupted.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"relaxfault/internal/experiments"
+	"relaxfault/internal/harness"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+// allExperiments is the expansion of the "all" pseudo-experiment, in paper
+// order.
+var allExperiments = []string{"tab1", "tab2", "tab3", "tab4", "fig2", "fig8", "fig9",
+	"fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16"}
+
+func run() int {
 	scaleFlag := flag.String("scale", "quick", "effort level: quick or paper")
 	seed := flag.Uint64("seed", 7, "Monte Carlo seed")
+	timeout := flag.Duration("timeout", 0, "per-experiment deadline (0 = none)")
+	progress := flag.Duration("progress", 10*time.Second, "progress report interval on stderr (0 = silent)")
+	checkpoint := flag.String("checkpoint", "", "checkpoint snapshot file for the Monte Carlo runs")
+	resume := flag.Bool("resume", false, "resume from the -checkpoint snapshot instead of starting fresh")
 	flag.Usage = usage
 	flag.Parse()
 	if flag.NArg() == 0 {
 		usage()
-		os.Exit(2)
+		return 2
 	}
 	var scale experiments.Scale
 	switch *scaleFlag {
@@ -36,26 +66,137 @@ func main() {
 		scale = experiments.PaperScale()
 	default:
 		fmt.Fprintf(os.Stderr, "unknown scale %q (want quick or paper)\n", *scaleFlag)
-		os.Exit(2)
+		return 2
 	}
 	scale.Seed = *seed
+	if *resume && *checkpoint == "" {
+		fmt.Fprintf(os.Stderr, "-resume requires -checkpoint\n")
+		return 2
+	}
+
+	// First interrupt: cancel the context so in-flight chunks finish and
+	// checkpoint. Second interrupt: force-quit.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigs
+		fmt.Fprintf(os.Stderr, "relaxfault: interrupt: stopping at the next chunk boundary (interrupt again to force-quit)\n")
+		cancel()
+		<-sigs
+		fmt.Fprintf(os.Stderr, "relaxfault: killed\n")
+		os.Exit(130)
+	}()
+
+	mon := harness.NewMonitor(os.Stderr, *progress)
+	stopMon := mon.Start()
+	defer stopMon()
+	scale.Mon = mon
+	if *checkpoint != "" {
+		store, err := harness.OpenStore(*checkpoint, *resume)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "relaxfault: %v\n", err)
+			return 1
+		}
+		scale.Store = store
+		defer func() {
+			if err := store.Flush(); err != nil {
+				fmt.Fprintf(os.Stderr, "relaxfault: %v\n", err)
+			}
+		}()
+	}
 
 	args := flag.Args()
 	if len(args) == 1 && args[0] == "all" {
-		args = []string{"tab1", "tab2", "tab3", "tab4", "fig2", "fig8", "fig9",
-			"fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16"}
+		args = allExperiments
 	}
+
+	// Graceful degradation: every requested experiment runs; failures are
+	// collected and summarised, and only the final exit code reflects them.
+	var failures []string
+	interrupted := false
+	runner := &runState{scale: scale}
 	for _, name := range args {
-		start := time.Now()
-		if err := runExperiment(name, scale); err != nil {
-			fmt.Fprintf(os.Stderr, "relaxfault: %s: %v\n", name, err)
-			os.Exit(1)
+		if ctx.Err() != nil {
+			interrupted = true
+			break
 		}
-		fmt.Printf("[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+		mon.SetLabel(name)
+		start := time.Now()
+		err := runner.runExperiment(ctx, name, *timeout)
+		switch {
+		case err == nil:
+			// Timing goes to stderr: stdout carries only the artifacts, so a
+			// resumed run's stdout is byte-identical to an uninterrupted one.
+			fmt.Fprintf(os.Stderr, "[%s completed in %v]\n", name, time.Since(start).Round(time.Millisecond))
+		case errors.Is(err, context.Canceled) && ctx.Err() != nil:
+			interrupted = true
+		default:
+			fmt.Fprintf(os.Stderr, "relaxfault: %s: %v\n", name, err)
+			failures = append(failures, fmt.Sprintf("%s: %v", name, err))
+		}
+		if interrupted {
+			break
+		}
 	}
+	mon.SetLabel("")
+
+	if interrupted {
+		fmt.Fprintf(os.Stderr, "relaxfault: interrupted")
+		if *checkpoint != "" {
+			fmt.Fprintf(os.Stderr, "; partial results checkpointed to %s (restart with -resume)", *checkpoint)
+		}
+		fmt.Fprintf(os.Stderr, "\n")
+		return 130
+	}
+	if len(failures) > 0 {
+		fmt.Fprintf(os.Stderr, "relaxfault: %d/%d experiments failed:\n", len(failures), len(args))
+		for _, f := range failures {
+			fmt.Fprintf(os.Stderr, "  %s\n", f)
+		}
+		return 1
+	}
+	if n := mon.Skipped(); n > 0 {
+		fmt.Fprintf(os.Stderr, "relaxfault: completed with %d skipped trials (partial success):\n", n)
+		for _, s := range mon.Skips() {
+			fmt.Fprintf(os.Stderr, "  %s\n", s)
+		}
+		return 3
+	}
+	return 0
 }
 
-func runExperiment(name string, scale experiments.Scale) error {
+// runState caches results shared between experiments within one invocation:
+// fig15 and fig16 render different views of the same simulations, so when
+// both are requested (e.g. via "all") the workloads run once.
+type runState struct {
+	scale experiments.Scale
+	fig15 *experiments.Fig15Result
+}
+
+// fig15And16 computes (or reuses) the shared Figure 15/16 simulations.
+func (r *runState) fig15And16(ctx context.Context) (experiments.Fig15Result, error) {
+	if r.fig15 != nil {
+		return *r.fig15, nil
+	}
+	res, err := experiments.Fig15And16Ctx(ctx, r.scale)
+	if err != nil {
+		return res, err
+	}
+	r.fig15 = &res
+	return res, nil
+}
+
+// runExperiment executes one experiment under an optional per-experiment
+// deadline and prints its artifact to stdout.
+func (r *runState) runExperiment(ctx context.Context, name string, timeout time.Duration) error {
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	scale := r.scale
 	switch strings.ToLower(name) {
 	case "tab1":
 		fmt.Print(experiments.Table1())
@@ -68,79 +209,79 @@ func runExperiment(name string, scale experiments.Scale) error {
 	case "fig2":
 		fmt.Print(experiments.Fig2())
 	case "fig8":
-		r, err := experiments.Fig8(scale)
+		res, err := experiments.Fig8Ctx(ctx, scale)
 		if err != nil {
 			return err
 		}
-		fmt.Print(r)
+		fmt.Print(res)
 	case "fig9":
-		r, err := experiments.Fig9(scale)
+		res, err := experiments.Fig9Ctx(ctx, scale)
 		if err != nil {
 			return err
 		}
-		fmt.Print(r)
+		fmt.Print(res)
 	case "fig10":
-		r, err := experiments.Fig10(scale)
+		res, err := experiments.Fig10Ctx(ctx, scale)
 		if err != nil {
 			return err
 		}
-		fmt.Print(r)
+		fmt.Print(res)
 	case "fig11":
-		r, err := experiments.Fig11(scale)
+		res, err := experiments.Fig11Ctx(ctx, scale)
 		if err != nil {
 			return err
 		}
-		fmt.Print(r)
+		fmt.Print(res)
 	case "fig12":
-		one, ten, err := experiments.Fig12(scale)
+		one, ten, err := experiments.Fig12Ctx(ctx, scale)
 		if err != nil {
 			return err
 		}
 		fmt.Print(one)
 		fmt.Print(ten)
 	case "fig13":
-		one, ten, err := experiments.Fig13(scale)
+		one, ten, err := experiments.Fig13Ctx(ctx, scale)
 		if err != nil {
 			return err
 		}
 		fmt.Print(one.StringSDC())
 		fmt.Print(ten.StringSDC())
 	case "fig14":
-		r, err := experiments.Fig14(scale)
+		res, err := experiments.Fig14Ctx(ctx, scale)
 		if err != nil {
 			return err
 		}
-		fmt.Print(r)
+		fmt.Print(res)
 	case "fig15":
-		r, err := experiments.Fig15And16(scale)
+		res, err := r.fig15And16(ctx)
 		if err != nil {
 			return err
 		}
-		fmt.Print(r)
+		fmt.Print(res)
 	case "fig16":
-		r, err := experiments.Fig15And16(scale)
+		res, err := r.fig15And16(ctx)
 		if err != nil {
 			return err
 		}
-		fmt.Print(r.StringPower())
+		fmt.Print(res.StringPower())
 	case "ablate":
-		r, err := experiments.Ablations(scale)
+		res, err := experiments.AblationsCtx(ctx, scale)
 		if err != nil {
 			return err
 		}
-		fmt.Print(r)
+		fmt.Print(res)
 	case "variants":
-		r, err := experiments.GeometryVariants(scale)
+		res, err := experiments.GeometryVariantsCtx(ctx, scale)
 		if err != nil {
 			return err
 		}
-		fmt.Print(r)
+		fmt.Print(res)
 	case "prefetch":
-		r, err := experiments.PrefetchAblation(scale)
+		res, err := experiments.PrefetchAblationCtx(ctx, scale)
 		if err != nil {
 			return err
 		}
-		fmt.Print(r)
+		fmt.Print(res)
 	default:
 		return fmt.Errorf("unknown experiment %q", name)
 	}
@@ -150,7 +291,16 @@ func runExperiment(name string, scale experiments.Scale) error {
 func usage() {
 	fmt.Fprintf(os.Stderr, `relaxfault regenerates the evaluation of "RelaxFault Memory Repair" (ISCA 2016).
 
-usage: relaxfault [-scale quick|paper] [-seed N] <experiment> [...]
+usage: relaxfault [flags] <experiment> [...]
+
+flags:
+  -scale quick|paper  effort level (default quick)
+  -seed N             Monte Carlo seed (default 7)
+  -timeout D          per-experiment deadline, e.g. 30m (default none)
+  -progress D         stderr progress/watchdog interval (default 10s, 0 = silent)
+  -checkpoint FILE    periodically snapshot Monte Carlo chunks to FILE
+  -resume             restart from FILE's last snapshot (same flags + seed
+                      reproduce the uninterrupted output exactly)
 
 experiments:
   tab1   Table 1:  RelaxFault storage overhead
@@ -167,11 +317,14 @@ experiments:
   fig14  Figure 14: expected DIMM replacements
   fig15  Figure 15: weighted speedup under repair
   fig16  Figure 16: relative DRAM dynamic power
-  all    everything above in order
+  all    everything above in order (failures are collected, not fatal)
 
 extensions beyond the paper:
   ablate    design-choice ablations + retirement baselines (page retirement, mirroring)
   variants  RelaxFault coverage on DDR4 / HBM / LPDDR4 organisations
   prefetch  sensitivity of the performance conclusions to a stream prefetcher
+
+exit codes: 0 ok; 1 experiment failure; 2 usage; 3 completed with skipped
+trials (partial success); 130 interrupted.
 `)
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -34,13 +35,17 @@ type AblationResult struct {
 
 // Ablations runs the coverage study over the ablated mappings and the
 // retirement baselines.
-func Ablations(s Scale) (AblationResult, error) {
+func Ablations(s Scale) (AblationResult, error) { return AblationsCtx(context.Background(), s) }
+
+// AblationsCtx is Ablations with cancellation.
+func AblationsCtx(ctx context.Context, s Scale) (AblationResult, error) {
 	m := defaultMapper()
 	g := m.Geometry()
 	cfg := relsim.DefaultCoverageConfig()
 	cfg.FaultyNodes = s.FaultyNodes
 	cfg.Seed = s.Seed
 	cfg.WayLimits = []int{1, 4}
+	s.instrumentCoverage(&cfg)
 	cfg.Planners = []repair.Planner{
 		repair.NewRelaxFault(m, 16),
 		repair.NewRelaxFaultAblated(m, 16, repair.RelaxFaultOptions{NoCoalescing: true}),
@@ -50,7 +55,7 @@ func Ablations(s Scale) (AblationResult, error) {
 		repair.NewPageRetirement(m, 2<<20, 0),
 		repair.NewMirroring(g),
 	}
-	res, err := relsim.CoverageStudy(cfg)
+	res, err := relsim.CoverageStudyCtx(ctx, cfg)
 	if err != nil {
 		return AblationResult{}, err
 	}
@@ -100,6 +105,11 @@ type VariantResult struct {
 // GeometryVariants runs the RelaxFault coverage study on DDR4, HBM-like,
 // and LPDDR4 organisations.
 func GeometryVariants(s Scale) (VariantResult, error) {
+	return GeometryVariantsCtx(context.Background(), s)
+}
+
+// GeometryVariantsCtx is GeometryVariants with cancellation.
+func GeometryVariantsCtx(ctx context.Context, s Scale) (VariantResult, error) {
 	var out VariantResult
 	variants := []struct {
 		name string
@@ -121,7 +131,8 @@ func GeometryVariants(s Scale) (VariantResult, error) {
 		cfg.Seed = s.Seed
 		cfg.WayLimits = []int{1, 4}
 		cfg.Planners = []repair.Planner{repair.NewRelaxFault(m, 16)}
-		res, err := relsim.CoverageStudy(cfg)
+		s.instrumentCoverage(&cfg)
+		res, err := relsim.CoverageStudyCtx(ctx, cfg)
 		if err != nil {
 			return out, err
 		}
@@ -166,8 +177,17 @@ type PrefetchResult struct {
 // (capacity-sensitive) with and without prefetching, at no-repair and
 // 4-way-locked configurations.
 func PrefetchAblation(s Scale) (PrefetchResult, error) {
+	return PrefetchAblationCtx(context.Background(), s)
+}
+
+// PrefetchAblationCtx is PrefetchAblation with cancellation, observed
+// between workload simulations.
+func PrefetchAblationCtx(ctx context.Context, s Scale) (PrefetchResult, error) {
 	var out PrefetchResult
 	for _, name := range []string{"SP", "LULESH"} {
+		if err := ctx.Err(); err != nil {
+			return out, err
+		}
 		w := trace.WorkloadByName(name)
 		if w == nil {
 			return out, fmt.Errorf("missing workload %s", name)

@@ -7,6 +7,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -14,6 +15,7 @@ import (
 	"relaxfault/internal/core"
 	"relaxfault/internal/dram"
 	"relaxfault/internal/fault"
+	"relaxfault/internal/harness"
 	"relaxfault/internal/relsim"
 	"relaxfault/internal/repair"
 )
@@ -31,6 +33,25 @@ type Scale struct {
 	Instructions uint64
 	// Seed makes every experiment deterministic.
 	Seed uint64
+	// Mon, if non-nil, receives progress/watchdog/skipped-trial events
+	// from the underlying Monte Carlo runs (set by cmd/relaxfault).
+	Mon *harness.Monitor
+	// Store, if non-nil, checkpoints the Monte Carlo runs so a killed
+	// experiment resumes from its last snapshot (-checkpoint/-resume).
+	Store *harness.Store
+}
+
+// instrument attaches the scale's monitor and checkpoint store to a
+// reliability-run configuration.
+func (s Scale) instrument(cfg *relsim.Config) {
+	cfg.Mon = s.Mon
+	cfg.Checkpoint = s.Store
+}
+
+// instrumentCoverage is instrument for coverage-study configurations.
+func (s Scale) instrumentCoverage(cfg *relsim.CoverageConfig) {
+	cfg.Mon = s.Mon
+	cfg.Checkpoint = s.Store
 }
 
 // PaperScale approaches the paper's statistical resolution (minutes of CPU).
@@ -160,19 +181,23 @@ type Fig8Result struct {
 // Fig8 runs the hashing-sensitivity coverage study. RelaxFault's own
 // mapping spreads repairs by construction, so the LLC hash setting does not
 // matter for it; both columns are evaluated to demonstrate that.
-func Fig8(s Scale) (Fig8Result, error) {
+func Fig8(s Scale) (Fig8Result, error) { return Fig8Ctx(context.Background(), s) }
+
+// Fig8Ctx is Fig8 with cancellation.
+func Fig8Ctx(ctx context.Context, s Scale) (Fig8Result, error) {
 	m := defaultMapper()
 	rf, ffHash, ffNoHash, _ := planners(m)
 	cfg := relsim.DefaultCoverageConfig()
 	cfg.FaultyNodes = s.FaultyNodes
 	cfg.Seed = s.Seed
 	cfg.WayLimits = []int{1}
+	s.instrumentCoverage(&cfg)
 	// RelaxFault's placement is independent of the LLC's normal-access
 	// hash; running it once covers both Figure 8 columns, but we run it
 	// twice with different seeds folded in to show the invariance is not
 	// a sampling accident.
 	cfg.Planners = []repair.Planner{rf, ffHash, ffNoHash}
-	res, err := relsim.CoverageStudy(cfg)
+	res, err := relsim.CoverageStudyCtx(ctx, cfg)
 	if err != nil {
 		return Fig8Result{}, err
 	}

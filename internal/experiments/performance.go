@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -68,8 +69,17 @@ type Fig15Result struct {
 // Fig15And16 runs all Table 4 workloads through the four repair
 // configurations.
 func Fig15And16(s Scale) (Fig15Result, error) {
+	return Fig15And16Ctx(context.Background(), s)
+}
+
+// Fig15And16Ctx is Fig15And16 with cancellation, observed between workload
+// simulations (each one runs for seconds, not hours).
+func Fig15And16Ctx(ctx context.Context, s Scale) (Fig15Result, error) {
 	out := Fig15Result{Instructions: s.Instructions}
 	for _, w := range trace.Workloads() {
+		if err := ctx.Err(); err != nil {
+			return out, err
+		}
 		base := perf.DefaultSystemConfig()
 		base.TargetInstructions = s.Instructions
 		base.Seed = s.Seed

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -31,7 +32,10 @@ type Fig9Result struct {
 
 // Fig9 runs the dynamic-FIT-adjustment sensitivity study (no repair,
 // replace-after-DUE, as in the paper's model exploration).
-func Fig9(s Scale) (Fig9Result, error) {
+func Fig9(s Scale) (Fig9Result, error) { return Fig9Ctx(context.Background(), s) }
+
+// Fig9Ctx is Fig9 with cancellation.
+func Fig9Ctx(ctx context.Context, s Scale) (Fig9Result, error) {
 	var out Fig9Result
 	run := func(accel, frac float64) (Fig9Point, error) {
 		cfg := relsim.DefaultConfig()
@@ -44,7 +48,8 @@ func Fig9(s Scale) (Fig9Result, error) {
 		if accel <= 1 {
 			cfg.Model.AccelFactor = 1
 		}
-		res, err := relsim.Run(cfg)
+		s.instrument(&cfg)
+		res, err := relsim.RunCtx(ctx, cfg)
 		if err != nil {
 			return Fig9Point{}, err
 		}
@@ -125,7 +130,7 @@ var coverageCapacities = []int64{
 }
 
 // coverageStudy runs the Figure 10/11 experiment at a FIT multiplier.
-func coverageStudy(s Scale, fitScale float64, title string) (Fig10Result, error) {
+func coverageStudy(ctx context.Context, s Scale, fitScale float64, title string) (Fig10Result, error) {
 	m := defaultMapper()
 	rf, ffHash, _, ppr := planners(m)
 	cfg := relsim.DefaultCoverageConfig()
@@ -134,7 +139,8 @@ func coverageStudy(s Scale, fitScale float64, title string) (Fig10Result, error)
 	cfg.Seed = s.Seed
 	cfg.WayLimits = []int{1, 4, 16}
 	cfg.Planners = []repair.Planner{ppr, ffHash, rf}
-	res, err := relsim.CoverageStudy(cfg)
+	s.instrumentCoverage(&cfg)
+	res, err := relsim.CoverageStudyCtx(ctx, cfg)
 	if err != nil {
 		return Fig10Result{}, err
 	}
@@ -171,13 +177,19 @@ func coverageStudy(s Scale, fitScale float64, title string) (Fig10Result, error)
 }
 
 // Fig10 reproduces the baseline-FIT coverage-vs-capacity curves.
-func Fig10(s Scale) (Fig10Result, error) {
-	return coverageStudy(s, 1, "Figure 10: cumulative repair coverage vs required LLC capacity (1x FIT)")
+func Fig10(s Scale) (Fig10Result, error) { return Fig10Ctx(context.Background(), s) }
+
+// Fig10Ctx is Fig10 with cancellation.
+func Fig10Ctx(ctx context.Context, s Scale) (Fig10Result, error) {
+	return coverageStudy(ctx, s, 1, "Figure 10: cumulative repair coverage vs required LLC capacity (1x FIT)")
 }
 
 // Fig11 reproduces the 10x-FIT curves.
-func Fig11(s Scale) (Fig10Result, error) {
-	return coverageStudy(s, 10, "Figure 11: cumulative repair coverage vs required LLC capacity (10x FIT)")
+func Fig11(s Scale) (Fig10Result, error) { return Fig11Ctx(context.Background(), s) }
+
+// Fig11Ctx is Fig11 with cancellation.
+func Fig11Ctx(ctx context.Context, s Scale) (Fig10Result, error) {
+	return coverageStudy(ctx, s, 10, "Figure 11: cumulative repair coverage vs required LLC capacity (10x FIT)")
 }
 
 // String prints the curves as a capacity-by-series table.
@@ -236,7 +248,7 @@ type Fig12Result struct {
 
 // reliabilityPanel runs no-repair plus {PPR, FreeFault, RelaxFault} x
 // {1-way, 4-way} under the given policy and FIT scale.
-func reliabilityPanel(s Scale, fitScale float64, policy relsim.ReplacementPolicy, title string) (Fig12Result, error) {
+func reliabilityPanel(ctx context.Context, s Scale, fitScale float64, policy relsim.ReplacementPolicy, title string) (Fig12Result, error) {
 	m := defaultMapper()
 	rf, ffHash, _, ppr := planners(m)
 	out := Fig12Result{Title: title, FITScale: fitScale, Policy: policy}
@@ -262,7 +274,8 @@ func reliabilityPanel(s Scale, fitScale float64, policy relsim.ReplacementPolicy
 		cfg.Planner = c.planner
 		cfg.WayLimit = c.way
 		cfg.Policy = policy
-		res, err := relsim.Run(cfg)
+		s.instrument(&cfg)
+		res, err := relsim.RunCtx(ctx, cfg)
 		if err != nil {
 			return out, err
 		}
@@ -278,19 +291,29 @@ func reliabilityPanel(s Scale, fitScale float64, policy relsim.ReplacementPolicy
 
 // Fig12 reproduces the expected-DUE comparison at 1x and 10x FIT.
 func Fig12(s Scale) (one, ten Fig12Result, err error) {
-	one, err = reliabilityPanel(s, 1, relsim.ReplaceAfterDUE,
+	return Fig12Ctx(context.Background(), s)
+}
+
+// Fig12Ctx is Fig12 with cancellation.
+func Fig12Ctx(ctx context.Context, s Scale) (one, ten Fig12Result, err error) {
+	one, err = reliabilityPanel(ctx, s, 1, relsim.ReplaceAfterDUE,
 		"Figure 12a: expected DUEs per 16,384-node system over 6 years (1x FIT)")
 	if err != nil {
 		return
 	}
-	ten, err = reliabilityPanel(s, 10, relsim.ReplaceAfterDUE,
+	ten, err = reliabilityPanel(ctx, s, 10, relsim.ReplaceAfterDUE,
 		"Figure 12b: expected DUEs per system (10x FIT)")
 	return
 }
 
 // Fig13 reuses the same runs but reports SDCs (Figure 13 panels).
 func Fig13(s Scale) (one, ten Fig12Result, err error) {
-	one, ten, err = Fig12(s)
+	return Fig13Ctx(context.Background(), s)
+}
+
+// Fig13Ctx is Fig13 with cancellation.
+func Fig13Ctx(ctx context.Context, s Scale) (one, ten Fig12Result, err error) {
+	one, ten, err = Fig12Ctx(ctx, s)
 	if err == nil {
 		one.Title = "Figure 13a: expected SDCs per system (1x FIT)"
 		ten.Title = "Figure 13b: expected SDCs per system (10x FIT)"
@@ -305,7 +328,10 @@ type Fig14Result struct {
 
 // Fig14 reproduces the DIMM-replacement comparison: ReplA (after first DUE)
 // and ReplB (after frequent errors) at 1x and 10x FIT.
-func Fig14(s Scale) (Fig14Result, error) {
+func Fig14(s Scale) (Fig14Result, error) { return Fig14Ctx(context.Background(), s) }
+
+// Fig14Ctx is Fig14 with cancellation.
+func Fig14Ctx(ctx context.Context, s Scale) (Fig14Result, error) {
 	var out Fig14Result
 	specs := []struct {
 		fit    float64
@@ -318,7 +344,7 @@ func Fig14(s Scale) (Fig14Result, error) {
 		{10, relsim.ReplaceAfterThreshold, "Figure 14d: DIMM replacements, replace after frequent errors (10x FIT)"},
 	}
 	for _, sp := range specs {
-		p, err := reliabilityPanel(s, sp.fit, sp.policy, sp.title)
+		p, err := reliabilityPanel(ctx, s, sp.fit, sp.policy, sp.title)
 		if err != nil {
 			return out, err
 		}

@@ -1,0 +1,221 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Store is a file-backed checkpoint holding the completed work chunks of one
+// or more simulator runs. Each run owns a Section keyed by a fingerprint of
+// its configuration; within a section, chunks are opaque JSON payloads keyed
+// by chunk index. The file is written atomically (temp file + rename) so a
+// kill at any instant leaves either the previous or the new snapshot, never
+// a torn one.
+//
+// Chunk payloads are produced and consumed by the simulators; because Go's
+// JSON encoding of float64 uses the shortest round-trippable representation,
+// a resumed run reloads bitwise-identical chunk statistics, and chunk-ordered
+// reduction then reproduces the uninterrupted run's output byte for byte.
+type Store struct {
+	mu         sync.Mutex
+	path       string
+	sections   map[string]*sectionData
+	dirty      bool
+	lastFlush  time.Time
+	flushEvery time.Duration
+}
+
+type sectionData struct {
+	Fingerprint string                 `json:"fingerprint"`
+	Chunks      map[string]json.RawMessage `json:"chunks"`
+}
+
+type storeFile struct {
+	Version  int                     `json:"version"`
+	Sections map[string]*sectionData `json:"sections"`
+}
+
+const storeVersion = 1
+
+// DefaultFlushInterval rate-limits snapshot writes triggered by Put; Flush
+// always writes immediately.
+const DefaultFlushInterval = 2 * time.Second
+
+// OpenStore opens (resume=true) or creates (resume=false) a checkpoint store
+// at path. With resume=false any existing snapshot is ignored and will be
+// overwritten on the first flush; with resume=true a missing file is not an
+// error — the store simply starts empty.
+func OpenStore(path string, resume bool) (*Store, error) {
+	s := &Store{
+		path:       path,
+		sections:   make(map[string]*sectionData),
+		flushEvery: DefaultFlushInterval,
+		lastFlush:  time.Now(),
+	}
+	if !resume {
+		return s, nil
+	}
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return s, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("harness: reading checkpoint: %w", err)
+	}
+	var f storeFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("harness: corrupt checkpoint %s: %w", path, err)
+	}
+	if f.Version != storeVersion {
+		return nil, fmt.Errorf("harness: checkpoint %s has version %d, want %d", path, f.Version, storeVersion)
+	}
+	if f.Sections != nil {
+		s.sections = f.Sections
+	}
+	return s, nil
+}
+
+// Path returns the snapshot file path.
+func (s *Store) Path() string {
+	if s == nil {
+		return ""
+	}
+	return s.path
+}
+
+// Section returns the checkpoint section named name, creating it if absent.
+// A pre-existing section whose fingerprint does not match is discarded: the
+// configuration changed, so its chunks no longer describe this run. Safe on
+// a nil Store (returns a nil Checkpoint whose methods are no-ops).
+func (s *Store) Section(name, fingerprint string) *Checkpoint {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sec := s.sections[name]
+	if sec == nil || sec.Fingerprint != fingerprint {
+		sec = &sectionData{Fingerprint: fingerprint, Chunks: make(map[string]json.RawMessage)}
+		s.sections[name] = sec
+		s.dirty = true
+	}
+	return &Checkpoint{store: s, name: name}
+}
+
+// Flush writes the snapshot to disk immediately (atomic rename).
+func (s *Store) Flush() error {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.flushLocked()
+}
+
+func (s *Store) flushLocked() error {
+	data, err := json.Marshal(storeFile{Version: storeVersion, Sections: s.sections})
+	if err != nil {
+		return fmt.Errorf("harness: encoding checkpoint: %w", err)
+	}
+	dir := filepath.Dir(s.path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(s.path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("harness: writing checkpoint: %w", err)
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		if werr == nil {
+			werr = cerr
+		}
+		return fmt.Errorf("harness: writing checkpoint: %w", werr)
+	}
+	if err := os.Rename(tmp.Name(), s.path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("harness: writing checkpoint: %w", err)
+	}
+	s.dirty = false
+	s.lastFlush = time.Now()
+	return nil
+}
+
+// maybeFlushLocked writes the snapshot if it is dirty and the rate limit has
+// elapsed.
+func (s *Store) maybeFlushLocked() error {
+	if !s.dirty || time.Since(s.lastFlush) < s.flushEvery {
+		return nil
+	}
+	return s.flushLocked()
+}
+
+// Checkpoint is one run's view of a Store section. Methods are safe for
+// concurrent use and safe on a nil receiver (no-ops), so simulators can
+// checkpoint unconditionally.
+type Checkpoint struct {
+	store *Store
+	name  string
+}
+
+// Get returns the payload of chunk i, if present.
+func (c *Checkpoint) Get(i int) (json.RawMessage, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.store.mu.Lock()
+	defer c.store.mu.Unlock()
+	raw, ok := c.store.sections[c.name].Chunks[strconv.Itoa(i)]
+	return raw, ok
+}
+
+// Indexes returns the sorted chunk indexes present in the section.
+func (c *Checkpoint) Indexes() []int {
+	if c == nil {
+		return nil
+	}
+	c.store.mu.Lock()
+	defer c.store.mu.Unlock()
+	var out []int
+	for k := range c.store.sections[c.name].Chunks {
+		if i, err := strconv.Atoi(k); err == nil {
+			out = append(out, i)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Put stores chunk i's payload (marshalled to JSON) and opportunistically
+// flushes the snapshot under the store's rate limit.
+func (c *Checkpoint) Put(i int, payload any) error {
+	if c == nil {
+		return nil
+	}
+	raw, err := json.Marshal(payload)
+	if err != nil {
+		return fmt.Errorf("harness: encoding chunk %d: %w", i, err)
+	}
+	c.store.mu.Lock()
+	defer c.store.mu.Unlock()
+	c.store.sections[c.name].Chunks[strconv.Itoa(i)] = raw
+	c.store.dirty = true
+	return c.store.maybeFlushLocked()
+}
+
+// Fingerprint hashes an arbitrary sequence of configuration values into a
+// short stable string. Runs use it to detect that a checkpoint section was
+// written by a different configuration and must not be resumed from.
+func Fingerprint(parts ...any) string {
+	h := fnv.New64a()
+	for _, p := range parts {
+		fmt.Fprintf(h, "%+v\x00", p)
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}

@@ -1,0 +1,260 @@
+// Package harness hardens the long-running Monte Carlo campaigns behind the
+// paper's evaluation (Figures 10-14). The simulators in internal/relsim do
+// the physics; this package supplies the operational layer a multi-hour
+// paper-scale run needs to survive in practice:
+//
+//   - a Monitor that tracks trial throughput, prints progress/ETA lines on
+//     stderr, raises a watchdog warning when workers stall, and accounts for
+//     trials skipped after an isolated panic;
+//   - a checkpoint Store (see checkpoint.go) that persists completed work
+//     chunks to a JSON snapshot so a killed run resumes with bitwise
+//     identical final statistics;
+//   - signal plumbing so an interactive ^C cancels the run's context and
+//     lets in-flight chunks finish and checkpoint before the process exits.
+//
+// The package deliberately knows nothing about DRAM or repair planning: it
+// deals only in chunks (opaque JSON payloads keyed by index), trials
+// (monotone counters), and skips (reproduction records). Both relsim.Run and
+// relsim.CoverageStudy are clients.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Skip records one Monte Carlo trial that was abandoned after a panic and an
+// unsuccessful retry. Trial and Seed pin down the exact random stream: a run
+// with the same configuration and Seed replays trial Trial identically (see
+// relsim.ReplayNode), so one record suffices to reproduce the crash.
+type Skip struct {
+	// Experiment labels the run the skip occurred in (CLI experiment name
+	// or caller-chosen tag); empty when the caller set none.
+	Experiment string `json:"experiment,omitempty"`
+	// Trial is the global trial (node) index within the run.
+	Trial int `json:"trial"`
+	// Seed is the run's root RNG seed.
+	Seed uint64 `json:"seed"`
+	// Err is the recovered panic message.
+	Err string `json:"err"`
+}
+
+func (s Skip) String() string {
+	return fmt.Sprintf("trial %d (seed %d): %s", s.Trial, s.Seed, s.Err)
+}
+
+// MaxSkipRecords bounds how many Skip records a single run keeps; beyond
+// this only the count grows. One record is enough to reproduce, a few help
+// spot patterns, and an unbounded list could dwarf the results themselves.
+const MaxSkipRecords = 16
+
+// Monitor aggregates progress across one or more simulator runs and
+// periodically reports it. All methods are safe for concurrent use and safe
+// on a nil receiver, so simulators can report unconditionally. A zero-ish
+// Monitor (from NewMonitor) works without Start; Start adds the periodic
+// stderr reporter and the stalled-worker watchdog.
+type Monitor struct {
+	out      io.Writer
+	interval time.Duration
+	// stallAfter is how long without a completed chunk counts as stalled.
+	stallAfter time.Duration
+
+	start        time.Time
+	expected     atomic.Int64 // trials planned (grows as runs are added)
+	done         atomic.Int64 // trials finished (including skipped)
+	skipped      atomic.Int64
+	lastAdvance  atomic.Int64 // unix nanos of the last completed chunk
+	stallWarned  atomic.Bool
+	mu           sync.Mutex
+	label        string
+	skips        []Skip
+	stopReporter chan struct{}
+	reporterDone chan struct{}
+}
+
+// NewMonitor creates a Monitor reporting to out every interval. A
+// non-positive interval disables periodic reporting (counters still work).
+// The watchdog threshold defaults to max(30s, 3*interval).
+func NewMonitor(out io.Writer, interval time.Duration) *Monitor {
+	stall := 30 * time.Second
+	if 3*interval > stall {
+		stall = 3 * interval
+	}
+	m := &Monitor{out: out, interval: interval, stallAfter: stall, start: time.Now()}
+	m.lastAdvance.Store(time.Now().UnixNano())
+	return m
+}
+
+// SetLabel names the phase shown in progress lines (e.g. the current CLI
+// experiment).
+func (m *Monitor) SetLabel(label string) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.label = label
+	m.mu.Unlock()
+}
+
+// Expect adds n trials to the planned total.
+func (m *Monitor) Expect(n int64) {
+	if m == nil {
+		return
+	}
+	m.expected.Add(n)
+}
+
+// Done records n finished trials and feeds the watchdog.
+func (m *Monitor) Done(n int64) {
+	if m == nil {
+		return
+	}
+	m.done.Add(n)
+	m.lastAdvance.Store(time.Now().UnixNano())
+	m.stallWarned.Store(false)
+}
+
+// RecordSkip accounts for one abandoned trial and emits a warning line. Only
+// the first MaxSkipRecords records are retained.
+func (m *Monitor) RecordSkip(s Skip) {
+	if m == nil {
+		return
+	}
+	m.skipped.Add(1)
+	m.mu.Lock()
+	if s.Experiment == "" {
+		s.Experiment = m.label
+	}
+	if len(m.skips) < MaxSkipRecords {
+		m.skips = append(m.skips, s)
+	}
+	out := m.out
+	m.mu.Unlock()
+	if out != nil {
+		fmt.Fprintf(out, "harness: skipped %s\n", s)
+	}
+}
+
+// AddSkipped accounts n additional abandoned trials for which no record is
+// retained (e.g. counts reloaded from a checkpoint beyond the record cap).
+func (m *Monitor) AddSkipped(n int64) {
+	if m == nil || n <= 0 {
+		return
+	}
+	m.skipped.Add(n)
+}
+
+// Warnf prints one warning line to the monitor's writer (dropped when the
+// monitor is nil or has no writer). Simulators use it for conditions that
+// must not abort a long campaign, like checkpoint I/O failures.
+func (m *Monitor) Warnf(format string, args ...any) {
+	if m == nil || m.out == nil {
+		return
+	}
+	fmt.Fprintf(m.out, "harness: warning: "+format+"\n", args...)
+}
+
+// Skipped returns the total number of abandoned trials observed so far.
+func (m *Monitor) Skipped() int64 {
+	if m == nil {
+		return 0
+	}
+	return m.skipped.Load()
+}
+
+// Skips returns a copy of the retained skip records.
+func (m *Monitor) Skips() []Skip {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Skip, len(m.skips))
+	copy(out, m.skips)
+	return out
+}
+
+// DoneTrials returns the number of finished trials.
+func (m *Monitor) DoneTrials() int64 {
+	if m == nil {
+		return 0
+	}
+	return m.done.Load()
+}
+
+// Start launches the periodic reporter goroutine and returns a stop function
+// (idempotent). With a non-positive interval or nil writer it is a no-op.
+func (m *Monitor) Start() (stop func()) {
+	if m == nil || m.interval <= 0 || m.out == nil {
+		return func() {}
+	}
+	m.mu.Lock()
+	if m.stopReporter != nil {
+		m.mu.Unlock()
+		return func() {} // already running
+	}
+	stopCh := make(chan struct{})
+	doneCh := make(chan struct{})
+	m.stopReporter, m.reporterDone = stopCh, doneCh
+	m.mu.Unlock()
+
+	go func() {
+		defer close(doneCh)
+		t := time.NewTicker(m.interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-stopCh:
+				return
+			case <-t.C:
+				m.report(time.Now())
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(stopCh)
+			<-doneCh
+		})
+	}
+}
+
+// report prints one progress line, plus a watchdog warning when no chunk has
+// completed for stallAfter.
+func (m *Monitor) report(now time.Time) {
+	done := m.done.Load()
+	expected := m.expected.Load()
+	elapsed := now.Sub(m.start).Seconds()
+	rate := 0.0
+	if elapsed > 0 {
+		rate = float64(done) / elapsed
+	}
+	m.mu.Lock()
+	label := m.label
+	m.mu.Unlock()
+	prefix := "harness"
+	if label != "" {
+		prefix = "harness[" + label + "]"
+	}
+	switch {
+	case expected > 0 && done < expected && rate > 0:
+		eta := time.Duration(float64(expected-done) / rate * float64(time.Second))
+		fmt.Fprintf(m.out, "%s: %d/%d trials (%.1f%%) %.0f trials/sec ETA %s\n",
+			prefix, done, expected, 100*float64(done)/float64(expected), rate, eta.Round(time.Second))
+	case done > 0:
+		fmt.Fprintf(m.out, "%s: %d trials %.0f trials/sec\n", prefix, done, rate)
+	}
+	if skipped := m.skipped.Load(); skipped > 0 {
+		fmt.Fprintf(m.out, "%s: %d trials skipped after panics\n", prefix, skipped)
+	}
+	idle := now.Sub(time.Unix(0, m.lastAdvance.Load()))
+	if idle >= m.stallAfter && done > 0 && (expected <= 0 || done < expected) {
+		if m.stallWarned.CompareAndSwap(false, true) {
+			fmt.Fprintf(m.out, "%s: watchdog: no worker progress for %s\n", prefix, idle.Round(time.Second))
+		}
+	}
+}

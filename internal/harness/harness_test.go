@@ -1,0 +1,233 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+type payload struct {
+	A float64 `json:"a"`
+	B int     `json:"b"`
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck.json")
+	s, err := OpenStore(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := s.Section("run", "fp1")
+	chunks := map[int]payload{0: {A: 0.1, B: 1}, 2: {A: 2.5e-17, B: 2}, 5: {A: -3, B: 5}}
+	for i, p := range chunks {
+		if err := cp.Put(i, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := OpenStore(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp2 := s2.Section("run", "fp1")
+	if got := cp2.Indexes(); len(got) != 3 || got[0] != 0 || got[1] != 2 || got[2] != 5 {
+		t.Fatalf("Indexes() = %v, want [0 2 5]", got)
+	}
+	for i, want := range chunks {
+		raw, ok := cp2.Get(i)
+		if !ok {
+			t.Fatalf("chunk %d missing after reload", i)
+		}
+		var got payload
+		if err := json.Unmarshal(raw, &got); err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("chunk %d: got %+v, want %+v (float64 must round-trip exactly)", i, got, want)
+		}
+	}
+	if _, ok := cp2.Get(1); ok {
+		t.Error("Get(1) found a chunk that was never stored")
+	}
+}
+
+func TestSectionFingerprintMismatchDiscards(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck.json")
+	s, _ := OpenStore(path, false)
+	if err := s.Section("run", "fp1").Put(0, payload{A: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := OpenStore(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same section name, different configuration fingerprint: the stale
+	// chunks must not be adopted.
+	if got := s2.Section("run", "fp2").Indexes(); len(got) != 0 {
+		t.Errorf("mismatched fingerprint kept chunks %v", got)
+	}
+	// Re-opening with the original fingerprint still works.
+	s3, err := OpenStore(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s3.Section("run", "fp1").Indexes(); len(got) != 1 {
+		t.Errorf("matching fingerprint lost chunks: %v", got)
+	}
+}
+
+func TestOpenStoreResumeMissingFile(t *testing.T) {
+	s, err := OpenStore(filepath.Join(t.TempDir(), "absent.json"), true)
+	if err != nil {
+		t.Fatalf("resume from a missing file must start empty, got %v", err)
+	}
+	if got := s.Section("x", "fp").Indexes(); len(got) != 0 {
+		t.Errorf("fresh store has chunks %v", got)
+	}
+}
+
+func TestOpenStoreCorruptFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck.json")
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenStore(path, true); err == nil {
+		t.Error("corrupt checkpoint accepted")
+	}
+	// Without -resume the corrupt file is simply overwritten.
+	s, err := OpenStore(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenStore(path, true); err != nil {
+		t.Errorf("flush did not repair the snapshot: %v", err)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var s *Store
+	cp := s.Section("x", "fp")
+	if cp != nil {
+		t.Error("nil Store returned a non-nil section")
+	}
+	if err := cp.Put(0, payload{}); err != nil {
+		t.Error(err)
+	}
+	if _, ok := cp.Get(0); ok {
+		t.Error("nil checkpoint returned a chunk")
+	}
+	if cp.Indexes() != nil {
+		t.Error("nil checkpoint returned indexes")
+	}
+	if err := s.Flush(); err != nil {
+		t.Error(err)
+	}
+	if s.Path() != "" {
+		t.Error("nil store has a path")
+	}
+
+	var m *Monitor
+	m.SetLabel("x")
+	m.Expect(10)
+	m.Done(5)
+	m.RecordSkip(Skip{Trial: 1})
+	m.AddSkipped(2)
+	m.Warnf("boom %d", 1)
+	if m.Skipped() != 0 || m.DoneTrials() != 0 || m.Skips() != nil {
+		t.Error("nil monitor reported nonzero state")
+	}
+	m.Start()() // no-op stop
+}
+
+func TestMonitorCounters(t *testing.T) {
+	var buf bytes.Buffer
+	m := NewMonitor(&buf, 0)
+	m.SetLabel("fig10")
+	m.Expect(100)
+	m.Done(40)
+	if m.DoneTrials() != 40 {
+		t.Errorf("DoneTrials = %d", m.DoneTrials())
+	}
+	for i := 0; i < MaxSkipRecords+5; i++ {
+		m.RecordSkip(Skip{Trial: i, Seed: 7, Err: "boom"})
+	}
+	m.AddSkipped(3)
+	m.AddSkipped(-1) // ignored
+	if got := m.Skipped(); got != int64(MaxSkipRecords+5+3) {
+		t.Errorf("Skipped = %d, want %d", got, MaxSkipRecords+5+3)
+	}
+	skips := m.Skips()
+	if len(skips) != MaxSkipRecords {
+		t.Errorf("retained %d records, want cap %d", len(skips), MaxSkipRecords)
+	}
+	if skips[0].Experiment != "fig10" {
+		t.Errorf("skip not labelled with the current experiment: %+v", skips[0])
+	}
+	if !strings.Contains(buf.String(), "skipped trial 0 (seed 7): boom") {
+		t.Errorf("skip warning missing from output:\n%s", buf.String())
+	}
+	m.Warnf("disk full: %s", "/tmp/x")
+	if !strings.Contains(buf.String(), "harness: warning: disk full: /tmp/x") {
+		t.Errorf("Warnf missing from output:\n%s", buf.String())
+	}
+}
+
+func TestMonitorReportAndWatchdog(t *testing.T) {
+	var buf bytes.Buffer
+	m := NewMonitor(&buf, time.Second)
+	m.SetLabel("fig11")
+	m.Expect(1000)
+	m.Done(250)
+	m.report(time.Now())
+	out := buf.String()
+	if !strings.Contains(out, "harness[fig11]: 250/1000 trials (25.0%)") {
+		t.Errorf("progress line missing:\n%s", out)
+	}
+	if !strings.Contains(out, "ETA") {
+		t.Errorf("ETA missing:\n%s", out)
+	}
+
+	// No chunk completion for longer than the stall threshold trips the
+	// watchdog, exactly once until progress resumes.
+	m.lastAdvance.Store(time.Now().Add(-time.Minute).UnixNano())
+	buf.Reset()
+	m.report(time.Now())
+	m.report(time.Now())
+	if got := strings.Count(buf.String(), "watchdog: no worker progress"); got != 1 {
+		t.Errorf("watchdog fired %d times, want 1:\n%s", got, buf.String())
+	}
+	m.Done(1) // progress re-arms the watchdog
+	m.lastAdvance.Store(time.Now().Add(-time.Minute).UnixNano())
+	buf.Reset()
+	m.report(time.Now())
+	if !strings.Contains(buf.String(), "watchdog") {
+		t.Errorf("watchdog did not re-arm after progress:\n%s", buf.String())
+	}
+}
+
+func TestFingerprint(t *testing.T) {
+	a := Fingerprint("run", 16384, 1.5)
+	if a != Fingerprint("run", 16384, 1.5) {
+		t.Error("fingerprint not deterministic")
+	}
+	if a == Fingerprint("run", 16384, 1.6) {
+		t.Error("fingerprint ignored a changed value")
+	}
+	// Part boundaries matter: ("ab","c") must differ from ("a","bc").
+	if Fingerprint("ab", "c") == Fingerprint("a", "bc") {
+		t.Error("fingerprint concatenates parts ambiguously")
+	}
+}

@@ -1,11 +1,16 @@
 package relsim
 
 import (
+	"context"
+	"encoding/json"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
+	"sync/atomic"
 
 	"relaxfault/internal/fault"
+	"relaxfault/internal/harness"
 	"relaxfault/internal/repair"
 	"relaxfault/internal/stats"
 )
@@ -25,6 +30,16 @@ type CoverageConfig struct {
 	MaxNodes    int
 	Seed        uint64
 	Workers     int
+	// Mon, if non-nil, receives progress, watchdog, and skipped-trial
+	// events.
+	Mon *harness.Monitor
+	// Checkpoint, if non-nil, persists completed chunks so a killed study
+	// can resume (see Config.Checkpoint).
+	Checkpoint *harness.Store
+
+	// trialHook, when set (tests only), runs at the start of every node
+	// attempt with the global node index.
+	trialHook func(node int)
 }
 
 // DefaultCoverageConfig evaluates the paper's default engines and limits.
@@ -100,6 +115,11 @@ type CoverageResult struct {
 	// FaultyFraction is faulty nodes over all sampled nodes (the paper
 	// reports 12% at 1x FIT and 71% at 10x over 6 years).
 	FaultyFraction float64
+	// SkippedTrials counts sampled nodes abandoned after a panic and one
+	// failed retry; they contribute to TotalNodes but to no curve.
+	SkippedTrials int
+	// Skips records the first few skipped trials for reproduction.
+	Skips []harness.Skip
 }
 
 // Curve finds the curve for (planner, wayLimit); nil if absent.
@@ -112,14 +132,55 @@ func (r *CoverageResult) Curve(planner string, wayLimit int) *CoverageCurve {
 	return nil
 }
 
-// nodeOutcome is the planning result of one faulty node for one curve.
-type nodeOutcome struct {
-	repairable bool
-	bytes      float64
+// covChunkSize is the scheduling/checkpointing granularity of coverage
+// studies (nodes per chunk).
+const covChunkSize = 2048
+
+// covCurveChunk is one curve's contribution from one chunk: how many of the
+// chunk's faulty nodes are repairable, and the per-node capacity samples.
+type covCurveChunk struct {
+	Repairable int       `json:"repairable"`
+	Caps       []float64 `json:"caps,omitempty"`
+}
+
+// covChunk is the persisted result of one node-index chunk.
+type covChunk struct {
+	Nodes   int             `json:"nodes"`
+	Faulty  int             `json:"faulty"`
+	Skipped int             `json:"skipped,omitempty"`
+	Skips   []harness.Skip  `json:"skips,omitempty"`
+	Curves  []covCurveChunk `json:"curves"`
+}
+
+// fingerprint identifies the statistical content of the study configuration
+// for checkpoint compatibility.
+func (cfg *CoverageConfig) fingerprint() string {
+	names := make([]string, len(cfg.Planners))
+	for i, p := range cfg.Planners {
+		names[i] = p.Name()
+	}
+	return harness.Fingerprint("relsim.CoverageStudy", cfg.Model, names,
+		cfg.WayLimits, cfg.FaultyNodes, cfg.MaxNodes, cfg.Seed, covChunkSize)
 }
 
 // CoverageStudy runs the Monte Carlo coverage experiment.
 func CoverageStudy(cfg CoverageConfig) (*CoverageResult, error) {
+	return CoverageStudyCtx(context.Background(), cfg)
+}
+
+// CoverageStudyCtx is CoverageStudy with cancellation: when ctx is cancelled
+// the study stops at the next chunk boundary, flushes any checkpoint, and
+// returns ctx's error.
+//
+// Determinism: node i always samples from fork(i), chunks cover fixed index
+// ranges, and the final statistics aggregate exactly the chunk-ordered
+// prefix whose cumulative faulty-node count first reaches cfg.FaultyNodes
+// (or every chunk when MaxNodes is exhausted first). Workers may
+// speculatively compute chunks beyond that prefix; their results are
+// discarded. The outcome is therefore identical for every worker count,
+// which is what makes checkpoint/resume reproduce an uninterrupted run
+// exactly.
+func CoverageStudyCtx(ctx context.Context, cfg CoverageConfig) (*CoverageResult, error) {
 	if len(cfg.Planners) == 0 {
 		return nil, fmt.Errorf("relsim: no planners configured")
 	}
@@ -135,102 +196,214 @@ func CoverageStudy(cfg CoverageConfig) (*CoverageResult, error) {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	nCurves := len(cfg.Planners) * len(cfg.WayLimits)
-
-	type workerState struct {
-		outcomes [][]nodeOutcome // per curve
-		faulty   int
-		nodes    int
-	}
-	states := make([]workerState, workers)
+	nChunks := (cfg.MaxNodes + covChunkSize - 1) / covChunkSize
 	root := stats.NewRNG(cfg.Seed)
-	var next int64
-	var done bool
-	var mu sync.Mutex
-	var wg sync.WaitGroup
 
-	// Workers claim node-index chunks until enough faulty nodes are
-	// collected fleet-wide. Determinism: node i always uses fork(i), and
-	// results are keyed by node index only through RNG streams, so the
-	// sample is exchangeable; curves aggregate counts, which are
-	// insensitive to which worker processed which node.
-	const chunkSize = 2048
+	fp := cfg.fingerprint()
+	cp := cfg.Checkpoint.Section("coverage-"+fp, fp)
+
+	// Shared chunk table. All access to chunks/cutoff/scan state is under
+	// mu; chunk computation itself runs outside the lock.
+	var mu sync.Mutex
+	chunks := make([]*covChunk, nChunks)
+	cutoff := -1     // first chunk index where prefix-cumulative faulty >= target
+	ub := -1         // sound upper bound on cutoff (-1 = unknown)
+	scanned := 0     // next contiguous chunk index to fold into cumFaulty
+	cumFaulty := 0   // faulty nodes in chunks [0, scanned)
+	specFaulty := 0  // faulty nodes over every stored chunk, contiguous or not
+	maxStored := -1  // highest stored chunk index
+	store := func(ci int, ch *covChunk) { // called with mu held
+		chunks[ci] = ch
+		specFaulty += ch.Faulty
+		if ci > maxStored {
+			maxStored = ci
+		}
+		for scanned < nChunks && chunks[scanned] != nil {
+			cumFaulty += chunks[scanned].Faulty
+			if cutoff < 0 && cumFaulty >= cfg.FaultyNodes {
+				cutoff = scanned
+			}
+			scanned++
+		}
+		// The prefix [0, maxStored] contains every stored chunk, so once
+		// the stored chunks alone meet the target the true cutoff cannot
+		// lie beyond maxStored; workers stop claiming past the bound.
+		if cutoff >= 0 {
+			ub = cutoff
+		} else if ub < 0 && specFaulty >= cfg.FaultyNodes {
+			ub = maxStored
+		}
+	}
+	for _, ci := range cp.Indexes() {
+		raw, ok := cp.Get(ci)
+		if !ok || ci >= nChunks {
+			continue
+		}
+		var ch covChunk
+		if err := json.Unmarshal(raw, &ch); err != nil || len(ch.Curves) != nCurves {
+			continue // recompute undecodable or mismatched chunks
+		}
+		mu.Lock()
+		store(ci, &ch)
+		mu.Unlock()
+		for _, s := range ch.Skips {
+			cfg.Mon.RecordSkip(s)
+		}
+		cfg.Mon.AddSkipped(int64(ch.Skipped - len(ch.Skips)))
+	}
+
+	var next atomic.Int64
+	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(w int) {
+		go func() {
 			defer wg.Done()
-			st := &states[w]
-			st.outcomes = make([][]nodeOutcome, nCurves)
-			for {
-				mu.Lock()
-				if done || next >= int64(cfg.MaxNodes) {
-					mu.Unlock()
+			for ctx.Err() == nil {
+				ci := int(next.Add(1)) - 1
+				if ci >= nChunks {
 					return
 				}
-				lo := next
-				next += chunkSize
-				mu.Unlock()
-				hi := lo + chunkSize
-				if hi > int64(cfg.MaxNodes) {
-					hi = int64(cfg.MaxNodes)
-				}
-				for i := lo; i < hi; i++ {
-					st.nodes++
-					nf := model.SampleNode(root.Fork(uint64(i)))
-					perm := nf.PermanentFaults()
-					if len(perm) == 0 {
-						continue
-					}
-					st.faulty++
-					ci := 0
-					for _, pl := range cfg.Planners {
-						plan := pl.PlanNode(perm)
-						for _, wl := range cfg.WayLimits {
-							st.outcomes[ci] = append(st.outcomes[ci], nodeOutcome{
-								repairable: plan.RepairableUnder(wl),
-								bytes:      float64(plan.Bytes),
-							})
-							ci++
-						}
-					}
-				}
 				mu.Lock()
-				total := 0
-				for i := range states {
-					total += states[i].faulty
-				}
-				if total >= cfg.FaultyNodes {
-					done = true
-				}
+				stop := ub >= 0 && ci > ub
+				have := chunks[ci] != nil
 				mu.Unlock()
+				if stop {
+					return
+				}
+				if have {
+					continue
+				}
+				ch := cfg.coverageChunk(model, root, ci, nCurves)
+				mu.Lock()
+				store(ci, ch)
+				mu.Unlock()
+				cfg.Mon.Done(int64(ch.Nodes))
+				if err := cp.Put(ci, ch); err != nil {
+					cfg.Mon.Warnf("relsim: %v (study continues without this chunk persisted)", err)
+				}
 			}
-		}(w)
+		}()
 	}
 	wg.Wait()
+	if err := cfg.Checkpoint.Flush(); err != nil {
+		cfg.Mon.Warnf("relsim: %v", err)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
+	end := cutoff
+	if end < 0 {
+		end = nChunks - 1 // MaxNodes exhausted before the target was met
+	}
 	res := &CoverageResult{}
+	for i := 0; i < nCurves; i++ {
+		res.Curves = append(res.Curves, &CoverageCurve{})
+	}
 	ci := 0
 	for _, pl := range cfg.Planners {
 		for _, wl := range cfg.WayLimits {
-			curve := &CoverageCurve{Planner: pl.Name(), WayLimit: wl}
-			for w := range states {
-				for _, o := range states[w].outcomes[ci] {
-					curve.faultyNodes++
-					if o.repairable {
-						curve.repairable++
-						curve.caps.Add(o.bytes)
-					}
-				}
-			}
-			res.Curves = append(res.Curves, curve)
+			res.Curves[ci].Planner = pl.Name()
+			res.Curves[ci].WayLimit = wl
 			ci++
 		}
 	}
-	for _, st := range states {
-		res.FaultyNodes += st.faulty
-		res.TotalNodes += st.nodes
+	for i := 0; i <= end; i++ {
+		ch := chunks[i]
+		res.TotalNodes += ch.Nodes
+		res.FaultyNodes += ch.Faulty
+		res.SkippedTrials += ch.Skipped
+		for _, s := range ch.Skips {
+			if len(res.Skips) < harness.MaxSkipRecords {
+				res.Skips = append(res.Skips, s)
+			}
+		}
+		for c, cc := range ch.Curves {
+			curve := res.Curves[c]
+			curve.faultyNodes += ch.Faulty
+			curve.repairable += cc.Repairable
+			for _, b := range cc.Caps {
+				curve.caps.Add(b)
+			}
+		}
 	}
 	if res.TotalNodes > 0 {
 		res.FaultyFraction = float64(res.FaultyNodes) / float64(res.TotalNodes)
 	}
 	return res, nil
+}
+
+// coverageChunk samples and plans one chunk of node indexes. Each node is
+// panic-isolated with one retry, exactly like Run's trials.
+func (cfg *CoverageConfig) coverageChunk(model *fault.Model, root *stats.RNG, ci, nCurves int) *covChunk {
+	lo := ci * covChunkSize
+	hi := lo + covChunkSize
+	if hi > cfg.MaxNodes {
+		hi = cfg.MaxNodes
+	}
+	ch := &covChunk{Curves: make([]covCurveChunk, nCurves)}
+	for i := lo; i < hi; i++ {
+		ch.Nodes++
+		cfg.coverageTrial(model, root, i, ch)
+	}
+	// Sort capacity samples so the chunk payload (and any diff of two
+	// checkpoints) is independent of planner-internal map iteration.
+	for c := range ch.Curves {
+		sort.Float64s(ch.Curves[c].Caps)
+	}
+	return ch
+}
+
+// coverageTrial samples node i and records each curve's outcome into ch,
+// with panic isolation and one retry.
+func (cfg *CoverageConfig) coverageTrial(model *fault.Model, root *stats.RNG, node int, ch *covChunk) {
+	for attempt := 0; ; attempt++ {
+		scratch := covChunk{Curves: make([]covCurveChunk, len(ch.Curves))}
+		err := func() (err error) {
+			defer func() {
+				if r := recover(); r != nil {
+					err = fmt.Errorf("trial panic: %v", r)
+				}
+			}()
+			if cfg.trialHook != nil {
+				cfg.trialHook(node)
+			}
+			nf := model.SampleNode(root.Fork(uint64(node)))
+			perm := nf.PermanentFaults()
+			if len(perm) == 0 {
+				return nil
+			}
+			scratch.Faulty = 1
+			ci := 0
+			for _, pl := range cfg.Planners {
+				plan := pl.PlanNode(perm)
+				for _, wl := range cfg.WayLimits {
+					if plan.RepairableUnder(wl) {
+						scratch.Curves[ci].Repairable = 1
+						scratch.Curves[ci].Caps = append(scratch.Curves[ci].Caps, float64(plan.Bytes))
+					}
+					ci++
+				}
+			}
+			return nil
+		}()
+		if err == nil {
+			ch.Faulty += scratch.Faulty
+			for c := range scratch.Curves {
+				ch.Curves[c].Repairable += scratch.Curves[c].Repairable
+				ch.Curves[c].Caps = append(ch.Curves[c].Caps, scratch.Curves[c].Caps...)
+			}
+			return
+		}
+		if attempt == 0 {
+			continue
+		}
+		ch.Skipped++
+		skip := harness.Skip{Trial: node, Seed: cfg.Seed, Err: err.Error()}
+		if len(ch.Skips) < harness.MaxSkipRecords {
+			ch.Skips = append(ch.Skips, skip)
+		}
+		cfg.Mon.RecordSkip(skip)
+		return
+	}
 }

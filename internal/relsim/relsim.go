@@ -4,14 +4,28 @@
 // DIMM-replacement policies, and reports the fleet-level metrics the paper
 // plots — repair coverage versus LLC capacity, expected DUEs and SDCs, and
 // expected DIMM replacements.
+//
+// Both simulation entry points (Run and CoverageStudy) are built on the same
+// hardened execution scheme: work is split into fixed node-index chunks,
+// node i always draws from the root RNG's fork(i) stream, and final
+// statistics are reduced in chunk-index order. Results are therefore exactly
+// independent of the worker count and of scheduling, which is what lets the
+// harness checkpoint completed chunks (internal/harness) and resume a killed
+// run with bitwise-identical output. Each trial is panic-isolated: a
+// panicking node is retried once and otherwise recorded as a skipped trial
+// with its reproduction seed (see ReplayNode) instead of crashing the run.
 package relsim
 
 import (
+	"context"
+	"encoding/json"
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"relaxfault/internal/fault"
+	"relaxfault/internal/harness"
 	"relaxfault/internal/repair"
 	"relaxfault/internal/stats"
 )
@@ -51,7 +65,9 @@ type Config struct {
 	Model fault.Config
 	// Nodes per system (paper: 16,384).
 	Nodes int
-	// Planner is the repair engine; nil disables repair.
+	// Planner is the repair engine; nil disables repair. It must support
+	// incremental planning (repair.Incremental); Run reports an error
+	// otherwise.
 	Planner repair.Planner
 	// WayLimit caps repair lines per LLC set (1, 4, or 16 in the paper).
 	WayLimit int
@@ -73,8 +89,22 @@ type Config struct {
 	// estimates; results are reported per system.
 	Replicas int
 	Seed     uint64
-	// Workers bounds parallelism (0 = GOMAXPROCS).
+	// Workers bounds parallelism (0 = GOMAXPROCS). The worker count never
+	// affects results.
 	Workers int
+	// Mon, if non-nil, receives progress, watchdog, and skipped-trial
+	// events.
+	Mon *harness.Monitor
+	// Checkpoint, if non-nil, persists completed chunks so a killed run
+	// can resume. A section keyed by this configuration's fingerprint is
+	// used, so unrelated runs can share one store. Checkpoint I/O errors
+	// degrade to warnings; they never abort a run.
+	Checkpoint *harness.Store
+
+	// trialHook, when set (tests only), runs at the start of every trial
+	// attempt with the global node index. It is the injection point for
+	// cancellation-latency and panic-isolation tests.
+	trialHook func(node int)
 }
 
 // DefaultConfig returns the paper's system: 16,384 nodes, no repair,
@@ -116,15 +146,71 @@ type Result struct {
 	// FaultyDIMMs counts DIMMs that saw at least one permanent fault.
 	FaultyDIMMs float64
 	Replicas    int
+	// SkippedTrials counts node trials abandoned after a panic and one
+	// failed retry; their contributions are missing from the statistics
+	// above, making the run a lower bound rather than a crash.
+	SkippedTrials int
+	// Skips records the first few skipped trials (harness.MaxSkipRecords)
+	// with enough detail to reproduce each one via ReplayNode.
+	Skips []harness.Skip
+}
+
+// add accumulates o's statistics (raw sums and skip records) into r.
+func (r *Result) add(o *Result) {
+	r.FaultyNodes += o.FaultyNodes
+	r.MultiDeviceFaultDIMMs += o.MultiDeviceFaultDIMMs
+	r.DUEs += o.DUEs
+	r.SDCs += o.SDCs
+	r.Replacements += o.Replacements
+	r.RepairedNodes += o.RepairedNodes
+	r.RepairedDIMMs += o.RepairedDIMMs
+	r.FaultyDIMMs += o.FaultyDIMMs
+	r.SkippedTrials += o.SkippedTrials
+	for _, s := range o.Skips {
+		if len(r.Skips) >= harness.MaxSkipRecords {
+			break
+		}
+		r.Skips = append(r.Skips, s)
+	}
+}
+
+// chunkSize is the scheduling and checkpointing granularity of Run: workers
+// claim whole chunks, cancellation is observed between chunks, and completed
+// chunks are the unit of checkpoint persistence.
+const chunkSize = 4096
+
+// fingerprint identifies the statistical content of a run configuration for
+// checkpoint compatibility. Anything that changes sampled histories or their
+// interpretation must be included; Workers and Mon deliberately are not.
+func (cfg *Config) fingerprint() string {
+	planner := "none"
+	if cfg.Planner != nil {
+		planner = cfg.Planner.Name()
+	}
+	return harness.Fingerprint("relsim.Run", cfg.Model, cfg.Nodes, planner,
+		cfg.WayLimit, cfg.Policy, cfg.ReplBActivationsPerHour,
+		cfg.SDCAliasProb, cfg.TripleSDCProb, cfg.Replicas, cfg.Seed, chunkSize)
 }
 
 // Run simulates cfg.Replicas systems and returns per-system averages.
 func Run(cfg Config) (Result, error) {
+	return RunCtx(context.Background(), cfg)
+}
+
+// RunCtx is Run with cancellation: when ctx is cancelled the simulation
+// stops at the next chunk boundary (at most ~chunkSize trials away per
+// worker), flushes any checkpoint, and returns ctx's error.
+func RunCtx(ctx context.Context, cfg Config) (Result, error) {
 	if cfg.Nodes <= 0 {
 		return Result{}, fmt.Errorf("relsim: Nodes must be positive")
 	}
 	if cfg.Replicas <= 0 {
 		cfg.Replicas = 1
+	}
+	if cfg.Planner != nil {
+		if _, ok := cfg.Planner.(repair.Incremental); !ok {
+			return Result{}, fmt.Errorf("relsim: planner %q does not support incremental planning (repair.Incremental); the fleet simulator consumes faults in arrival order and cannot drive a batch-only planner", cfg.Planner.Name())
+		}
 	}
 	model, err := fault.NewModel(cfg.Model)
 	if err != nil {
@@ -135,45 +221,77 @@ func Run(cfg Config) (Result, error) {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	totalNodes := cfg.Nodes * cfg.Replicas
+	nChunks := (totalNodes + chunkSize - 1) / chunkSize
 	root := stats.NewRNG(cfg.Seed)
 
-	type chunk struct{ lo, hi int }
-	chunks := make(chan chunk, workers)
-	results := make([]Result, workers)
+	// Resume: chunks already present in the checkpoint section are adopted
+	// verbatim; only the remainder is simulated.
+	cp := cfg.Checkpoint.Section("run-"+cfg.fingerprint(), cfg.fingerprint())
+	chunks := make([]*Result, nChunks)
+	var todo []int
+	for ci := 0; ci < nChunks; ci++ {
+		if raw, ok := cp.Get(ci); ok {
+			var r Result
+			if err := json.Unmarshal(raw, &r); err == nil {
+				chunks[ci] = &r
+				for _, s := range r.Skips {
+					cfg.Mon.RecordSkip(s)
+				}
+				cfg.Mon.AddSkipped(int64(r.SkippedTrials - len(r.Skips)))
+				continue
+			}
+			// An undecodable chunk is recomputed, not fatal.
+		}
+		todo = append(todo, ci)
+	}
+	cfg.Mon.Expect(int64(len(todo)) * chunkSize)
+
+	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(w int) {
+		go func() {
 			defer wg.Done()
-			sim := newNodeSim(model, cfg)
-			for c := range chunks {
-				for i := c.lo; i < c.hi; i++ {
-					sim.runNode(root.Fork(uint64(i)), &results[w])
+			sim, err := newNodeSim(model, cfg)
+			if err != nil {
+				return // validated above; unreachable
+			}
+			for ctx.Err() == nil {
+				k := int(next.Add(1)) - 1
+				if k >= len(todo) {
+					return
+				}
+				ci := todo[k]
+				lo := ci * chunkSize
+				hi := lo + chunkSize
+				if hi > totalNodes {
+					hi = totalNodes
+				}
+				res := &Result{}
+				for i := lo; i < hi; i++ {
+					runTrial(sim, root, i, res, &cfg)
+				}
+				chunks[ci] = res
+				cfg.Mon.Done(int64(hi - lo))
+				if err := cp.Put(ci, res); err != nil {
+					cfg.Mon.Warnf("relsim: %v (run continues without this chunk persisted)", err)
 				}
 			}
-		}(w)
+		}()
 	}
-	const chunkSize = 4096
-	for lo := 0; lo < totalNodes; lo += chunkSize {
-		hi := lo + chunkSize
-		if hi > totalNodes {
-			hi = totalNodes
-		}
-		chunks <- chunk{lo, hi}
-	}
-	close(chunks)
 	wg.Wait()
+	if err := cfg.Checkpoint.Flush(); err != nil {
+		cfg.Mon.Warnf("relsim: %v", err)
+	}
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
 
+	// Reduce in chunk-index order: float accumulation order is fixed, so
+	// the result is identical for every worker count and for resumed runs.
 	var sum Result
-	for _, r := range results {
-		sum.FaultyNodes += r.FaultyNodes
-		sum.MultiDeviceFaultDIMMs += r.MultiDeviceFaultDIMMs
-		sum.DUEs += r.DUEs
-		sum.SDCs += r.SDCs
-		sum.Replacements += r.Replacements
-		sum.RepairedNodes += r.RepairedNodes
-		sum.RepairedDIMMs += r.RepairedDIMMs
-		sum.FaultyDIMMs += r.FaultyDIMMs
+	for _, c := range chunks {
+		sum.add(c)
 	}
 	inv := 1 / float64(cfg.Replicas)
 	sum.FaultyNodes *= inv
@@ -186,6 +304,72 @@ func Run(cfg Config) (Result, error) {
 	sum.FaultyDIMMs *= inv
 	sum.Replicas = cfg.Replicas
 	return sum, nil
+}
+
+// runTrial simulates one node with panic isolation: a panicking trial is
+// retried once from the identical RNG stream (transient failures recover;
+// deterministic ones repeat), and on the second failure the trial is dropped
+// and recorded with its reproduction coordinates. Trial state accumulates
+// into a scratch Result so a mid-trial panic cannot corrupt res.
+func runTrial(sim *nodeSim, root *stats.RNG, node int, res *Result, cfg *Config) {
+	for attempt := 0; ; attempt++ {
+		var scratch Result
+		err := func() (err error) {
+			defer func() {
+				if r := recover(); r != nil {
+					err = fmt.Errorf("trial panic: %v", r)
+				}
+			}()
+			if cfg.trialHook != nil {
+				cfg.trialHook(node)
+			}
+			sim.runNode(root.Fork(uint64(node)), &scratch)
+			return nil
+		}()
+		if err == nil {
+			res.add(&scratch)
+			return
+		}
+		if attempt == 0 {
+			continue
+		}
+		res.SkippedTrials++
+		skip := harness.Skip{Trial: node, Seed: cfg.Seed, Err: err.Error()}
+		if len(res.Skips) < harness.MaxSkipRecords {
+			res.Skips = append(res.Skips, skip)
+		}
+		cfg.Mon.RecordSkip(skip)
+		return
+	}
+}
+
+// ReplayNode re-executes the single trial `node` of the run described by
+// cfg, with no panic isolation: a trial that crashed a campaign (see
+// Result.Skips) crashes here too, under a debugger-friendly single goroutine.
+// The returned Result holds just that node's contributions, unscaled.
+func ReplayNode(cfg Config, node int) (Result, error) {
+	if cfg.Replicas <= 0 {
+		cfg.Replicas = 1
+	}
+	if node < 0 || node >= cfg.Nodes*cfg.Replicas {
+		return Result{}, fmt.Errorf("relsim: node %d outside [0, %d)", node, cfg.Nodes*cfg.Replicas)
+	}
+	if cfg.Planner != nil {
+		if _, ok := cfg.Planner.(repair.Incremental); !ok {
+			return Result{}, fmt.Errorf("relsim: planner %q does not support incremental planning", cfg.Planner.Name())
+		}
+	}
+	model, err := fault.NewModel(cfg.Model)
+	if err != nil {
+		return Result{}, err
+	}
+	sim, err := newNodeSim(model, cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	var res Result
+	sim.runNode(stats.NewRNG(cfg.Seed).Fork(uint64(node)), &res)
+	return res, nil
 }
 
 // liveFault is a permanent fault currently in service (not repaired, DIMM
@@ -203,16 +387,16 @@ type nodeSim struct {
 	inc   repair.Incremental // nil when no repair is configured
 }
 
-func newNodeSim(model *fault.Model, cfg Config) *nodeSim {
+func newNodeSim(model *fault.Model, cfg Config) (*nodeSim, error) {
 	s := &nodeSim{model: model, cfg: cfg}
 	if cfg.Planner != nil {
 		inc, ok := cfg.Planner.(repair.Incremental)
 		if !ok {
-			panic("relsim: planner does not support incremental planning")
+			return nil, fmt.Errorf("relsim: planner %q does not support incremental planning", cfg.Planner.Name())
 		}
 		s.inc = inc
 	}
-	return s
+	return s, nil
 }
 
 // runNode simulates one node's 6-year history and accumulates metrics.
