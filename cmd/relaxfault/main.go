@@ -4,7 +4,8 @@
 // Usage:
 //
 //	relaxfault [-scale quick|paper] [-seed N] [-timeout D] [-progress D]
-//	           [-checkpoint FILE [-resume]] <experiment> [...]
+//	           [-checkpoint FILE [-resume]] [-metrics FILE|-] [-events FILE]
+//	           [-pprof ADDR] <experiment> [...]
 //
 // Experiments: tab1 tab2 tab3 tab4 fig2 fig8 fig9 fig10 fig11 fig12 fig13
 // fig14 fig15 fig16 all
@@ -15,6 +16,11 @@
 // snapshot with bitwise-identical output, and a requested experiment that
 // fails no longer aborts the rest — failures are collected and summarised.
 //
+// Telemetry (see OBSERVABILITY.md): -metrics writes a run manifest with the
+// full metrics snapshot, -events streams JSONL progress/skip/run events, and
+// -pprof serves net/http/pprof, expvar, and Prometheus text metrics while
+// the run is live. Flags may appear before or after experiment names.
+//
 // Exit codes: 0 success; 1 at least one experiment failed; 2 usage error;
 // 3 all experiments completed but some Monte Carlo trials were skipped
 // after panics (partial success — see the skip report on stderr);
@@ -23,9 +29,12 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on the default mux
 	"os"
 	"os/signal"
 	"strings"
@@ -34,6 +43,7 @@ import (
 
 	"relaxfault/internal/experiments"
 	"relaxfault/internal/harness"
+	"relaxfault/internal/obs"
 )
 
 func main() {
@@ -52,9 +62,12 @@ func run() int {
 	progress := flag.Duration("progress", 10*time.Second, "progress report interval on stderr (0 = silent)")
 	checkpoint := flag.String("checkpoint", "", "checkpoint snapshot file for the Monte Carlo runs")
 	resume := flag.Bool("resume", false, "resume from the -checkpoint snapshot instead of starting fresh")
+	metricsOut := flag.String("metrics", "", `write the run manifest (config, timings, metrics snapshot) to FILE; "-" prints JSON to stdout`)
+	eventsOut := flag.String("events", "", "append machine-readable JSONL progress/skip/run events to FILE")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof, expvar, and Prometheus text metrics on ADDR (e.g. localhost:6060)")
 	flag.Usage = usage
-	flag.Parse()
-	if flag.NArg() == 0 {
+	args := parseArgs()
+	if len(args) == 0 {
 		usage()
 		return 2
 	}
@@ -89,10 +102,40 @@ func run() int {
 		os.Exit(130)
 	}()
 
+	if *pprofAddr != "" {
+		// Importing obs pulls in expvar, whose init registers /debug/vars on
+		// the default mux; net/http/pprof likewise registers /debug/pprof/*.
+		obs.Default().PublishExpvar("relaxfault")
+		http.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			obs.Default().WriteProm(w)
+		})
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "relaxfault: pprof server: %v\n", err)
+			}
+		}()
+	}
+
 	mon := harness.NewMonitor(os.Stderr, *progress)
-	stopMon := mon.Start()
+	// With -progress 0 the periodic reporter is never launched at all: no
+	// goroutine, no ticker, nothing to stop at exit.
+	stopMon := func() {}
+	if *progress > 0 {
+		stopMon = mon.Start()
+	}
 	defer stopMon()
 	scale.Mon = mon
+	if *eventsOut != "" {
+		f, err := os.OpenFile(*eventsOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "relaxfault: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		mon.SetEventWriter(f)
+	}
+	manifest := harness.NewManifest()
 	if *checkpoint != "" {
 		store, err := harness.OpenStore(*checkpoint, *resume)
 		if err != nil {
@@ -107,10 +150,14 @@ func run() int {
 		}()
 	}
 
-	args := flag.Args()
 	if len(args) == 1 && args[0] == "all" {
 		args = allExperiments
 	}
+	mon.Event("run_start", map[string]any{
+		"experiments": args,
+		"scale":       *scaleFlag,
+		"seed":        *seed,
+	})
 
 	// Graceful degradation: every requested experiment runs; failures are
 	// collected and summarised, and only the final exit code reflects them.
@@ -129,12 +176,20 @@ func run() int {
 		case err == nil:
 			// Timing goes to stderr: stdout carries only the artifacts, so a
 			// resumed run's stdout is byte-identical to an uninterrupted one.
-			fmt.Fprintf(os.Stderr, "[%s completed in %v]\n", name, time.Since(start).Round(time.Millisecond))
+			elapsed := time.Since(start)
+			fmt.Fprintf(os.Stderr, "[%s completed in %v]\n", name, elapsed.Round(time.Millisecond))
+			obs.Default().Timer("experiments." + obs.SanitizeName(name) + ".seconds").Observe(elapsed)
+			mon.Event("experiment_done", map[string]any{
+				"experiment": name, "seconds": elapsed.Seconds(),
+			})
 		case errors.Is(err, context.Canceled) && ctx.Err() != nil:
 			interrupted = true
 		default:
 			fmt.Fprintf(os.Stderr, "relaxfault: %s: %v\n", name, err)
 			failures = append(failures, fmt.Sprintf("%s: %v", name, err))
+			mon.Event("experiment_failed", map[string]any{
+				"experiment": name, "err": err.Error(),
+			})
 		}
 		if interrupted {
 			break
@@ -142,29 +197,91 @@ func run() int {
 	}
 	mon.SetLabel("")
 
-	if interrupted {
+	code := 0
+	switch {
+	case interrupted:
 		fmt.Fprintf(os.Stderr, "relaxfault: interrupted")
 		if *checkpoint != "" {
 			fmt.Fprintf(os.Stderr, "; partial results checkpointed to %s (restart with -resume)", *checkpoint)
 		}
 		fmt.Fprintf(os.Stderr, "\n")
-		return 130
-	}
-	if len(failures) > 0 {
+		code = 130
+	case len(failures) > 0:
 		fmt.Fprintf(os.Stderr, "relaxfault: %d/%d experiments failed:\n", len(failures), len(args))
 		for _, f := range failures {
 			fmt.Fprintf(os.Stderr, "  %s\n", f)
 		}
-		return 1
-	}
-	if n := mon.Skipped(); n > 0 {
-		fmt.Fprintf(os.Stderr, "relaxfault: completed with %d skipped trials (partial success):\n", n)
+		code = 1
+	case mon.Skipped() > 0:
+		fmt.Fprintf(os.Stderr, "relaxfault: completed with %d skipped trials (partial success):\n", mon.Skipped())
 		for _, s := range mon.Skips() {
 			fmt.Fprintf(os.Stderr, "  %s\n", s)
 		}
-		return 3
+		code = 3
 	}
-	return 0
+
+	manifest.Experiments = args
+	manifest.Scale = *scaleFlag
+	manifest.Seed = *seed
+	manifest.Fingerprint = harness.Fingerprint("relaxfault-cli", *scaleFlag, *seed, args)
+	manifest.Checkpoint = *checkpoint
+	manifest.TrialsDone = mon.DoneTrials()
+	manifest.TrialsSkipped = mon.Skipped()
+	manifest.Skips = mon.Skips()
+	manifest.ExitCode = code
+	manifest.Failures = failures
+	manifest.Finish()
+	mon.Event("run_done", map[string]any{
+		"exit_code":    code,
+		"trials_done":  manifest.TrialsDone,
+		"wall_seconds": manifest.WallSeconds,
+	})
+	if err := writeManifest(manifest, *metricsOut, *checkpoint); err != nil {
+		fmt.Fprintf(os.Stderr, "relaxfault: %v\n", err)
+		if code == 0 {
+			code = 1
+		}
+	}
+	return code
+}
+
+// parseArgs parses flags interleaved with experiment names, so both
+// "relaxfault -scale quick fig13" and "relaxfault fig13 -scale quick" work.
+func parseArgs() []string {
+	flag.Parse()
+	var positional []string
+	rest := flag.Args()
+	for len(rest) > 0 {
+		if strings.HasPrefix(rest[0], "-") && len(rest[0]) > 1 {
+			flag.CommandLine.Parse(rest)
+			rest = flag.Args()
+			continue
+		}
+		positional = append(positional, rest[0])
+		rest = rest[1:]
+	}
+	return positional
+}
+
+// writeManifest persists the run manifest: always next to the checkpoint
+// when one is in use, and additionally to the -metrics target ("-" prints
+// JSON to stdout, after the experiment artifacts).
+func writeManifest(m *harness.Manifest, target, checkpoint string) error {
+	if checkpoint != "" {
+		if err := m.WriteFile(checkpoint + ".manifest.json"); err != nil {
+			return err
+		}
+	}
+	switch target {
+	case "":
+		return nil
+	case "-":
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(m)
+	default:
+		return m.WriteFile(target)
+	}
 }
 
 // runState caches results shared between experiments within one invocation:
@@ -301,6 +418,13 @@ flags:
   -checkpoint FILE    periodically snapshot Monte Carlo chunks to FILE
   -resume             restart from FILE's last snapshot (same flags + seed
                       reproduce the uninterrupted output exactly)
+  -metrics FILE|-     write the run manifest (config fingerprint, timings,
+                      metrics snapshot); "-" prints JSON to stdout
+  -events FILE        append JSONL progress/skip/run events to FILE
+  -pprof ADDR         serve /debug/pprof, /debug/vars, and /metrics on ADDR
+
+Flags may appear before or after experiment names. See OBSERVABILITY.md for
+the metric catalogue and manifest schema.
 
 experiments:
   tab1   Table 1:  RelaxFault storage overhead

@@ -95,6 +95,12 @@ func (c *Codeword) Syndromes() (byte, byte) {
 // error are silently miscorrected — Decode cannot know; use DecodeKnown in
 // tests to distinguish.
 func (c *Codeword) Decode() (Status, int) {
+	st, p := c.decode()
+	record(st)
+	return st, p
+}
+
+func (c *Codeword) decode() (Status, int) {
 	s0, s1 := c.Syndromes()
 	if s0 == 0 && s1 == 0 {
 		return OK, -1
@@ -119,14 +125,14 @@ func (c *Codeword) Decode() (Status, int) {
 // returned position is the corrected position (meaningful for Corrected and
 // Miscorrected).
 func (c *Codeword) DecodeKnown(sent *Codeword) (Status, int) {
-	st, p := c.Decode()
+	st, p := c.decode()
 	if st == Corrected && *c != *sent {
-		return Miscorrected, p
-	}
-	if st == OK && *c != *sent {
+		st = Miscorrected
+	} else if st == OK && *c != *sent {
 		// The error vector was itself a codeword: completely silent.
-		return Miscorrected, -1
+		st, p = Miscorrected, -1
 	}
+	record(st)
 	return st, p
 }
 
@@ -193,6 +199,7 @@ func DecodeLine(line dram.Line) (LineResult, error) {
 			res.Status = DUE
 		}
 	}
+	recordLine(res)
 	return res, nil
 }
 

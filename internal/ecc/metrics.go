@@ -1,0 +1,48 @@
+package ecc
+
+import "relaxfault/internal/obs"
+
+// Process-wide decode tallies, bound to the default registry at init so the
+// ecc.* families exist (zero-valued) in every metrics snapshot. Codeword
+// counters classify every Decode by outcome; line counters classify whole
+// 64B lines through DecodeLine. ecc.sdc counts miscorrections, which only
+// test instrumentation (DecodeKnown) can observe — at run time an SDC is
+// indistinguishable from a correction, so the runtime counters bound it
+// rather than measure it.
+var (
+	mOK          = obs.Default().Counter("ecc.ok")
+	mCorrected   = obs.Default().Counter("ecc.corrected")
+	mDUE         = obs.Default().Counter("ecc.due")
+	mSDC         = obs.Default().Counter("ecc.sdc")
+	mLineOK      = obs.Default().Counter("ecc.lines.ok")
+	mLineCorr    = obs.Default().Counter("ecc.lines.corrected")
+	mLineDUE     = obs.Default().Counter("ecc.lines.due")
+	mCorrDevices = obs.Default().Counter("ecc.corrected_devices")
+)
+
+// record tallies one codeword decode outcome.
+func record(st Status) {
+	switch st {
+	case OK:
+		mOK.Inc()
+	case Corrected:
+		mCorrected.Inc()
+	case DUE:
+		mDUE.Inc()
+	case Miscorrected:
+		mSDC.Inc()
+	}
+}
+
+// recordLine tallies one whole-line decode outcome.
+func recordLine(res LineResult) {
+	switch res.Status {
+	case OK:
+		mLineOK.Inc()
+	case Corrected:
+		mLineCorr.Inc()
+	case DUE:
+		mLineDUE.Inc()
+	}
+	mCorrDevices.Add(int64(len(res.CorrectedDevices)))
+}

@@ -19,8 +19,10 @@
 package harness
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -73,6 +75,17 @@ type Monitor struct {
 	skips        []Skip
 	stopReporter chan struct{}
 	reporterDone chan struct{}
+
+	// outMu serialises every write to out. Progress lines, skip reports,
+	// and warnings race from the reporter goroutine and all workers; each
+	// message is assembled off-lock and written in a single call so lines
+	// never interleave mid-way.
+	outMu sync.Mutex
+
+	// events, when set, receives one JSON object per line for machine
+	// consumption (progress samples, skips, caller-defined run events).
+	evMu   sync.Mutex
+	events io.Writer
 }
 
 // NewMonitor creates a Monitor reporting to out every interval. A
@@ -117,6 +130,64 @@ func (m *Monitor) Done(n int64) {
 	m.stallWarned.Store(false)
 }
 
+// logf writes one complete line to the monitor's writer under outMu, so
+// concurrent progress lines, warnings, and skip reports never interleave.
+func (m *Monitor) logf(format string, args ...any) {
+	if m == nil || m.out == nil {
+		return
+	}
+	msg := fmt.Sprintf(format, args...)
+	if !strings.HasSuffix(msg, "\n") {
+		msg += "\n"
+	}
+	m.outMu.Lock()
+	io.WriteString(m.out, msg)
+	m.outMu.Unlock()
+}
+
+// SetEventWriter directs machine-readable JSONL events to w (nil disables).
+// Each Event call writes exactly one line; callers typically hand in a file
+// opened next to the checkpoint.
+func (m *Monitor) SetEventWriter(w io.Writer) {
+	if m == nil {
+		return
+	}
+	m.evMu.Lock()
+	m.events = w
+	m.evMu.Unlock()
+}
+
+// Event emits one JSONL record with the given type plus caller fields. The
+// reserved keys "time" (RFC3339) and "type" are added here; fields sort into
+// deterministic order via json.Marshal of the map. Safe for concurrent use
+// and a silent no-op without an event writer.
+func (m *Monitor) Event(typ string, fields map[string]any) {
+	if m == nil {
+		return
+	}
+	m.evMu.Lock()
+	w := m.events
+	m.evMu.Unlock()
+	if w == nil {
+		return
+	}
+	rec := make(map[string]any, len(fields)+2)
+	for k, v := range fields {
+		rec[k] = v
+	}
+	rec["time"] = time.Now().UTC().Format(time.RFC3339Nano)
+	rec["type"] = typ
+	b, err := json.Marshal(rec)
+	if err != nil {
+		m.logf("harness: warning: dropped %q event: %v", typ, err)
+		return
+	}
+	b = append(b, '\n')
+	m.evMu.Lock()
+	w.Write(b)
+	m.evMu.Unlock()
+}
+
 // RecordSkip accounts for one abandoned trial and emits a warning line. Only
 // the first MaxSkipRecords records are retained.
 func (m *Monitor) RecordSkip(s Skip) {
@@ -131,11 +202,14 @@ func (m *Monitor) RecordSkip(s Skip) {
 	if len(m.skips) < MaxSkipRecords {
 		m.skips = append(m.skips, s)
 	}
-	out := m.out
 	m.mu.Unlock()
-	if out != nil {
-		fmt.Fprintf(out, "harness: skipped %s\n", s)
-	}
+	m.logf("harness: skipped %s", s)
+	m.Event("skip", map[string]any{
+		"experiment": s.Experiment,
+		"trial":      s.Trial,
+		"seed":       s.Seed,
+		"err":        s.Err,
+	})
 }
 
 // AddSkipped accounts n additional abandoned trials for which no record is
@@ -151,10 +225,7 @@ func (m *Monitor) AddSkipped(n int64) {
 // monitor is nil or has no writer). Simulators use it for conditions that
 // must not abort a long campaign, like checkpoint I/O failures.
 func (m *Monitor) Warnf(format string, args ...any) {
-	if m == nil || m.out == nil {
-		return
-	}
-	fmt.Fprintf(m.out, "harness: warning: "+format+"\n", args...)
+	m.logf("harness: warning: "+format, args...)
 }
 
 // Skipped returns the total number of abandoned trials observed so far.
@@ -240,21 +311,37 @@ func (m *Monitor) report(now time.Time) {
 	if label != "" {
 		prefix = "harness[" + label + "]"
 	}
+	// Build the whole report off-lock and write it once, so a multi-line
+	// report cannot interleave with worker warnings.
+	var b strings.Builder
 	switch {
 	case expected > 0 && done < expected && rate > 0:
 		eta := time.Duration(float64(expected-done) / rate * float64(time.Second))
-		fmt.Fprintf(m.out, "%s: %d/%d trials (%.1f%%) %.0f trials/sec ETA %s\n",
+		fmt.Fprintf(&b, "%s: %d/%d trials (%.1f%%) %.0f trials/sec ETA %s\n",
 			prefix, done, expected, 100*float64(done)/float64(expected), rate, eta.Round(time.Second))
 	case done > 0:
-		fmt.Fprintf(m.out, "%s: %d trials %.0f trials/sec\n", prefix, done, rate)
+		fmt.Fprintf(&b, "%s: %d trials %.0f trials/sec\n", prefix, done, rate)
 	}
-	if skipped := m.skipped.Load(); skipped > 0 {
-		fmt.Fprintf(m.out, "%s: %d trials skipped after panics\n", prefix, skipped)
+	skipped := m.skipped.Load()
+	if skipped > 0 {
+		fmt.Fprintf(&b, "%s: %d trials skipped after panics\n", prefix, skipped)
 	}
 	idle := now.Sub(time.Unix(0, m.lastAdvance.Load()))
-	if idle >= m.stallAfter && done > 0 && (expected <= 0 || done < expected) {
-		if m.stallWarned.CompareAndSwap(false, true) {
-			fmt.Fprintf(m.out, "%s: watchdog: no worker progress for %s\n", prefix, idle.Round(time.Second))
-		}
+	stalled := idle >= m.stallAfter && done > 0 && (expected <= 0 || done < expected)
+	if stalled && m.stallWarned.CompareAndSwap(false, true) {
+		fmt.Fprintf(&b, "%s: watchdog: no worker progress for %s\n", prefix, idle.Round(time.Second))
+	}
+	if b.Len() > 0 {
+		m.logf("%s", b.String())
+	}
+	if done > 0 || skipped > 0 {
+		m.Event("progress", map[string]any{
+			"experiment":     label,
+			"trials_done":    done,
+			"trials_total":   expected,
+			"trials_skipped": skipped,
+			"trials_per_sec": rate,
+			"stalled":        stalled,
+		})
 	}
 }

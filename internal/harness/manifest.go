@@ -1,0 +1,134 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/debug"
+	"time"
+
+	"relaxfault/internal/obs"
+)
+
+// ManifestSchema versions the manifest JSON layout; consumers should reject
+// schemas they do not understand rather than guess.
+const ManifestSchema = 1
+
+// Manifest is the machine-readable record of one CLI run: enough to
+// reproduce it (command, seed, fingerprint, version), audit it (wall/CPU
+// time, skips, failures), and analyse it (the full metrics snapshot). It is
+// written next to the checkpoint file and/or to the -metrics target.
+type Manifest struct {
+	Schema    int    `json:"schema"`
+	Version   string `json:"version"`    // VCS revision of the binary, or "unknown"
+	GoVersion string `json:"go_version"` //
+	OS        string `json:"os"`
+	Arch      string `json:"arch"`
+
+	Command     []string `json:"command"`     // os.Args as invoked
+	Experiments []string `json:"experiments"` // experiment names run
+	Scale       string   `json:"scale,omitempty"`
+	Seed        uint64   `json:"seed"`
+	Fingerprint string   `json:"fingerprint,omitempty"` // config fingerprint(s), joined
+	Checkpoint  string   `json:"checkpoint,omitempty"`
+
+	Start       time.Time `json:"start"`
+	End         time.Time `json:"end"`
+	WallSeconds float64   `json:"wall_seconds"`
+	// CPUSeconds is user+system process CPU time (0 where unsupported).
+	CPUSeconds float64 `json:"cpu_seconds"`
+
+	TrialsDone    int64  `json:"trials_done"`
+	TrialsSkipped int64  `json:"trials_skipped"`
+	Skips         []Skip `json:"skips,omitempty"`
+
+	ExitCode int      `json:"exit_code"`
+	Failures []string `json:"failures,omitempty"`
+
+	Metrics map[string]obs.MetricSnapshot `json:"metrics"`
+}
+
+// NewManifest starts a manifest for the current process: schema, build
+// version, platform, and command line are filled in; the caller sets the
+// run-specific fields and calls Finish before writing.
+func NewManifest() *Manifest {
+	return &Manifest{
+		Schema:    ManifestSchema,
+		Version:   buildVersion(),
+		GoVersion: runtime.Version(),
+		OS:        runtime.GOOS,
+		Arch:      runtime.GOARCH,
+		Command:   append([]string(nil), os.Args...),
+		Start:     time.Now().UTC(),
+	}
+}
+
+// Finish stamps the end time, wall clock, CPU time, and the metrics
+// snapshot from the default registry.
+func (m *Manifest) Finish() {
+	m.End = time.Now().UTC()
+	m.WallSeconds = m.End.Sub(m.Start).Seconds()
+	m.CPUSeconds = processCPUSeconds()
+	m.Metrics = obs.Default().Snapshot()
+}
+
+// WriteFile writes the manifest atomically (temp file + rename), matching
+// the checkpoint Store's crash behaviour: readers see the old manifest or
+// the new one, never a torn file.
+func (m *Manifest) WriteFile(path string) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("harness: encode manifest: %w", err)
+	}
+	data = append(data, '\n')
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("harness: write manifest: %w", err)
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		if werr != nil {
+			return fmt.Errorf("harness: write manifest: %w", werr)
+		}
+		return fmt.Errorf("harness: write manifest: %w", cerr)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("harness: write manifest: %w", err)
+	}
+	return nil
+}
+
+// buildVersion extracts the VCS revision stamped into the binary (12-hex
+// prefix, "+dirty" when the tree was modified). `go run` and test binaries
+// usually carry no stamp; those report "unknown".
+func buildVersion() string {
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown"
+	}
+	rev, dirty := "", false
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if rev == "" {
+		return "unknown"
+	}
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	if dirty {
+		rev += "+dirty"
+	}
+	return rev
+}

@@ -1,0 +1,6 @@
+//go:build !unix
+
+package harness
+
+// processCPUSeconds is unavailable off-unix; the manifest records 0.
+func processCPUSeconds() float64 { return 0 }

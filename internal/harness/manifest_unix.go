@@ -1,0 +1,17 @@
+//go:build unix
+
+package harness
+
+import "syscall"
+
+// processCPUSeconds returns user+system CPU time consumed by this process.
+func processCPUSeconds() float64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	toSec := func(tv syscall.Timeval) float64 {
+		return float64(tv.Sec) + float64(tv.Usec)/1e6
+	}
+	return toSec(ru.Utime) + toSec(ru.Stime)
+}

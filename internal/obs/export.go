@@ -1,0 +1,162 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Bucket is one cumulative histogram bucket in a snapshot. LE is the
+// upper bound formatted as a decimal string ("+Inf" for the overflow
+// bucket) so the snapshot stays encodable as JSON.
+type Bucket struct {
+	LE    string `json:"le"`
+	Count int64  `json:"count"`
+}
+
+// MetricSnapshot is one metric's point-in-time state. Counters and gauges
+// populate Value; histograms and timers populate Count, Sum, and Buckets.
+type MetricSnapshot struct {
+	Type    string   `json:"type"`
+	Value   *float64 `json:"value,omitempty"`
+	Count   *int64   `json:"count,omitempty"`
+	Sum     *float64 `json:"sum,omitempty"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Snapshot returns the current state of every registered metric, keyed by
+// metric name. The result is safe to marshal to JSON (map keys sort).
+func (r *Registry) Snapshot() map[string]MetricSnapshot {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]MetricSnapshot, len(r.metrics))
+	for name, m := range r.metrics {
+		out[name] = snapshotOne(m)
+	}
+	return out
+}
+
+func snapshotOne(m any) MetricSnapshot {
+	fv := func(v float64) *float64 { return &v }
+	switch m := m.(type) {
+	case *Counter:
+		return MetricSnapshot{Type: "counter", Value: fv(float64(m.Value()))}
+	case *FloatCounter:
+		return MetricSnapshot{Type: "counter", Value: fv(m.Value())}
+	case *Gauge:
+		return MetricSnapshot{Type: "gauge", Value: fv(m.Value())}
+	case *Timer:
+		return snapshotHistogram(m.h)
+	case *Histogram:
+		return snapshotHistogram(m)
+	default:
+		return MetricSnapshot{Type: fmt.Sprintf("unknown(%T)", m)}
+	}
+}
+
+func snapshotHistogram(h *Histogram) MetricSnapshot {
+	count := h.Count()
+	sum := h.Sum()
+	s := MetricSnapshot{Type: "histogram", Count: &count, Sum: &sum}
+	var cum int64
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		s.Buckets = append(s.Buckets, Bucket{LE: formatFloat(b), Count: cum})
+	}
+	s.Buckets = append(s.Buckets, Bucket{LE: "+Inf", Count: count})
+	return s
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteProm writes the registry in the Prometheus text exposition format
+// (version 0.0.4): a # TYPE line per metric family followed by its
+// samples, with dotted metric names folded to underscores.
+func (r *Registry) WriteProm(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, name := range r.names() {
+		pn := PromName(name)
+		switch m := r.metrics[name].(type) {
+		case *Counter:
+			fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", pn, pn, m.Value())
+		case *FloatCounter:
+			fmt.Fprintf(w, "# TYPE %s counter\n%s %s\n", pn, pn, formatFloat(m.Value()))
+		case *Gauge:
+			fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", pn, pn, formatFloat(m.Value()))
+		case *Timer:
+			writePromHistogram(w, pn, m.h)
+		case *Histogram:
+			writePromHistogram(w, pn, m)
+		}
+	}
+	return nil
+}
+
+func writePromHistogram(w io.Writer, pn string, h *Histogram) {
+	fmt.Fprintf(w, "# TYPE %s histogram\n", pn)
+	var cum int64
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", pn, formatFloat(b), cum)
+	}
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", pn, h.Count())
+	fmt.Fprintf(w, "%s_sum %s\n", pn, formatFloat(h.Sum()))
+	fmt.Fprintf(w, "%s_count %d\n", pn, h.Count())
+}
+
+// PromName folds a dotted metric name to a legal Prometheus metric name:
+// every character outside [a-zA-Z0-9_] becomes '_', and a leading digit is
+// prefixed with '_'.
+func PromName(name string) string {
+	var b strings.Builder
+	for i, c := range name {
+		ok := c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+		if !ok {
+			b.WriteByte('_')
+			continue
+		}
+		if i == 0 && c >= '0' && c <= '9' {
+			b.WriteByte('_')
+		}
+		b.WriteRune(c)
+	}
+	return b.String()
+}
+
+// SanitizeName lowers a free-form label (a planner name, a fault-mode
+// string) into a metric-name segment: lowercase, with every run of
+// non-alphanumeric characters collapsed to one '_'.
+func SanitizeName(s string) string {
+	var b strings.Builder
+	pendingSep := false
+	for _, c := range strings.ToLower(s) {
+		if (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') {
+			if pendingSep && b.Len() > 0 {
+				b.WriteByte('_')
+			}
+			pendingSep = false
+			b.WriteRune(c)
+		} else {
+			pendingSep = true
+		}
+	}
+	return b.String()
+}
+
+// PublishExpvar exposes the registry as one expvar variable (rendered as
+// its JSON snapshot under /debug/vars). Like expvar.Publish it must be
+// called at most once per name.
+func (r *Registry) PublishExpvar(name string) {
+	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+}

@@ -1,0 +1,138 @@
+package obs
+
+import (
+	"encoding/json"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+)
+
+// buildFixed populates a registry with one metric of every kind and a
+// deterministic set of observations.
+func buildFixed() *Registry {
+	r := New()
+	r.Counter("perf.llc.hits").Add(42)
+	r.FloatCounter("relsim.due").Add(0.25)
+	r.Gauge("run.workers").Set(8)
+	h := r.Histogram("perf.mc.read_queue_depth", []float64{1, 4, 16})
+	for _, v := range []float64{0, 1, 3, 5, 20, 100} {
+		h.Observe(v)
+	}
+	r.Timer("perf.run_seconds").Observe(50 * time.Millisecond)
+	return r
+}
+
+// TestPromGolden checks the exposition byte-for-byte against a golden
+// transcript: names folded to underscores, cumulative buckets, sum/count
+// lines, deterministic ordering.
+func TestPromGolden(t *testing.T) {
+	var b strings.Builder
+	if err := buildFixed().WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# TYPE perf_llc_hits counter
+perf_llc_hits 42
+# TYPE perf_mc_read_queue_depth histogram
+perf_mc_read_queue_depth_bucket{le="1"} 2
+perf_mc_read_queue_depth_bucket{le="4"} 3
+perf_mc_read_queue_depth_bucket{le="16"} 4
+perf_mc_read_queue_depth_bucket{le="+Inf"} 6
+perf_mc_read_queue_depth_sum 129
+perf_mc_read_queue_depth_count 6
+# TYPE perf_run_seconds histogram
+perf_run_seconds_bucket{le="0.001"} 0
+perf_run_seconds_bucket{le="0.01"} 0
+perf_run_seconds_bucket{le="0.1"} 1
+perf_run_seconds_bucket{le="1"} 1
+perf_run_seconds_bucket{le="10"} 1
+perf_run_seconds_bucket{le="60"} 1
+perf_run_seconds_bucket{le="600"} 1
+perf_run_seconds_bucket{le="+Inf"} 1
+perf_run_seconds_sum 0.05
+perf_run_seconds_count 1
+# TYPE relsim_due counter
+relsim_due 0.25
+# TYPE run_workers gauge
+run_workers 8
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestPromParsesLineByLine validates every line of a larger exposition
+// against the text-format grammar (the subset this exporter emits), so a
+// malformed metric name or value cannot slip out unnoticed.
+func TestPromParsesLineByLine(t *testing.T) {
+	r := buildFixed()
+	// Names that exercise the folding rules.
+	r.Counter("relsim.faults.injected.single-bit/word").Inc()
+	r.Counter("9starts.with.digit").Inc()
+	var b strings.Builder
+	if err := r.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	typeLine := regexp.MustCompile(`^# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|histogram)$`)
+	sampleLine := regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{le="[^"]+"\})? [-+]?([0-9]*\.?[0-9]+([eE][-+]?[0-9]+)?|Inf|NaN)$`)
+	lines := strings.Split(strings.TrimRight(b.String(), "\n"), "\n")
+	if len(lines) < 10 {
+		t.Fatalf("suspiciously short exposition: %d lines", len(lines))
+	}
+	seenTypes := 0
+	for _, line := range lines {
+		switch {
+		case strings.HasPrefix(line, "# TYPE"):
+			seenTypes++
+			if !typeLine.MatchString(line) {
+				t.Errorf("bad TYPE line: %q", line)
+			}
+		case strings.HasPrefix(line, "#"):
+			t.Errorf("unexpected comment line: %q", line)
+		default:
+			if !sampleLine.MatchString(line) {
+				t.Errorf("bad sample line: %q", line)
+			}
+		}
+	}
+	if seenTypes != 7 {
+		t.Errorf("saw %d TYPE lines, want 7", seenTypes)
+	}
+}
+
+// TestJSONSnapshotRoundTrips: the snapshot must be JSON-encodable (no
+// +Inf floats — the overflow bucket bound is a string) and carry the
+// values and cumulative bucket counts exactly.
+func TestJSONSnapshotRoundTrips(t *testing.T) {
+	snap := buildFixed().Snapshot()
+	data, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatalf("snapshot not JSON-encodable: %v", err)
+	}
+	var back map[string]MetricSnapshot
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("snapshot does not round-trip: %v", err)
+	}
+	c := back["perf.llc.hits"]
+	if c.Type != "counter" || c.Value == nil || *c.Value != 42 {
+		t.Errorf("perf.llc.hits = %+v, want counter 42", c)
+	}
+	h := back["perf.mc.read_queue_depth"]
+	if h.Type != "histogram" || h.Count == nil || *h.Count != 6 || h.Sum == nil || *h.Sum != 129 {
+		t.Errorf("histogram = %+v, want count 6 sum 129", h)
+	}
+	if n := len(h.Buckets); n != 4 {
+		t.Fatalf("histogram has %d buckets, want 4 (3 bounds + +Inf)", n)
+	}
+	if last := h.Buckets[3]; last.LE != "+Inf" || last.Count != 6 {
+		t.Errorf("overflow bucket = %+v, want +Inf/6", last)
+	}
+	// A zero-valued counter still appears with an explicit value — the
+	// manifest consumers rely on families being present before any event.
+	r2 := New()
+	r2.Counter("ecc.due")
+	data2, _ := json.Marshal(r2.Snapshot())
+	if !strings.Contains(string(data2), `"ecc.due":{"type":"counter","value":0}`) {
+		t.Errorf("zero counter not serialised with explicit value: %s", data2)
+	}
+}

@@ -37,6 +37,16 @@ type Core struct {
 	DoneCycle int64
 
 	L1Hits, L2Hits, LLCLevel, MemLevel uint64
+
+	// Stall-cycle breakdown (published to the obs registry at run end):
+	// StallMemCycles counts cycles spent blocked on an outstanding DRAM
+	// request (critical miss or exhausted MLP), StallLatCycles the fixed
+	// hit/ROB-pressure latencies charged to the pipeline, ComputeCycles
+	// the 4-wide retire bursts.
+	StallMemCycles uint64
+	StallLatCycles uint64
+	ComputeCycles  uint64
+	blockStart     int64
 }
 
 // CoreConfig sets the private hierarchy sizes (Table 3).
@@ -112,6 +122,7 @@ func (c *Core) Tick(now int64, ms *MemSystem) {
 		if !c.blocked.Done(now) {
 			return
 		}
+		c.StallMemCycles += uint64(now - c.blockStart)
 		c.blocked = nil
 	}
 	if c.waitUntil > now {
@@ -150,13 +161,16 @@ func (c *Core) Tick(now int64, ms *MemSystem) {
 			c.MemLevel++
 			c.retireDone(now)
 			c.outstanding = append(c.outstanding, req)
+			pm.mshrDepth.Observe(float64(len(c.outstanding)))
 			if op.Critical {
 				c.blocked = req
+				c.blockStart = now
 			} else {
 				lat = c.missPenalty
 				if len(c.outstanding) > c.mlp {
 					c.blocked = c.outstanding[0]
 					c.outstanding = c.outstanding[1:]
+					c.blockStart = now
 				}
 			}
 			c.maybePrefetch(la, ms, now)
@@ -164,6 +178,8 @@ func (c *Core) Tick(now int64, ms *MemSystem) {
 		c.installL2(la, op.Write, ms, now)
 		c.installL1(la, op.Write, ms, now)
 	}
+	c.ComputeCycles += uint64(delay) + 1
+	c.StallLatCycles += uint64(lat)
 	c.waitUntil = now + 1 + delay + lat
 }
 

@@ -48,6 +48,12 @@ type bank struct {
 	lastAct     int64 // time of the last activate (for tRAS)
 	busyUntil   int64 // bank busy for row commands until this time
 	lastDataEnd int64 // end of the last data burst (+tWR for writes)
+
+	// rowHits/rowConflicts are this bank's share of the channel's
+	// open-page outcomes (plain fields: a channel is single-goroutine;
+	// publishRun folds them into the per-bank metric families).
+	rowHits      uint64
+	rowConflicts uint64
 }
 
 // OpCounts tallies DRAM commands for the power model.
@@ -96,12 +102,15 @@ func NewChannel(ranks, banks int) *Channel {
 	return ch
 }
 
-// Enqueue adds a request to the appropriate queue.
+// Enqueue adds a request to the appropriate queue and samples the queue's
+// occupancy into the FR-FCFS depth histograms.
 func (c *Channel) Enqueue(r *Request) {
 	if r.Write {
 		c.writeQ = append(c.writeQ, r)
+		pm.writeQDepth.Observe(float64(len(c.writeQ)))
 	} else {
 		c.readQ = append(c.readQ, r)
+		pm.readQDepth.Observe(float64(len(c.readQ)))
 	}
 }
 
@@ -159,6 +168,7 @@ func (c *Channel) schedule(r *Request, nowTck int64) bool {
 	case b.openRow == r.Loc.Row:
 		casAt = maxi64(nowTck, b.casReady)
 		c.RowHits++
+		b.rowHits++
 	case b.openRow >= 0:
 		// Precharge after tRAS from the activate and after the last data
 		// burst drains (+ write recovery), then activate, then CAS.
@@ -171,6 +181,7 @@ func (c *Channel) schedule(r *Request, nowTck int64) bool {
 		b.busyUntil = actAt
 		b.openRow = r.Loc.Row
 		c.RowMisses++
+		b.rowConflicts++
 	default:
 		actAt := maxi64(nowTck, b.busyUntil)
 		casAt = actAt + tRCD
@@ -179,6 +190,7 @@ func (c *Channel) schedule(r *Request, nowTck int64) bool {
 		b.busyUntil = actAt
 		b.openRow = r.Loc.Row
 		c.RowMisses++
+		b.rowConflicts++
 	}
 	// Serialise the data bus.
 	lat := int64(tCL)

@@ -70,9 +70,10 @@ type MemSystem struct {
 	bankHash bool
 	channels []*Channel
 
-	LLCHits    uint64
-	LLCMisses  uint64
-	Prefetches uint64
+	LLCHits      uint64
+	LLCMisses    uint64
+	LLCEvictions uint64
+	Prefetches   uint64
 }
 
 // MemConfig configures the shared hierarchy.
@@ -195,6 +196,9 @@ func (m *MemSystem) Access(la addrmap.LineAddr, write bool, nowCPU int64) (bool,
 		if write {
 			m.llc.MarkDirty(set, way)
 		}
+		if evicted.Valid {
+			m.LLCEvictions++
+		}
 		if evicted.Valid && evicted.Dirty {
 			evLA := m.lineAddrFromIndex(set, evicted.Tag)
 			evLoc := m.mapper.Decode(evLA)
@@ -225,6 +229,9 @@ func (m *MemSystem) Prefetch(la addrmap.LineAddr, nowCPU int64) *Request {
 	req := &Request{Loc: loc, Write: false, Arrival: nowCPU}
 	m.channels[loc.Channel].Enqueue(req)
 	way, evicted := m.llc.Fill(set, tag, false)
+	if way >= 0 && evicted.Valid {
+		m.LLCEvictions++
+	}
 	if way >= 0 && evicted.Valid && evicted.Dirty {
 		evLA := m.lineAddrFromIndex(set, evicted.Tag)
 		evLoc := m.mapper.Decode(evLA)

@@ -2,6 +2,7 @@ package perf
 
 import (
 	"fmt"
+	"time"
 
 	"relaxfault/internal/trace"
 )
@@ -49,14 +50,15 @@ type CoreResult struct {
 
 // Result is a full-system outcome.
 type Result struct {
-	Cores      []CoreResult
-	Cycles     int64
-	Ops        OpCounts
-	LLCHits    uint64
-	LLCMisses  uint64
-	Prefetches uint64
-	RowHits    uint64
-	RowMisses  uint64
+	Cores        []CoreResult
+	Cycles       int64
+	Ops          OpCounts
+	LLCHits      uint64
+	LLCMisses    uint64
+	LLCEvictions uint64
+	Prefetches   uint64
+	RowHits      uint64
+	RowMisses    uint64
 	// Seconds is wall time at the 4GHz clock.
 	Seconds float64
 }
@@ -72,6 +74,7 @@ func (r *Result) TotalIPC() float64 {
 
 // Run simulates the given threads (one per core) to completion.
 func Run(cfg SystemConfig, threads []trace.ThreadParams) (*Result, error) {
+	t0 := time.Now()
 	if len(threads) == 0 {
 		return nil, fmt.Errorf("perf: no threads")
 	}
@@ -139,12 +142,13 @@ func Run(cfg SystemConfig, threads []trace.ThreadParams) (*Result, error) {
 	}
 
 	res := &Result{
-		Cycles:     cycle,
-		Ops:        ms.TotalOps(),
-		LLCHits:    ms.LLCHits,
-		LLCMisses:  ms.LLCMisses,
-		Prefetches: ms.Prefetches,
-		Seconds:    float64(cycle) / 4e9,
+		Cycles:       cycle,
+		Ops:          ms.TotalOps(),
+		LLCHits:      ms.LLCHits,
+		LLCMisses:    ms.LLCMisses,
+		LLCEvictions: ms.LLCEvictions,
+		Prefetches:   ms.Prefetches,
+		Seconds:      float64(cycle) / 4e9,
 	}
 	for _, ch := range ms.Channels() {
 		res.RowHits += ch.RowHits
@@ -166,6 +170,8 @@ func Run(cfg SystemConfig, threads []trace.ThreadParams) (*Result, error) {
 			MemAccesses:  c.MemLevel,
 		})
 	}
+	publishRun(res, cores, ms.Channels())
+	pm.runSeconds.Since(t0)
 	return res, nil
 }
 

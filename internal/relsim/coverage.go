@@ -11,6 +11,7 @@ import (
 
 	"relaxfault/internal/fault"
 	"relaxfault/internal/harness"
+	"relaxfault/internal/obs"
 	"relaxfault/internal/repair"
 	"relaxfault/internal/stats"
 )
@@ -40,6 +41,10 @@ type CoverageConfig struct {
 	// trialHook, when set (tests only), runs at the start of every node
 	// attempt with the global node index.
 	trialHook func(node int)
+
+	// planHists caches the per-planner plan-capacity histograms so the
+	// per-node hot path records without a registry lookup.
+	planHists []*obs.Histogram
 }
 
 // DefaultCoverageConfig evaluates the paper's default engines and limits.
@@ -196,6 +201,10 @@ func CoverageStudyCtx(ctx context.Context, cfg CoverageConfig) (*CoverageResult,
 		workers = runtime.GOMAXPROCS(0)
 	}
 	nCurves := len(cfg.Planners) * len(cfg.WayLimits)
+	cfg.planHists = make([]*obs.Histogram, len(cfg.Planners))
+	for i, pl := range cfg.Planners {
+		cfg.planHists[i] = coveragePlanBytesHist(pl.Name())
+	}
 	nChunks := (cfg.MaxNodes + covChunkSize - 1) / covChunkSize
 	root := stats.NewRNG(cfg.Seed)
 
@@ -351,6 +360,8 @@ func (cfg *CoverageConfig) coverageChunk(model *fault.Model, root *stats.RNG, ci
 	for c := range ch.Curves {
 		sort.Float64s(ch.Curves[c].Caps)
 	}
+	rm.covNodes.Add(int64(ch.Nodes))
+	rm.covFaulty.Add(int64(ch.Faulty))
 	return ch
 }
 
@@ -375,8 +386,11 @@ func (cfg *CoverageConfig) coverageTrial(model *fault.Model, root *stats.RNG, no
 			}
 			scratch.Faulty = 1
 			ci := 0
-			for _, pl := range cfg.Planners {
+			for pi, pl := range cfg.Planners {
 				plan := pl.PlanNode(perm)
+				if pi < len(cfg.planHists) && cfg.planHists[pi] != nil {
+					cfg.planHists[pi].Observe(float64(plan.Bytes))
+				}
 				for _, wl := range cfg.WayLimits {
 					if plan.RepairableUnder(wl) {
 						scratch.Curves[ci].Repairable = 1
@@ -396,8 +410,10 @@ func (cfg *CoverageConfig) coverageTrial(model *fault.Model, root *stats.RNG, no
 			return
 		}
 		if attempt == 0 {
+			rm.trialRetries.Inc()
 			continue
 		}
+		rm.trialsSkipped.Inc()
 		ch.Skipped++
 		skip := harness.Skip{Trial: node, Seed: cfg.Seed, Err: err.Error()}
 		if len(ch.Skips) < harness.MaxSkipRecords {

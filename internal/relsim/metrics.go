@@ -1,0 +1,78 @@
+package relsim
+
+import (
+	"relaxfault/internal/fault"
+	"relaxfault/internal/obs"
+)
+
+// Process-wide Monte Carlo telemetry, bound to the default registry at
+// init so the relsim.* families exist (zero-valued) in every snapshot.
+//
+// Trial counters advance once per completed chunk (thousands of trials),
+// so they cost nothing on the trial hot path; the per-fault counters fire
+// only for the small minority of nodes that develop faults. DUE/SDC and
+// replacement tallies are float counters because the simulator accumulates
+// them in expectation (fractional weight per event), exactly as the paper's
+// analysis does.
+var rm = struct {
+	trialsDone    *obs.Counter // trials executed in this process
+	trialsResumed *obs.Counter // trials adopted verbatim from a checkpoint
+	trialRetries  *obs.Counter // trials retried after an isolated panic
+	trialsSkipped *obs.Counter // trials abandoned after the retry also failed
+
+	injected  [fault.NumModes]*obs.Counter
+	permanent *obs.Counter
+	transient *obs.Counter
+
+	faultyNodes  *obs.Counter
+	repairs      *obs.Counter // permanent faults masked by the repair engine
+	repairMisses *obs.Counter // permanent faults the engine could not place
+	dues         *obs.FloatCounter
+	sdcs         *obs.FloatCounter
+	replacements *obs.FloatCounter
+
+	covNodes  *obs.Counter // nodes sampled by coverage studies
+	covFaulty *obs.Counter // of those, nodes with permanent faults
+}{
+	trialsDone:    obs.Default().Counter("relsim.trials_done"),
+	trialsResumed: obs.Default().Counter("relsim.trials_resumed"),
+	trialRetries:  obs.Default().Counter("relsim.trial_retries"),
+	trialsSkipped: obs.Default().Counter("relsim.trials_skipped"),
+
+	permanent: obs.Default().Counter("relsim.faults.permanent"),
+	transient: obs.Default().Counter("relsim.faults.transient"),
+
+	faultyNodes:  obs.Default().Counter("relsim.faulty_nodes"),
+	repairs:      obs.Default().Counter("relsim.repairs.applied"),
+	repairMisses: obs.Default().Counter("relsim.repairs.missed"),
+	dues:         obs.Default().FloatCounter("relsim.due"),
+	sdcs:         obs.Default().FloatCounter("relsim.sdc"),
+	replacements: obs.Default().FloatCounter("relsim.replacements"),
+
+	covNodes:  obs.Default().Counter("relsim.coverage.nodes_sampled"),
+	covFaulty: obs.Default().Counter("relsim.coverage.faulty_nodes"),
+}
+
+func init() {
+	for m := fault.Mode(0); m < fault.NumModes; m++ {
+		rm.injected[m] = obs.Default().Counter("relsim.faults.injected." + obs.SanitizeName(m.String()))
+	}
+}
+
+// recordFault tallies one injected fault by mode and persistence.
+func recordFault(f *fault.Fault) {
+	if f.Mode >= 0 && f.Mode < fault.NumModes {
+		rm.injected[f.Mode].Inc()
+	}
+	if f.Permanent() {
+		rm.permanent.Inc()
+	} else {
+		rm.transient.Inc()
+	}
+}
+
+// coveragePlanBytesHist returns the per-planner capacity histogram
+// ("relsim.coverage.plan_bytes.<planner>"), registered on first use.
+func coveragePlanBytesHist(planner string) *obs.Histogram {
+	return obs.Default().Histogram("relsim.coverage.plan_bytes."+obs.SanitizeName(planner), obs.ByteBuckets)
+}

@@ -1,0 +1,82 @@
+package relsim
+
+import (
+	"testing"
+
+	// The ecc families bind to the registry at package init; the CLI links
+	// all simulator layers, this test binary only via this import.
+	_ "relaxfault/internal/ecc"
+	"relaxfault/internal/obs"
+)
+
+// TestRunTelemetryConsistentWithResult checks the end-to-end reliability
+// telemetry: a Monte Carlo run must advance the relsim.* counters by exactly
+// the statistics it reports, and every snapshot must carry the always-on
+// ecc.* families alongside them (zero-valued when the run never decodes).
+func TestRunTelemetryConsistentWithResult(t *testing.T) {
+	cfg := smallCfg()
+	before := obs.Default().Snapshot()
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := obs.Default().Snapshot()
+
+	value := func(snap map[string]obs.MetricSnapshot, name string) float64 {
+		ms, ok := snap[name]
+		if !ok {
+			t.Fatalf("metric %q missing from snapshot", name)
+		}
+		if ms.Value == nil {
+			t.Fatalf("metric %q has no scalar value (type %s)", name, ms.Type)
+		}
+		return *ms.Value
+	}
+	delta := func(name string) float64 { return value(after, name) - value(before, name) }
+
+	if got, want := delta("relsim.trials_done"), float64(cfg.Nodes*cfg.Replicas); got != want {
+		t.Errorf("relsim.trials_done advanced by %v, ran %v trials", got, want)
+	}
+	if got := delta("relsim.faulty_nodes"); got != res.FaultyNodes {
+		t.Errorf("relsim.faulty_nodes delta %v, result reports %v", got, res.FaultyNodes)
+	}
+	// DUE/SDC/replacement expectations accumulate the same fractional
+	// weights the Result sums, just in a different order; allow float
+	// reassociation noise only.
+	approx := func(name string, want float64) {
+		got := delta(name)
+		if diff := got - want; diff > 1e-6+1e-9*want || -diff > 1e-6+1e-9*want {
+			t.Errorf("%s delta %v, result reports %v", name, got, want)
+		}
+	}
+	approx("relsim.due", res.DUEs*float64(res.Replicas))
+	approx("relsim.sdc", res.SDCs*float64(res.Replicas))
+	approx("relsim.replacements", res.Replacements*float64(res.Replicas))
+
+	// A 10x-FIT small run injects faults of several modes; the per-mode
+	// injection counters must account for every permanent/transient tally.
+	var injected float64
+	for name, ms := range after {
+		if len(name) > len("relsim.faults.injected.") && name[:len("relsim.faults.injected.")] == "relsim.faults.injected." {
+			b, ok := before[name]
+			if !ok || b.Value == nil || ms.Value == nil {
+				t.Fatalf("malformed injection counter %q", name)
+			}
+			injected += *ms.Value - *b.Value
+		}
+	}
+	if injected <= 0 {
+		t.Fatal("no faults recorded by the per-mode injection counters")
+	}
+	if persistence := delta("relsim.faults.permanent") + delta("relsim.faults.transient"); persistence != injected {
+		t.Errorf("per-mode injections %v disagree with persistence split %v", injected, persistence)
+	}
+
+	// The ecc.* families ride along in every snapshot regardless of which
+	// simulator ran — that is what lets one manifest describe any run.
+	for _, name := range []string{"ecc.due", "ecc.corrected", "ecc.sdc", "ecc.ok"} {
+		if _, ok := after[name]; !ok {
+			t.Errorf("always-on family %q missing from snapshot", name)
+		}
+	}
+}

@@ -179,6 +179,20 @@ func (r *Result) add(o *Result) {
 // chunks are the unit of checkpoint persistence.
 const chunkSize = 4096
 
+// chunkSpan returns how many trials chunk ci covers (the last chunk may be
+// short).
+func chunkSpan(ci, totalNodes int) int {
+	lo := ci * chunkSize
+	hi := lo + chunkSize
+	if hi > totalNodes {
+		hi = totalNodes
+	}
+	if hi < lo {
+		return 0
+	}
+	return hi - lo
+}
+
 // fingerprint identifies the statistical content of a run configuration for
 // checkpoint compatibility. Anything that changes sampled histories or their
 // interpretation must be included; Workers and Mon deliberately are not.
@@ -234,6 +248,7 @@ func RunCtx(ctx context.Context, cfg Config) (Result, error) {
 			var r Result
 			if err := json.Unmarshal(raw, &r); err == nil {
 				chunks[ci] = &r
+				rm.trialsResumed.Add(int64(chunkSpan(ci, totalNodes)))
 				for _, s := range r.Skips {
 					cfg.Mon.RecordSkip(s)
 				}
@@ -272,6 +287,7 @@ func RunCtx(ctx context.Context, cfg Config) (Result, error) {
 					runTrial(sim, root, i, res, &cfg)
 				}
 				chunks[ci] = res
+				rm.trialsDone.Add(int64(hi - lo))
 				cfg.Mon.Done(int64(hi - lo))
 				if err := cp.Put(ci, res); err != nil {
 					cfg.Mon.Warnf("relsim: %v (run continues without this chunk persisted)", err)
@@ -331,8 +347,10 @@ func runTrial(sim *nodeSim, root *stats.RNG, node int, res *Result, cfg *Config)
 			return
 		}
 		if attempt == 0 {
+			rm.trialRetries.Inc()
 			continue
 		}
+		rm.trialsSkipped.Inc()
 		res.SkippedTrials++
 		skip := harness.Skip{Trial: node, Seed: cfg.Seed, Err: err.Error()}
 		if len(res.Skips) < harness.MaxSkipRecords {
@@ -441,6 +459,7 @@ func (s *nodeSim) runNode(rng *stats.RNG, res *Result) {
 	}
 
 	for _, f := range nf.Faults {
+		recordFault(f)
 		dimm := f.Dev.DIMMIndex(g)
 		newRepaired := false
 		if f.Permanent() {
@@ -457,6 +476,11 @@ func (s *nodeSim) runNode(rng *stats.RNG, res *Result) {
 			// served from the faulty cells.
 			if s.inc != nil {
 				newRepaired = s.inc.TryRepair(state, f, s.cfg.WayLimit)
+				if newRepaired {
+					rm.repairs.Inc()
+				} else {
+					rm.repairMisses.Inc()
+				}
 			}
 			live = append(live, liveFault{f: f, dimm: dimm, repaired: newRepaired})
 		}
@@ -481,6 +505,8 @@ func (s *nodeSim) runNode(rng *stats.RNG, res *Result) {
 		if len(hits) > 0 {
 			res.DUEs += 1 - s.cfg.SDCAliasProb
 			res.SDCs += s.cfg.SDCAliasProb
+			rm.dues.Add(1 - s.cfg.SDCAliasProb)
+			rm.sdcs.Add(s.cfg.SDCAliasProb)
 			// Three devices sharing one codeword defeats the detection
 			// guarantee outright; that needs the two older faults to also
 			// overlap each other at the new fault's coordinates.
@@ -489,6 +515,7 @@ func (s *nodeSim) runNode(rng *stats.RNG, res *Result) {
 				for j := i + 1; j < len(hits); j++ {
 					if fault.Overlaps(hits[i], hits[j], g) {
 						res.SDCs += s.cfg.TripleSDCProb
+						rm.sdcs.Add(s.cfg.TripleSDCProb)
 						break tripleScan // count at most one per event
 					}
 				}
@@ -500,6 +527,7 @@ func (s *nodeSim) runNode(rng *stats.RNG, res *Result) {
 			// identifies that DIMM as broken.
 			if s.cfg.Policy == ReplaceAfterDUE {
 				res.Replacements++
+				rm.replacements.Add(1)
 				replaceDIMM(hits[0].Dev.DIMMIndex(g))
 				nodeReplaced = true
 				// The new fault leaves with the replaced DIMM, except in
@@ -517,6 +545,7 @@ func (s *nodeSim) runNode(rng *stats.RNG, res *Result) {
 		// corrected errors triggers replacement.
 		if s.cfg.Policy == ReplaceAfterThreshold && !newRepaired && s.triggersReplB(f) {
 			res.Replacements++
+			rm.replacements.Add(1)
 			replaceDIMM(dimm)
 			nodeReplaced = true
 		}
@@ -530,6 +559,7 @@ func (s *nodeSim) runNode(rng *stats.RNG, res *Result) {
 	}
 	if anyPermanent {
 		res.FaultyNodes++
+		rm.faultyNodes.Inc()
 	}
 	for dimm, devs := range devsSeen {
 		res.FaultyDIMMs++
