@@ -3,12 +3,18 @@
 //
 // Usage:
 //
-//	relaxfault [-scale quick|paper] [-seed N] [-timeout D] [-progress D]
-//	           [-checkpoint FILE [-resume]] [-metrics FILE|-] [-events FILE]
-//	           [-pprof ADDR] <experiment> [...]
+//	relaxfault [-scale quick|paper] [-seed N] [-parallel N] [-timeout D]
+//	           [-progress D] [-checkpoint FILE [-resume]] [-metrics FILE|-]
+//	           [-events FILE] [-pprof ADDR] <experiment> [...]
 //
 // Experiments: tab1 tab2 tab3 tab4 fig2 fig8 fig9 fig10 fig11 fig12 fig13
 // fig14 fig15 fig16 all
+//
+// Monte Carlo campaigns run on a sharded worker pool (-parallel N, default
+// all cores). Trials are claimed as fixed-size chunk indexes and every node
+// derives its RNG stream from the root seed alone, so the output is bitwise
+// identical for any worker count — the "bench" experiment measures the
+// speedup and asserts that identity.
 //
 // The run harness makes long campaigns survivable: ^C cancels gracefully at
 // the next work-chunk boundary (a second ^C force-quits), -timeout bounds
@@ -65,6 +71,7 @@ func run() int {
 	metricsOut := flag.String("metrics", "", `write the run manifest (config, timings, metrics snapshot) to FILE; "-" prints JSON to stdout`)
 	eventsOut := flag.String("events", "", "append machine-readable JSONL progress/skip/run events to FILE")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof, expvar, and Prometheus text metrics on ADDR (e.g. localhost:6060)")
+	parallel := flag.Int("parallel", 0, "Monte Carlo worker pool size (0 = all cores); results are identical for any value")
 	flag.Usage = usage
 	args := parseArgs()
 	if len(args) == 0 {
@@ -82,6 +89,7 @@ func run() int {
 		return 2
 	}
 	scale.Seed = *seed
+	scale.Workers = *parallel
 	if *resume && *checkpoint == "" {
 		fmt.Fprintf(os.Stderr, "-resume requires -checkpoint\n")
 		return 2
@@ -399,6 +407,21 @@ func (r *runState) runExperiment(ctx context.Context, name string, timeout time.
 			return err
 		}
 		fmt.Print(res)
+	case "bench":
+		res, err := experiments.BenchCtx(ctx, scale)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res)
+		out, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		file := "BENCH_coverage.json"
+		if err := os.WriteFile(file, append(out, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "[bench artifact written to %s]\n", file)
 	default:
 		return fmt.Errorf("unknown experiment %q", name)
 	}
@@ -422,6 +445,8 @@ flags:
                       metrics snapshot); "-" prints JSON to stdout
   -events FILE        append JSONL progress/skip/run events to FILE
   -pprof ADDR         serve /debug/pprof, /debug/vars, and /metrics on ADDR
+  -parallel N         Monte Carlo worker pool size (default 0 = all cores);
+                      any value yields bitwise-identical results
 
 Flags may appear before or after experiment names. See OBSERVABILITY.md for
 the metric catalogue and manifest schema.
@@ -447,6 +472,8 @@ extensions beyond the paper:
   ablate    design-choice ablations + retirement baselines (page retirement, mirroring)
   variants  RelaxFault coverage on DDR4 / HBM / LPDDR4 organisations
   prefetch  sensitivity of the performance conclusions to a stream prefetcher
+  bench     time a quick coverage study sequential vs -parallel N; verifies
+            identical results and writes BENCH_coverage.json
 
 exit codes: 0 ok; 1 experiment failure; 2 usage; 3 completed with skipped
 trials (partial success); 130 interrupted.

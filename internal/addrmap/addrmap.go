@@ -34,6 +34,12 @@ type Mapper struct {
 	cbLoBits, cbHiBits                                            uint
 
 	setBits uint // log2 of LLC set count
+
+	// fold[i][b] is the XOR-fold contribution of byte b at byte position i
+	// of a tag. The set-index fold is XOR-linear in the tag bits, so the
+	// fold of any tag is the XOR of eight table reads; the tables replace
+	// the data-dependent shift loop on the cache-index hot path.
+	fold [8][256]uint32
 }
 
 // SubBlocksPerLine is how many per-device 4-byte sub-blocks a RelaxFault
@@ -77,7 +83,36 @@ func New(g dram.Geometry, llcSets int) (*Mapper, error) {
 	for 1<<m.setBits < llcSets {
 		m.setBits++
 	}
+	for i := 0; i < 8; i++ {
+		for v := 0; v < 256; v++ {
+			m.fold[i][v] = uint32(m.foldRef(uint64(v) << (8 * i)))
+		}
+	}
 	return m, nil
+}
+
+// foldRef is the straightforward shift-and-XOR fold of a tag into a
+// set-index-sized value. It is the reference the lookup tables are built
+// from (and property-tested against); FoldTag is the fast path.
+func (m *Mapper) foldRef(tag uint64) int {
+	if m.setBits == 0 {
+		return 0
+	}
+	set := 0
+	for rest := tag; rest != 0; rest >>= m.setBits {
+		set ^= int(rest & mask(m.setBits))
+	}
+	return set
+}
+
+// FoldTag XOR-folds every set-index-sized chunk of tag into one set-index
+// value. It equals foldRef but costs eight table reads regardless of tag
+// width or set count.
+func (m *Mapper) FoldTag(tag uint64) int {
+	f := &m.fold
+	return int(f[0][byte(tag)] ^ f[1][byte(tag>>8)] ^ f[2][byte(tag>>16)] ^
+		f[3][byte(tag>>24)] ^ f[4][byte(tag>>32)] ^ f[5][byte(tag>>40)] ^
+		f[6][byte(tag>>48)] ^ f[7][byte(tag>>56)])
 }
 
 // Geometry returns the mapper's DRAM geometry.
@@ -138,9 +173,7 @@ func (m *Mapper) CacheIndex(la LineAddr, hash bool) (set int, tag uint64) {
 	set = int(v & mask(m.setBits))
 	tag = v >> m.setBits
 	if hash {
-		for rest := tag; rest != 0; rest >>= m.setBits {
-			set ^= int(rest & mask(m.setBits))
-		}
+		set ^= m.FoldTag(tag)
 	}
 	return set, tag
 }

@@ -1,0 +1,154 @@
+package addrmap
+
+import (
+	"math/rand"
+	"testing"
+
+	"relaxfault/internal/dram"
+)
+
+// randomGeometry draws a valid geometry: every dimension a power of two and
+// DataDevices*ColumnsPerBlk fixed so the 64-byte line constraint holds.
+func randomGeometry(rng *rand.Rand) dram.Geometry {
+	devCols := [][2]int{{16, 8}, {8, 16}, {32, 4}, {4, 32}, {2, 64}}[rng.Intn(5)]
+	g := dram.Geometry{
+		Channels:      1 << rng.Intn(4),
+		DIMMsPerChan:  1 << rng.Intn(3),
+		DataDevices:   devCols[0],
+		CheckDevices:  []int{0, 2}[rng.Intn(2)],
+		Banks:         1 << (1 + rng.Intn(4)),
+		Rows:          1 << (8 + rng.Intn(9)),
+		Columns:       devCols[1] << rng.Intn(6),
+		LineBytes:     dram.CachelineBytes,
+		ColumnsPerBlk: devCols[1],
+	}
+	return g
+}
+
+func randomMapper(t *testing.T, rng *rand.Rand) *Mapper {
+	t.Helper()
+	g := randomGeometry(rng)
+	// llcSets >= 2: the pre-LUT reference fold is undefined for a single
+	// set (setBits == 0), and real LLCs always have more than one.
+	llcSets := 2 << rng.Intn(13)
+	m, err := New(g, llcSets)
+	if err != nil {
+		t.Fatalf("geometry %+v sets %d: %v", g, llcSets, err)
+	}
+	return m
+}
+
+func randomLocation(rng *rand.Rand, g dram.Geometry) dram.Location {
+	return dram.Location{
+		Channel:  rng.Intn(g.Channels),
+		Rank:     rng.Intn(g.DIMMsPerChan),
+		Bank:     rng.Intn(g.Banks),
+		Row:      rng.Intn(g.Rows),
+		ColBlock: rng.Intn(g.ColBlocks()),
+	}
+}
+
+// TestEncodeDecodeBijection checks both directions of the controller address
+// swizzle over randomized geometries: Decode(Encode(loc)) == loc and
+// Encode(Decode(la)) == la for every in-range line address.
+func TestEncodeDecodeBijection(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 100; trial++ {
+		m := randomMapper(t, rng)
+		g := m.Geometry()
+		for i := 0; i < 100; i++ {
+			loc := randomLocation(rng, g)
+			if got := m.Decode(m.Encode(loc)); got != loc {
+				t.Fatalf("geometry %+v: Decode(Encode(%+v)) = %+v", g, loc, got)
+			}
+			la := LineAddr(rng.Uint64() & ((1 << m.LineAddrBits()) - 1))
+			if got := m.Encode(m.Decode(la)); got != la {
+				t.Fatalf("geometry %+v: Encode(Decode(%#x)) = %#x", g, la, got)
+			}
+		}
+	}
+}
+
+// TestRFKeyRoundTrip checks that the RelaxFault tag packing is injective:
+// the key always survives RFIndex -> RFKeyFromTarget, for both the full and
+// the no-spread placement, and likewise RFKeyFor -> LocationFor.
+func TestRFKeyRoundTripRandomGeometries(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 100; trial++ {
+		m := randomMapper(t, rng)
+		g := m.Geometry()
+		for i := 0; i < 100; i++ {
+			key := RFKey{
+				Channel: rng.Intn(g.Channels),
+				Rank:    rng.Intn(g.DIMMsPerChan),
+				Device:  rng.Intn(g.DevicesPerDIMM()),
+				Bank:    rng.Intn(g.Banks),
+				Row:     rng.Intn(g.Rows),
+				CbHi:    rng.Intn(max(g.ColBlocks()>>SubBlockBits, 1)),
+			}
+			if got := m.RFKeyFromTarget(m.RFIndex(key)); got != key {
+				t.Fatalf("geometry %+v: RFKeyFromTarget(RFIndex(%+v)) = %+v", g, key, got)
+			}
+			if got := m.RFKeyFromTarget(m.RFIndexNoSpread(key)); got != key {
+				t.Fatalf("geometry %+v: no-spread round trip %+v -> %+v", g, key, got)
+			}
+			loc := randomLocation(rng, g)
+			dev := rng.Intn(g.DevicesPerDIMM())
+			k2, sub := m.RFKeyFor(loc, dev)
+			if got := m.LocationFor(k2, sub); got != loc {
+				t.Fatalf("geometry %+v: LocationFor(RFKeyFor(%+v)) = %+v", g, loc, got)
+			}
+		}
+	}
+}
+
+// TestFoldTagMatchesReference checks the byte-table fold against the
+// shift-and-XOR reference on random tags, and that hashed CacheIndex equals
+// the set computed from the reference fold.
+func TestFoldTagMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		m := randomMapper(t, rng)
+		for i := 0; i < 10000; i++ {
+			tag := rng.Uint64()
+			if got, want := m.FoldTag(tag), m.foldRef(tag); got != want {
+				t.Fatalf("setBits %d: FoldTag(%#x) = %d, foldRef = %d",
+					m.SetBits(), tag, got, want)
+			}
+			la := LineAddr(rng.Uint64() & ((1 << m.LineAddrBits()) - 1))
+			set, tag2 := m.CacheIndex(la, true)
+			wantSet := int(uint64(la)&((1<<m.SetBits())-1)) ^ m.foldRef(tag2)
+			if set != wantSet {
+				t.Fatalf("CacheIndex(%#x, hash) set = %d, want %d", la, set, wantSet)
+			}
+			if set < 0 || set >= 1<<m.SetBits() {
+				t.Fatalf("CacheIndex(%#x, hash) set %d out of range", la, set)
+			}
+		}
+	}
+}
+
+// TestRFIndexSetInRange checks the placement invariant the repair planners
+// rely on: every RFIndex set fits the configured LLC.
+func TestRFIndexSetInRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 50; trial++ {
+		m := randomMapper(t, rng)
+		g := m.Geometry()
+		for i := 0; i < 200; i++ {
+			key := RFKey{
+				Channel: rng.Intn(g.Channels),
+				Rank:    rng.Intn(g.DIMMsPerChan),
+				Device:  rng.Intn(g.DevicesPerDIMM()),
+				Bank:    rng.Intn(g.Banks),
+				Row:     rng.Intn(g.Rows),
+				CbHi:    rng.Intn(max(g.ColBlocks()>>SubBlockBits, 1)),
+			}
+			for _, tgt := range []RFTarget{m.RFIndex(key), m.RFIndexNoSpread(key)} {
+				if tgt.Set < 0 || tgt.Set >= 1<<m.SetBits() {
+					t.Fatalf("geometry %+v: set %d out of range for %+v", g, tgt.Set, key)
+				}
+			}
+		}
+	}
+}

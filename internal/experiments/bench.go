@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"relaxfault/internal/fault"
+	"relaxfault/internal/relsim"
+	"relaxfault/internal/repair"
+)
+
+// BenchResult is the schema of the BENCH_*.json artifacts: one parallel-
+// engine measurement of a quick coverage study, sequential vs sharded on
+// the same seed, with the bitwise-identity check the engine guarantees.
+type BenchResult struct {
+	Schema string `json:"schema"` // "relaxfault-bench/v1"
+	Name   string `json:"name"`
+	// Host parallelism: speedup is bounded by NumCPU, so a 1-core
+	// container honestly reports ~1x while a 4-core CI runner shows the
+	// multicore scaling.
+	GOMAXPROCS int `json:"gomaxprocs"`
+	NumCPU     int `json:"num_cpu"`
+	// Workers is the -parallel value benchmarked against Workers=1.
+	Workers int   `json:"workers"`
+	Trials  int64 `json:"trials"`
+
+	SeqSeconds    float64 `json:"sequential_seconds"`
+	ParSeconds    float64 `json:"parallel_seconds"`
+	SeqNsPerTrial float64 `json:"sequential_ns_per_trial"`
+	ParNsPerTrial float64 `json:"parallel_ns_per_trial"`
+	// Speedup is sequential_seconds / parallel_seconds.
+	Speedup float64 `json:"speedup"`
+
+	// Allocation pressure of the parallel run (per trial, all workers).
+	AllocsPerTrial float64 `json:"allocs_per_trial"`
+	BytesPerTrial  float64 `json:"bytes_per_trial"`
+
+	// Identical is true when the sequential and parallel result structs
+	// marshal to the same JSON — the engine's determinism contract.
+	Identical bool `json:"identical"`
+}
+
+// benchCoverageConfig is the quick coverage study the bench experiment
+// times: the paper's three engines, small enough to finish in seconds.
+func benchCoverageConfig(s Scale) relsim.CoverageConfig {
+	m := defaultMapper()
+	rf, ffHash, _, ppr := planners(m)
+	cfg := relsim.DefaultCoverageConfig()
+	cfg.Model.Rates = fault.CieloRates().Scale(10)
+	cfg.FaultyNodes = s.FaultyNodes
+	cfg.Seed = s.Seed
+	cfg.WayLimits = []int{1, 4}
+	cfg.Planners = []repair.Planner{ppr, ffHash, rf}
+	return cfg
+}
+
+// Bench times the quick coverage study sequentially (Workers=1) and with
+// the sharded engine (Workers = s.Workers, or all cores when 0), verifies
+// both produce identical results, and reports the timing/alloc figures.
+func Bench(s Scale) (BenchResult, error) { return BenchCtx(context.Background(), s) }
+
+// BenchCtx is Bench with cancellation.
+func BenchCtx(ctx context.Context, s Scale) (BenchResult, error) {
+	workers := s.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	out := BenchResult{
+		Schema:     "relaxfault-bench/v1",
+		Name:       "coverage-quick",
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Workers:    workers,
+	}
+
+	run := func(w int) (*relsim.CoverageResult, float64, error) {
+		cfg := benchCoverageConfig(s)
+		cfg.Workers = w
+		cfg.Mon = s.Mon
+		start := time.Now()
+		res, err := relsim.CoverageStudyCtx(ctx, cfg)
+		return res, time.Since(start).Seconds(), err
+	}
+
+	seqRes, seqSec, err := run(1)
+	if err != nil {
+		return out, err
+	}
+
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	parRes, parSec, err := run(workers)
+	runtime.ReadMemStats(&after)
+	if err != nil {
+		return out, err
+	}
+
+	seqJSON, err := json.Marshal(seqRes)
+	if err != nil {
+		return out, err
+	}
+	parJSON, err := json.Marshal(parRes)
+	if err != nil {
+		return out, err
+	}
+	out.Identical = string(seqJSON) == string(parJSON)
+
+	trials := int64(seqRes.TotalNodes)
+	out.Trials = trials
+	out.SeqSeconds = seqSec
+	out.ParSeconds = parSec
+	if trials > 0 {
+		out.SeqNsPerTrial = seqSec * 1e9 / float64(trials)
+		out.ParNsPerTrial = parSec * 1e9 / float64(trials)
+		out.AllocsPerTrial = float64(after.Mallocs-before.Mallocs) / float64(trials)
+		out.BytesPerTrial = float64(after.TotalAlloc-before.TotalAlloc) / float64(trials)
+	}
+	if parSec > 0 {
+		out.Speedup = seqSec / parSec
+	}
+	if !out.Identical {
+		return out, fmt.Errorf("bench: sequential and %d-worker results differ", workers)
+	}
+	return out, nil
+}
+
+// String prints the measurement as a small report.
+func (r BenchResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Benchmark: quick coverage study, sequential vs -parallel %d\n", r.Workers)
+	fmt.Fprintf(&b, "%-26s %d (GOMAXPROCS %d)\n", "cores", r.NumCPU, r.GOMAXPROCS)
+	fmt.Fprintf(&b, "%-26s %d\n", "trials", r.Trials)
+	fmt.Fprintf(&b, "%-26s %.2fs (%.0f ns/trial)\n", "sequential", r.SeqSeconds, r.SeqNsPerTrial)
+	fmt.Fprintf(&b, "%-26s %.2fs (%.0f ns/trial)\n", "parallel", r.ParSeconds, r.ParNsPerTrial)
+	fmt.Fprintf(&b, "%-26s %.2fx\n", "speedup", r.Speedup)
+	fmt.Fprintf(&b, "%-26s %.1f allocs, %.0f bytes\n", "per-trial allocation", r.AllocsPerTrial, r.BytesPerTrial)
+	fmt.Fprintf(&b, "%-26s %v\n", "results bitwise identical", r.Identical)
+	return b.String()
+}

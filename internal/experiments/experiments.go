@@ -33,6 +33,11 @@ type Scale struct {
 	Instructions uint64
 	// Seed makes every experiment deterministic.
 	Seed uint64
+	// Workers caps the Monte Carlo worker pool (0 = GOMAXPROCS). Results
+	// are bitwise independent of the value: trials are sharded into
+	// fixed-index chunks with per-chunk RNG streams and reduced in chunk
+	// order.
+	Workers int
 	// Mon, if non-nil, receives progress/watchdog/skipped-trial events
 	// from the underlying Monte Carlo runs (set by cmd/relaxfault).
 	Mon *harness.Monitor
@@ -46,12 +51,14 @@ type Scale struct {
 func (s Scale) instrument(cfg *relsim.Config) {
 	cfg.Mon = s.Mon
 	cfg.Checkpoint = s.Store
+	cfg.Workers = s.Workers
 }
 
 // instrumentCoverage is instrument for coverage-study configurations.
 func (s Scale) instrumentCoverage(cfg *relsim.CoverageConfig) {
 	cfg.Mon = s.Mon
 	cfg.Checkpoint = s.Store
+	cfg.Workers = s.Workers
 }
 
 // PaperScale approaches the paper's statistical resolution (minutes of CPU).

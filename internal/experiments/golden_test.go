@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"relaxfault/internal/harness"
+)
+
+// goldenScale is small enough that each experiment runs twice in seconds yet
+// still spans several work chunks, so the 4-worker run genuinely interleaves.
+func goldenScale() Scale {
+	return Scale{FaultyNodes: 600, Nodes: 2048, Replicas: 1, Instructions: 40_000, Seed: 11}
+}
+
+// runGolden executes run with Workers=1 and Workers=4 on the same seed and
+// asserts the result structs marshal to identical JSON and the checkpoint
+// snapshots are byte-identical. This is the engine's determinism contract:
+// trials are claimed as fixed chunk indexes, every chunk derives its RNG
+// stream from the root seed alone, and reduction happens in chunk order, so
+// the worker count must be unobservable in every artifact.
+func runGolden(t *testing.T, name string, run func(Scale) (any, error)) {
+	t.Helper()
+	dir := t.TempDir()
+	results := make([][]byte, 2)
+	snaps := make([][]byte, 2)
+	for i, workers := range []int{1, 4} {
+		s := goldenScale()
+		s.Workers = workers
+		path := filepath.Join(dir, name+"-"+string(rune('0'+workers))+".ckpt")
+		store, err := harness.OpenStore(path, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Store = store
+		res, err := run(s)
+		if err != nil {
+			t.Fatalf("%s with %d workers: %v", name, workers, err)
+		}
+		if err := store.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		if results[i], err = json.Marshal(res); err != nil {
+			t.Fatal(err)
+		}
+		if snaps[i], err = os.ReadFile(path); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(results[0], results[1]) {
+		t.Errorf("%s: sequential and 4-worker results differ:\nseq: %.200s\npar: %.200s",
+			name, results[0], results[1])
+	}
+	if !bytes.Equal(snaps[0], snaps[1]) {
+		t.Errorf("%s: sequential and 4-worker checkpoint snapshots differ (%d vs %d bytes)",
+			name, len(snaps[0]), len(snaps[1]))
+	}
+}
+
+// TestGoldenParallelMatchesSequential is the golden-model differential suite:
+// a coverage study (fig10), a full-system reliability run (fig12), and a
+// performance sweep (fig15) each run sequentially and sharded across 4
+// workers, comparing every output byte.
+func TestGoldenParallelMatchesSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden differential runs each experiment twice")
+	}
+	t.Run("fig10", func(t *testing.T) {
+		runGolden(t, "fig10", func(s Scale) (any, error) { return Fig10(s) })
+	})
+	t.Run("fig12", func(t *testing.T) {
+		runGolden(t, "fig12", func(s Scale) (any, error) {
+			one, ten, err := Fig12(s)
+			return []any{one, ten}, err
+		})
+	})
+	t.Run("fig15", func(t *testing.T) {
+		runGolden(t, "fig15", func(s Scale) (any, error) { return Fig15And16(s) })
+	})
+}
+
+// TestBenchQuick exercises the bench experiment end to end at tiny scale: it
+// must verify the sequential/parallel identity itself and report sane timing.
+func TestBenchQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the coverage study twice")
+	}
+	s := tinyScale()
+	s.Workers = 2
+	r, err := Bench(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Identical {
+		t.Error("bench reported non-identical results")
+	}
+	if r.Trials <= 0 || r.SeqSeconds <= 0 || r.ParSeconds <= 0 {
+		t.Errorf("implausible measurement: %+v", r)
+	}
+	if r.Workers != 2 {
+		t.Errorf("workers = %d, want 2", r.Workers)
+	}
+	for _, want := range []string{"speedup", "bitwise identical"} {
+		if !bytes.Contains([]byte(r.String()), []byte(want)) {
+			t.Errorf("report missing %q:\n%s", want, r)
+		}
+	}
+}

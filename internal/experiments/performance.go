@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"strings"
 
+	"relaxfault/internal/harness"
 	"relaxfault/internal/perf"
 	"relaxfault/internal/power"
 	"relaxfault/internal/trace"
@@ -72,21 +73,26 @@ func Fig15And16(s Scale) (Fig15Result, error) {
 	return Fig15And16Ctx(context.Background(), s)
 }
 
-// Fig15And16Ctx is Fig15And16 with cancellation, observed between workload
-// simulations (each one runs for seconds, not hours).
+// Fig15And16Ctx is Fig15And16 with cancellation. Workloads are independent
+// simulations, so they run in parallel on the sharded engine (one chunk per
+// workload); rows are collected by workload index, keeping the output order
+// and values identical to a sequential sweep.
 func Fig15And16Ctx(ctx context.Context, s Scale) (Fig15Result, error) {
+	workloads := trace.Workloads()
 	out := Fig15Result{Instructions: s.Instructions}
-	for _, w := range trace.Workloads() {
-		if err := ctx.Err(); err != nil {
-			return out, err
-		}
+	rows := make([]PerfRow, len(workloads))
+	errs := make([]error, len(workloads))
+	eng := harness.Engine{Workers: s.Workers, Mon: s.Mon}
+	runErr := eng.Run(ctx, len(workloads), func(_, k int) (int64, bool) {
+		w := workloads[k]
 		base := perf.DefaultSystemConfig()
 		base.TargetInstructions = s.Instructions
 		base.Seed = s.Seed
 
 		wsNone, alone, resNone, err := perf.WeightedSpeedup(base, w.Threads, nil)
 		if err != nil {
-			return out, err
+			errs[k] = err
+			return 0, true
 		}
 		run := func(lockWays int, lockBytes int64) (float64, *perf.Result, error) {
 			cfg := base
@@ -97,24 +103,37 @@ func Fig15And16Ctx(ctx context.Context, s Scale) (Fig15Result, error) {
 		}
 		wsK, resK, err := run(0, 100<<10)
 		if err != nil {
-			return out, err
+			errs[k] = err
+			return 0, true
 		}
 		ws1, res1, err := run(1, 0)
 		if err != nil {
-			return out, err
+			errs[k] = err
+			return 0, true
 		}
 		ws4, res4, err := run(4, 0)
 		if err != nil {
-			return out, err
+			errs[k] = err
+			return 0, true
 		}
 		rel := func(r *perf.Result) float64 {
 			return power.RelativeDynamicPower(r.Ops, resNone.Ops, r.Seconds, resNone.Seconds)
 		}
-		out.Rows = append(out.Rows, PerfRow{
+		rows[k] = PerfRow{
 			Workload: w.Name,
 			WSNone:   wsNone, WS100KiB: wsK, WS1Way: ws1, WS4Way: ws4,
 			Power100KiB: rel(resK), Power1Way: rel(res1), Power4Way: rel(res4),
-		})
+		}
+		return 1, true
+	})
+	if runErr != nil {
+		return out, runErr
+	}
+	for k := range workloads {
+		if errs[k] != nil {
+			return out, errs[k]
+		}
+		out.Rows = append(out.Rows, rows[k])
 	}
 	return out, nil
 }

@@ -199,10 +199,38 @@ func (nf *NodeFaults) PermanentFaults() []*Fault {
 	return out
 }
 
+// SampleScratch holds the per-call working buffers of SampleNodeScratch.
+// One scratch serves one goroutine; the Monte Carlo workers keep one per
+// worker so the per-node multiplier and weight tables stop being the
+// dominant allocation of fault-free trials. A zero SampleScratch is ready
+// to use.
+type SampleScratch struct {
+	dimmMult []float64
+	weights  []float64
+}
+
+// grow returns buf resized to n, reusing its backing array when possible.
+func grow(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
 // SampleNode draws one node's fault history over the configured horizon.
 // The hot path — nodes with no faults at all — costs one Poisson draw, so
 // fleet-scale Monte Carlo stays cheap.
 func (m *Model) SampleNode(rng *stats.RNG) NodeFaults {
+	return m.SampleNodeScratch(rng, nil)
+}
+
+// SampleNodeScratch is SampleNode with caller-owned working buffers (nil sc
+// allocates fresh ones). The sampled history — and the RNG stream consumed —
+// is bit-identical to SampleNode's; only the scratch allocations differ.
+func (m *Model) SampleNodeScratch(rng *stats.RNG, sc *SampleScratch) NodeFaults {
+	if sc == nil {
+		sc = &SampleScratch{}
+	}
 	g := m.cfg.Geometry
 	nDIMMs := g.DIMMs()
 	nf := NodeFaults{}
@@ -212,7 +240,8 @@ func (m *Model) SampleNode(rng *stats.RNG) NodeFaults {
 		nodeMult = m.cfg.AccelFactor
 	}
 	// DIMM-level acceleration applies to DIMMs in otherwise-normal nodes.
-	dimmMult := make([]float64, nDIMMs)
+	sc.dimmMult = grow(sc.dimmMult, nDIMMs)
+	dimmMult := sc.dimmMult
 	lambda := 0.0
 	perDevRate := FITToRate(m.totalFIT) * m.cfg.Hours
 	for d := 0; d < nDIMMs; d++ {
@@ -234,7 +263,8 @@ func (m *Model) SampleNode(rng *stats.RNG) NodeFaults {
 	// paper draws one rate per process per device, which at fleet scale is
 	// statistically indistinguishable for the metrics reported (the
 	// weights matter through same-device and same-DIMM clustering).
-	weights := make([]float64, nDIMMs*m.devPerDMM)
+	sc.weights = grow(sc.weights, nDIMMs*m.devPerDMM)
+	weights := sc.weights
 	var totalW float64
 	for i := range weights {
 		w := rng.Lognormal(1, m.cfg.VarianceFrac) * dimmMult[i/m.devPerDMM]

@@ -192,6 +192,26 @@ func (c *Checkpoint) Indexes() []int {
 	return out
 }
 
+// PruneAbove deletes every chunk with index greater than max. Runs that stop
+// early call it once the final reduction prefix is known, so the persisted
+// snapshot holds exactly the chunks the result aggregates — speculative
+// chunks computed by trailing workers are dropped and the file is
+// byte-identical for any worker count.
+func (c *Checkpoint) PruneAbove(max int) {
+	if c == nil {
+		return
+	}
+	c.store.mu.Lock()
+	defer c.store.mu.Unlock()
+	chunks := c.store.sections[c.name].Chunks
+	for k := range chunks {
+		if i, err := strconv.Atoi(k); err == nil && i > max {
+			delete(chunks, k)
+			c.store.dirty = true
+		}
+	}
+}
+
 // Put stores chunk i's payload (marshalled to JSON) and opportunistically
 // flushes the snapshot under the store's rate limit.
 func (c *Checkpoint) Put(i int, payload any) error {

@@ -1,0 +1,133 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"relaxfault/internal/obs"
+)
+
+// Engine is the shared parallel execution core of the Monte Carlo
+// simulators: a worker pool over a range of chunk indexes, claimed through
+// one atomic cursor (work stealing at chunk granularity — a fast worker
+// simply claims more chunks). The engine deliberately has no opinion about
+// what a chunk is; determinism is the caller's contract: chunk i must be a
+// pure function of i (relsim derives chunk i's randomness from fork(i) of
+// the root seed and reduces in chunk-index order), which makes results
+// bitwise-independent of the worker count and of scheduling.
+//
+// The engine feeds the Monitor's per-worker watchdog (StartWorkers /
+// WorkerDone) and publishes pool telemetry to the default obs registry:
+//
+//	harness.engine.workers       gauge: pool size of the current/last Run
+//	harness.engine.busy_workers  gauge: workers currently inside work()
+//	harness.engine.chunks_done   counter: chunks completed process-wide
+//	harness.engine.chunk_seconds timer: per-chunk wall time
+//	harness.worker.trials.<w>    counter: trials completed by worker w
+type Engine struct {
+	// Workers bounds parallelism; 0 or negative means GOMAXPROCS.
+	Workers int
+	// Mon, if non-nil, receives per-worker progress for the watchdog.
+	Mon *Monitor
+}
+
+// PoolWorkers resolves a configured worker count: n when positive,
+// otherwise GOMAXPROCS. Callers that pre-size per-worker state use it to
+// agree with Engine.Run on the pool size.
+func PoolWorkers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// em is the engine's process-wide telemetry (see Engine doc comment).
+var em = struct {
+	poolSize     *obs.Gauge
+	busyWorkers  *obs.Gauge
+	chunksDone   *obs.Counter
+	chunkSeconds *obs.Timer
+	busy         atomic.Int64
+}{
+	poolSize:     obs.Default().Gauge("harness.engine.workers"),
+	busyWorkers:  obs.Default().Gauge("harness.engine.busy_workers"),
+	chunksDone:   obs.Default().Counter("harness.engine.chunks_done"),
+	chunkSeconds: obs.Default().Timer("harness.engine.chunk_seconds"),
+}
+
+// workerTrialCounter returns the per-worker trial counter, registered on
+// first use and cached (the registry lookup hashes the name; the engine
+// resolves it once per worker per Run, not per chunk).
+var (
+	wtMu       sync.Mutex
+	wtCounters []*obs.Counter
+)
+
+func workerTrialCounter(w int) *obs.Counter {
+	wtMu.Lock()
+	defer wtMu.Unlock()
+	for len(wtCounters) <= w {
+		wtCounters = append(wtCounters,
+			obs.Default().Counter(fmt.Sprintf("harness.worker.trials.%d", len(wtCounters))))
+	}
+	return wtCounters[w]
+}
+
+// Run executes chunks [0, nChunks) across the pool and blocks until every
+// worker returns. work(worker, chunk) runs outside any lock; worker is a
+// dense id in [0, pool size) so callers can index per-worker scratch state.
+// It returns the number of trials the chunk completed (fed to the Monitor
+// and the worker's trial counter) and whether this worker should keep
+// claiming chunks — returning false retires the worker, which is how the
+// coverage study stops the pool once the chunk prefix it needs is complete.
+//
+// Cancellation is observed between chunks: a cancelled ctx stops every
+// worker at its next claim and Run returns ctx.Err(). In-flight chunks
+// finish (and may checkpoint) first.
+func (e *Engine) Run(ctx context.Context, nChunks int, work func(worker, chunk int) (trials int64, cont bool)) error {
+	if nChunks <= 0 {
+		return ctx.Err()
+	}
+	workers := PoolWorkers(e.Workers)
+	if workers > nChunks {
+		workers = nChunks
+	}
+	em.poolSize.Set(float64(workers))
+	e.Mon.StartWorkers(workers)
+	defer e.Mon.FinishWorkers()
+
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			trialsCtr := workerTrialCounter(w)
+			for ctx.Err() == nil {
+				k := int(next.Add(1)) - 1
+				if k >= nChunks {
+					return
+				}
+				em.busyWorkers.Set(float64(em.busy.Add(1)))
+				t0 := time.Now()
+				trials, cont := work(w, k)
+				em.chunkSeconds.Since(t0)
+				em.busyWorkers.Set(float64(em.busy.Add(-1)))
+				em.chunksDone.Inc()
+				if trials > 0 {
+					trialsCtr.Add(trials)
+				}
+				e.Mon.WorkerDone(w, trials)
+				if !cont {
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	return ctx.Err()
+}

@@ -1,0 +1,157 @@
+package harness
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestEngineRunsEveryChunkExactlyOnce(t *testing.T) {
+	const n = 257
+	var mu sync.Mutex
+	seen := make(map[int]int)
+	workersSeen := make(map[int]bool)
+	e := Engine{Workers: 4}
+	err := e.Run(context.Background(), n, func(w, k int) (int64, bool) {
+		mu.Lock()
+		seen[k]++
+		workersSeen[w] = true
+		mu.Unlock()
+		return 1, true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != n {
+		t.Fatalf("covered %d chunks, want %d", len(seen), n)
+	}
+	for k, c := range seen {
+		if c != 1 {
+			t.Fatalf("chunk %d ran %d times", k, c)
+		}
+	}
+	for w := range workersSeen {
+		if w < 0 || w >= 4 {
+			t.Errorf("worker id %d outside pool", w)
+		}
+	}
+}
+
+func TestEngineWorkerRetire(t *testing.T) {
+	// A worker returning cont=false stops claiming; with one worker the
+	// remaining chunks are never run.
+	var ran atomic.Int64
+	e := Engine{Workers: 1}
+	err := e.Run(context.Background(), 100, func(_, k int) (int64, bool) {
+		ran.Add(1)
+		return 0, k < 4
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ran.Load(); got != 5 {
+		t.Errorf("ran %d chunks, want 5 (chunks 0-3 continue, chunk 4 retires)", got)
+	}
+}
+
+func TestEngineCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	e := Engine{Workers: 2}
+	err := e.Run(ctx, 1000, func(_, k int) (int64, bool) {
+		if ran.Add(1) == 3 {
+			cancel()
+		}
+		return 1, true
+	})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := ran.Load(); got >= 1000 {
+		t.Errorf("cancellation did not stop the pool (ran %d chunks)", got)
+	}
+}
+
+func TestEnginePoolClampedToChunks(t *testing.T) {
+	var maxW atomic.Int64
+	e := Engine{Workers: 16}
+	if err := e.Run(context.Background(), 3, func(w, _ int) (int64, bool) {
+		if int64(w) > maxW.Load() {
+			maxW.Store(int64(w))
+		}
+		return 1, true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if maxW.Load() > 2 {
+		t.Errorf("worker id %d seen with only 3 chunks", maxW.Load())
+	}
+}
+
+func TestEngineFeedsMonitor(t *testing.T) {
+	var buf bytes.Buffer
+	m := NewMonitor(&buf, 0)
+	m.Expect(8)
+	e := Engine{Workers: 2, Mon: m}
+	if err := e.Run(context.Background(), 8, func(_, _ int) (int64, bool) {
+		return 1, true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.DoneTrials(); got != 8 {
+		t.Errorf("monitor counted %d trials, want 8", got)
+	}
+}
+
+func TestWatchdogNamesStalledWorker(t *testing.T) {
+	var buf bytes.Buffer
+	m := NewMonitor(&buf, time.Second)
+	m.Expect(1000)
+	m.StartWorkers(2)
+	// Worker 0 keeps completing chunks; worker 1 went silent a minute ago.
+	m.WorkerDone(0, 10)
+	m.mu.Lock()
+	m.workerLast[1] = time.Now().Add(-time.Minute).UnixNano()
+	m.mu.Unlock()
+	m.report(time.Now())
+	out := buf.String()
+	if !strings.Contains(out, "worker 1/2 stalled") {
+		t.Errorf("stalled worker not named:\n%s", out)
+	}
+	if strings.Contains(out, "worker 0/2 stalled") {
+		t.Errorf("healthy worker reported stalled:\n%s", out)
+	}
+	if strings.Contains(out, "no worker progress") {
+		t.Errorf("global watchdog fired while worker 0 was advancing:\n%s", out)
+	}
+
+	// The warning latches: a second report does not repeat it.
+	buf.Reset()
+	m.report(time.Now())
+	if strings.Contains(buf.String(), "stalled") {
+		t.Errorf("per-worker watchdog fired twice:\n%s", buf.String())
+	}
+
+	// Progress from the stalled worker re-arms its watchdog.
+	m.WorkerDone(1, 1)
+	m.mu.Lock()
+	m.workerLast[1] = time.Now().Add(-time.Minute).UnixNano()
+	m.mu.Unlock()
+	buf.Reset()
+	m.report(time.Now())
+	if !strings.Contains(buf.String(), "worker 1/2 stalled") {
+		t.Errorf("per-worker watchdog did not re-arm:\n%s", buf.String())
+	}
+
+	// FinishWorkers ends tracking; an idle pool after the run is silent.
+	m.FinishWorkers()
+	buf.Reset()
+	m.report(time.Now().Add(2 * time.Minute))
+	if strings.Contains(buf.String(), "stalled") {
+		t.Errorf("watchdog warned about a finished pool:\n%s", buf.String())
+	}
+}

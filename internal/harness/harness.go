@@ -76,6 +76,14 @@ type Monitor struct {
 	stopReporter chan struct{}
 	reporterDone chan struct{}
 
+	// Per-worker progress (all under mu): workerLast[w] is the unix-nano
+	// time worker w last completed a chunk, workerWarned[w] latches its
+	// stall warning until the worker advances again. Registered by
+	// Engine.Run via StartWorkers; empty outside an engine run, in which
+	// case only the run-global watchdog above applies.
+	workerLast   []int64
+	workerWarned []bool
+
 	// outMu serialises every write to out. Progress lines, skip reports,
 	// and warnings race from the reporter goroutine and all workers; each
 	// message is assembled off-lock and written in a single call so lines
@@ -128,6 +136,52 @@ func (m *Monitor) Done(n int64) {
 	m.done.Add(n)
 	m.lastAdvance.Store(time.Now().UnixNano())
 	m.stallWarned.Store(false)
+}
+
+// StartWorkers registers a pool of n workers for per-worker stall tracking.
+// Every worker starts "fresh" (stamped now); FinishWorkers deregisters the
+// pool when the run ends so idle workers of a completed run never warn.
+// Sequential runs sharing one Monitor simply re-register.
+func (m *Monitor) StartWorkers(n int) {
+	if m == nil || n <= 0 {
+		return
+	}
+	now := time.Now().UnixNano()
+	m.mu.Lock()
+	m.workerLast = make([]int64, n)
+	m.workerWarned = make([]bool, n)
+	for i := range m.workerLast {
+		m.workerLast[i] = now
+	}
+	m.mu.Unlock()
+}
+
+// FinishWorkers drops per-worker stall tracking (the pool has drained).
+func (m *Monitor) FinishWorkers() {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.workerLast = nil
+	m.workerWarned = nil
+	m.mu.Unlock()
+}
+
+// WorkerDone records that worker w completed a chunk of n trials: it feeds
+// the run-global counters exactly like Done and additionally stamps the
+// worker's own progress clock, so the watchdog can name the one shard that
+// stalls while the rest of the pool keeps the global clock advancing.
+func (m *Monitor) WorkerDone(w int, n int64) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	if w >= 0 && w < len(m.workerLast) {
+		m.workerLast[w] = time.Now().UnixNano()
+		m.workerWarned[w] = false
+	}
+	m.mu.Unlock()
+	m.Done(n)
 }
 
 // logf writes one complete line to the monitor's writer under outMu, so
@@ -330,6 +384,23 @@ func (m *Monitor) report(now time.Time) {
 	stalled := idle >= m.stallAfter && done > 0 && (expected <= 0 || done < expected)
 	if stalled && m.stallWarned.CompareAndSwap(false, true) {
 		fmt.Fprintf(&b, "%s: watchdog: no worker progress for %s\n", prefix, idle.Round(time.Second))
+	}
+	// Per-worker watchdog: while a registered pool is mid-run, a single
+	// worker that stops completing chunks is named even though the other
+	// workers keep the global progress clock ticking. Each worker warns
+	// once per stall episode; completing a chunk re-arms it.
+	if expected <= 0 || done < expected {
+		m.mu.Lock()
+		nw := len(m.workerLast)
+		for w := 0; w < nw; w++ {
+			wIdle := now.Sub(time.Unix(0, m.workerLast[w]))
+			if wIdle >= m.stallAfter && !m.workerWarned[w] {
+				m.workerWarned[w] = true
+				fmt.Fprintf(&b, "%s: watchdog: worker %d/%d stalled: no chunk completed for %s\n",
+					prefix, w, nw, wIdle.Round(time.Second))
+			}
+		}
+		m.mu.Unlock()
 	}
 	if b.Len() > 0 {
 		m.logf("%s", b.String())

@@ -123,6 +123,11 @@ func (c *Core) Tick(now int64, ms *MemSystem) {
 			return
 		}
 		c.StallMemCycles += uint64(now - c.blockStart)
+		if !c.blocked.inWindow {
+			// Popped from the MSHR window at block time; nobody else
+			// holds it. (In-window requests are freed by retireDone.)
+			ms.pool.put(c.blocked)
+		}
 		c.blocked = nil
 	}
 	if c.waitUntil > now {
@@ -159,7 +164,8 @@ func (c *Core) Tick(now int64, ms *MemSystem) {
 			}
 		} else {
 			c.MemLevel++
-			c.retireDone(now)
+			c.retireDone(now, ms)
+			req.inWindow = true
 			c.outstanding = append(c.outstanding, req)
 			pm.mshrDepth.Observe(float64(len(c.outstanding)))
 			if op.Critical {
@@ -169,6 +175,7 @@ func (c *Core) Tick(now int64, ms *MemSystem) {
 				lat = c.missPenalty
 				if len(c.outstanding) > c.mlp {
 					c.blocked = c.outstanding[0]
+					c.blocked.inWindow = false
 					c.outstanding = c.outstanding[1:]
 					c.blockStart = now
 				}
@@ -206,12 +213,17 @@ func (c *Core) maybePrefetch(la addrmap.LineAddr, ms *MemSystem, now int64) {
 	}
 }
 
-// retireDone drops completed requests from the MSHR window.
-func (c *Core) retireDone(now int64) {
+// retireDone drops completed requests from the MSHR window and recycles
+// them (the window is the only remaining holder: a critically-blocked
+// request stays in the window, and Tick clears c.blocked before any path
+// that reaches here).
+func (c *Core) retireDone(now int64, ms *MemSystem) {
 	keep := c.outstanding[:0]
 	for _, r := range c.outstanding {
 		if !r.Done(now) {
 			keep = append(keep, r)
+		} else {
+			ms.pool.put(r)
 		}
 	}
 	c.outstanding = keep
@@ -233,7 +245,8 @@ func (c *Core) installL2(la addrmap.LineAddr, dirty bool, ms *MemSystem, now int
 	victim, vdirty, ok := c.l2.install(la, dirty)
 	if ok && vdirty {
 		// Dirty L2 victims write into the LLC; with the inclusive sizing
-		// they nearly always hit there.
-		ms.Access(victim, true, now)
+		// they nearly always hit there. Nobody tracks the fill on a miss.
+		_, req := ms.Access(victim, true, now)
+		ms.Release(req)
 	}
 }

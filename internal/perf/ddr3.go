@@ -36,6 +36,37 @@ type Request struct {
 	// Scheduled.
 	DoneAt    int64
 	Scheduled bool
+
+	// retained marks requests a core still holds a pointer to (demand
+	// misses); the channel recycles unretained requests (writebacks,
+	// prefetches, spilled victims) as soon as they are scheduled.
+	retained bool
+	// inWindow is true while the request sits in its core's MSHR window;
+	// a blocked request popped from the window is freed at unblock.
+	inWindow bool
+}
+
+// reqPool is a free list of Requests. The simulator is single-goroutine,
+// and the memory system retires tens of requests per thousand instructions,
+// so recycling them removes the dominant steady-state allocation of the
+// performance model. A nil pool (test-constructed Channels) never recycles.
+type reqPool struct{ free []*Request }
+
+func (p *reqPool) get() *Request {
+	if p == nil || len(p.free) == 0 {
+		return &Request{}
+	}
+	r := p.free[len(p.free)-1]
+	p.free = p.free[:len(p.free)-1]
+	*r = Request{}
+	return r
+}
+
+func (p *reqPool) put(r *Request) {
+	if p == nil || r == nil {
+		return
+	}
+	p.free = append(p.free, r)
 }
 
 // Done reports completion at the given CPU cycle.
@@ -87,6 +118,9 @@ type Channel struct {
 	// writeDrainHigh/Low are the write-queue watermarks.
 	writeDrainHigh int
 	writeDrainLow  int
+	// pool recycles scheduled requests nobody retains; set by NewMemSystem
+	// (nil for standalone Channels).
+	pool *reqPool
 }
 
 // NewChannel builds a channel for the geometry's ranks and banks.
@@ -156,6 +190,9 @@ func (c *Channel) Tick(nowTck int64) {
 	r := (*q)[pick]
 	if c.schedule(r, nowTck) {
 		*q = append((*q)[:pick], (*q)[pick+1:]...)
+		if !r.retained {
+			c.pool.put(r)
+		}
 	}
 }
 

@@ -9,10 +9,15 @@ import (
 )
 
 // timingCache wraps cache.Cache with simple modulo indexing for the private
-// levels (the LLC uses the node mapper's hashed indexing instead).
+// levels (the LLC uses the node mapper's hashed indexing instead). For the
+// usual power-of-two set counts the modulo/divide pair reduces to mask and
+// shift, which matters on a lookup made for every instruction of the trace.
 type timingCache struct {
 	c    *cache.Cache
 	sets uint64
+	mask uint64 // sets-1 when sets is a power of two
+	bits uint   // log2(sets) when pow2
+	pow2 bool
 }
 
 func newTimingCache(sets, ways int) (*timingCache, error) {
@@ -20,10 +25,21 @@ func newTimingCache(sets, ways int) (*timingCache, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &timingCache{c: c, sets: uint64(sets)}, nil
+	t := &timingCache{c: c, sets: uint64(sets)}
+	if sets > 0 && sets&(sets-1) == 0 {
+		t.pow2 = true
+		t.mask = uint64(sets - 1)
+		for 1<<t.bits < sets {
+			t.bits++
+		}
+	}
+	return t, nil
 }
 
 func (t *timingCache) index(la addrmap.LineAddr) (int, uint64) {
+	if t.pow2 {
+		return int(uint64(la) & t.mask), uint64(la) >> t.bits
+	}
 	return int(uint64(la) % t.sets), uint64(la) / t.sets
 }
 
@@ -69,6 +85,7 @@ type MemSystem struct {
 	hash     bool
 	bankHash bool
 	channels []*Channel
+	pool     reqPool
 
 	LLCHits      uint64
 	LLCMisses    uint64
@@ -120,7 +137,9 @@ func NewMemSystem(cfg MemConfig) (*MemSystem, error) {
 		bankHash: cfg.BankXORHash,
 	}
 	for i := 0; i < cfg.Geometry.Channels; i++ {
-		ms.channels = append(ms.channels, NewChannel(cfg.Geometry.DIMMsPerChan, cfg.Geometry.Banks))
+		ch := NewChannel(cfg.Geometry.DIMMsPerChan, cfg.Geometry.Banks)
+		ch.pool = &ms.pool
+		ms.channels = append(ms.channels, ch)
 	}
 	return ms, nil
 }
@@ -187,7 +206,8 @@ func (m *MemSystem) Access(la addrmap.LineAddr, write bool, nowCPU int64) (bool,
 	if m.bankHash {
 		loc = m.mapper.BankXORHash(loc)
 	}
-	req := &Request{Loc: loc, Write: false, Arrival: nowCPU}
+	req := m.pool.get()
+	req.Loc, req.Arrival, req.retained = loc, nowCPU, true
 	m.channels[loc.Channel].Enqueue(req)
 
 	// Install now (state-wise); eviction may produce a writeback.
@@ -205,7 +225,8 @@ func (m *MemSystem) Access(la addrmap.LineAddr, write bool, nowCPU int64) (bool,
 			if m.bankHash {
 				evLoc = m.mapper.BankXORHash(evLoc)
 			}
-			wb := &Request{Loc: evLoc, Write: true, Arrival: nowCPU}
+			wb := m.pool.get()
+			wb.Loc, wb.Write, wb.Arrival = evLoc, true, nowCPU
 			m.channels[evLoc.Channel].Enqueue(wb)
 		}
 	}
@@ -226,7 +247,8 @@ func (m *MemSystem) Prefetch(la addrmap.LineAddr, nowCPU int64) *Request {
 	if m.bankHash {
 		loc = m.mapper.BankXORHash(loc)
 	}
-	req := &Request{Loc: loc, Write: false, Arrival: nowCPU}
+	req := m.pool.get()
+	req.Loc, req.Arrival = loc, nowCPU // not retained: callers only nil-check
 	m.channels[loc.Channel].Enqueue(req)
 	way, evicted := m.llc.Fill(set, tag, false)
 	if way >= 0 && evicted.Valid {
@@ -238,9 +260,20 @@ func (m *MemSystem) Prefetch(la addrmap.LineAddr, nowCPU int64) *Request {
 		if m.bankHash {
 			evLoc = m.mapper.BankXORHash(evLoc)
 		}
-		m.channels[evLoc.Channel].Enqueue(&Request{Loc: evLoc, Write: true, Arrival: nowCPU})
+		wb := m.pool.get()
+		wb.Loc, wb.Write, wb.Arrival = evLoc, true, nowCPU
+		m.channels[evLoc.Channel].Enqueue(wb)
 	}
 	return req
+}
+
+// Release hands a request obtained from Access back for recycling when the
+// caller does not intend to track its completion; the owning channel frees
+// it once scheduled. Safe to call with nil.
+func (m *MemSystem) Release(r *Request) {
+	if r != nil {
+		r.retained = false
+	}
 }
 
 // lineAddrFromIndex reconstructs a line address from LLC (set, tag).
@@ -248,9 +281,7 @@ func (m *MemSystem) lineAddrFromIndex(set int, tag uint64) addrmap.LineAddr {
 	la := tag << m.mapper.SetBits()
 	low := uint64(set)
 	if m.hash {
-		for rest := tag; rest != 0; rest >>= m.mapper.SetBits() {
-			low ^= rest & ((1 << m.mapper.SetBits()) - 1)
-		}
+		low ^= uint64(m.mapper.FoldTag(tag))
 	}
 	return addrmap.LineAddr(la | low)
 }

@@ -4,10 +4,8 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
-	"runtime"
 	"sort"
 	"sync"
-	"sync/atomic"
 
 	"relaxfault/internal/fault"
 	"relaxfault/internal/harness"
@@ -196,10 +194,6 @@ func CoverageStudyCtx(ctx context.Context, cfg CoverageConfig) (*CoverageResult,
 	if err != nil {
 		return nil, err
 	}
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
 	nCurves := len(cfg.Planners) * len(cfg.WayLimits)
 	cfg.planHists = make([]*obs.Histogram, len(cfg.Planners))
 	for i, pl := range cfg.Planners {
@@ -261,49 +255,50 @@ func CoverageStudyCtx(ctx context.Context, cfg CoverageConfig) (*CoverageResult,
 		cfg.Mon.AddSkipped(int64(ch.Skipped - len(ch.Skips)))
 	}
 
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for ctx.Err() == nil {
-				ci := int(next.Add(1)) - 1
-				if ci >= nChunks {
-					return
-				}
-				mu.Lock()
-				stop := ub >= 0 && ci > ub
-				have := chunks[ci] != nil
-				mu.Unlock()
-				if stop {
-					return
-				}
-				if have {
-					continue
-				}
-				ch := cfg.coverageChunk(model, root, ci, nCurves)
-				mu.Lock()
-				store(ci, ch)
-				mu.Unlock()
-				cfg.Mon.Done(int64(ch.Nodes))
-				if err := cp.Put(ci, ch); err != nil {
-					cfg.Mon.Warnf("relsim: %v (study continues without this chunk persisted)", err)
-				}
-			}
-		}()
-	}
-	wg.Wait()
-	if err := cfg.Checkpoint.Flush(); err != nil {
-		cfg.Mon.Warnf("relsim: %v", err)
-	}
+	// Per-worker sampling scratch; the shared chunk table stays under mu.
+	scratches := make([]*fault.SampleScratch, harness.PoolWorkers(cfg.Workers))
+	eng := harness.Engine{Workers: cfg.Workers, Mon: cfg.Mon}
+	eng.Run(ctx, nChunks, func(w, ci int) (int64, bool) {
+		mu.Lock()
+		stop := ub >= 0 && ci > ub
+		have := chunks[ci] != nil
+		mu.Unlock()
+		if stop {
+			return 0, false
+		}
+		if have {
+			return 0, true
+		}
+		if scratches[w] == nil {
+			scratches[w] = &fault.SampleScratch{}
+		}
+		ch := cfg.coverageChunk(model, root, ci, nCurves, scratches[w])
+		mu.Lock()
+		store(ci, ch)
+		mu.Unlock()
+		if err := cp.Put(ci, ch); err != nil {
+			cfg.Mon.Warnf("relsim: %v (study continues without this chunk persisted)", err)
+		}
+		return int64(ch.Nodes), true
+	})
 	if err := ctx.Err(); err != nil {
+		// Cancelled: keep every computed chunk, speculative or not — a
+		// resumed run reuses them all.
+		if ferr := cfg.Checkpoint.Flush(); ferr != nil {
+			cfg.Mon.Warnf("relsim: %v", ferr)
+		}
 		return nil, err
 	}
 
 	end := cutoff
 	if end < 0 {
 		end = nChunks - 1 // MaxNodes exhausted before the target was met
+	}
+	// The result aggregates exactly chunks [0, end]; drop the speculative
+	// tail so the final snapshot is byte-identical for any worker count.
+	cp.PruneAbove(end)
+	if err := cfg.Checkpoint.Flush(); err != nil {
+		cfg.Mon.Warnf("relsim: %v", err)
 	}
 	res := &CoverageResult{}
 	for i := 0; i < nCurves; i++ {
@@ -344,7 +339,7 @@ func CoverageStudyCtx(ctx context.Context, cfg CoverageConfig) (*CoverageResult,
 
 // coverageChunk samples and plans one chunk of node indexes. Each node is
 // panic-isolated with one retry, exactly like Run's trials.
-func (cfg *CoverageConfig) coverageChunk(model *fault.Model, root *stats.RNG, ci, nCurves int) *covChunk {
+func (cfg *CoverageConfig) coverageChunk(model *fault.Model, root *stats.RNG, ci, nCurves int, sc *fault.SampleScratch) *covChunk {
 	lo := ci * covChunkSize
 	hi := lo + covChunkSize
 	if hi > cfg.MaxNodes {
@@ -353,7 +348,7 @@ func (cfg *CoverageConfig) coverageChunk(model *fault.Model, root *stats.RNG, ci
 	ch := &covChunk{Curves: make([]covCurveChunk, nCurves)}
 	for i := lo; i < hi; i++ {
 		ch.Nodes++
-		cfg.coverageTrial(model, root, i, ch)
+		cfg.coverageTrial(model, root, i, ch, sc)
 	}
 	// Sort capacity samples so the chunk payload (and any diff of two
 	// checkpoints) is independent of planner-internal map iteration.
@@ -367,7 +362,7 @@ func (cfg *CoverageConfig) coverageChunk(model *fault.Model, root *stats.RNG, ci
 
 // coverageTrial samples node i and records each curve's outcome into ch,
 // with panic isolation and one retry.
-func (cfg *CoverageConfig) coverageTrial(model *fault.Model, root *stats.RNG, node int, ch *covChunk) {
+func (cfg *CoverageConfig) coverageTrial(model *fault.Model, root *stats.RNG, node int, ch *covChunk, sc *fault.SampleScratch) {
 	for attempt := 0; ; attempt++ {
 		scratch := covChunk{Curves: make([]covCurveChunk, len(ch.Curves))}
 		err := func() (err error) {
@@ -379,7 +374,7 @@ func (cfg *CoverageConfig) coverageTrial(model *fault.Model, root *stats.RNG, no
 			if cfg.trialHook != nil {
 				cfg.trialHook(node)
 			}
-			nf := model.SampleNode(root.Fork(uint64(node)))
+			nf := model.SampleNodeScratch(root.Fork(uint64(node)), sc)
 			perm := nf.PermanentFaults()
 			if len(perm) == 0 {
 				return nil

@@ -20,9 +20,6 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
-	"runtime"
-	"sync"
-	"sync/atomic"
 
 	"relaxfault/internal/fault"
 	"relaxfault/internal/harness"
@@ -230,10 +227,6 @@ func RunCtx(ctx context.Context, cfg Config) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
 	totalNodes := cfg.Nodes * cfg.Replicas
 	nChunks := (totalNodes + chunkSize - 1) / chunkSize
 	root := stats.NewRNG(cfg.Seed)
@@ -261,41 +254,34 @@ func RunCtx(ctx context.Context, cfg Config) (Result, error) {
 	}
 	cfg.Mon.Expect(int64(len(todo)) * chunkSize)
 
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			sim, err := newNodeSim(model, cfg)
-			if err != nil {
-				return // validated above; unreachable
-			}
-			for ctx.Err() == nil {
-				k := int(next.Add(1)) - 1
-				if k >= len(todo) {
-					return
-				}
-				ci := todo[k]
-				lo := ci * chunkSize
-				hi := lo + chunkSize
-				if hi > totalNodes {
-					hi = totalNodes
-				}
-				res := &Result{}
-				for i := lo; i < hi; i++ {
-					runTrial(sim, root, i, res, &cfg)
-				}
-				chunks[ci] = res
-				rm.trialsDone.Add(int64(hi - lo))
-				cfg.Mon.Done(int64(hi - lo))
-				if err := cp.Put(ci, res); err != nil {
-					cfg.Mon.Warnf("relsim: %v (run continues without this chunk persisted)", err)
-				}
-			}
-		}()
-	}
-	wg.Wait()
+	// Per-worker simulators (repair state and sampling scratch); chunks[ci]
+	// writes never collide because each chunk index is claimed exactly once.
+	sims := make([]*nodeSim, harness.PoolWorkers(cfg.Workers))
+	eng := harness.Engine{Workers: cfg.Workers, Mon: cfg.Mon}
+	runErr := eng.Run(ctx, len(todo), func(w, k int) (int64, bool) {
+		sim := sims[w]
+		if sim == nil {
+			sim, _ = newNodeSim(model, cfg) // planner validated above
+			sims[w] = sim
+		}
+		ci := todo[k]
+		lo := ci * chunkSize
+		hi := lo + chunkSize
+		if hi > totalNodes {
+			hi = totalNodes
+		}
+		res := &Result{}
+		for i := lo; i < hi; i++ {
+			runTrial(sim, root, i, res, &cfg)
+		}
+		chunks[ci] = res
+		rm.trialsDone.Add(int64(hi - lo))
+		if err := cp.Put(ci, res); err != nil {
+			cfg.Mon.Warnf("relsim: %v (run continues without this chunk persisted)", err)
+		}
+		return int64(hi - lo), true
+	})
+	_ = runErr // identical to ctx.Err(), checked below after the flush
 	if err := cfg.Checkpoint.Flush(); err != nil {
 		cfg.Mon.Warnf("relsim: %v", err)
 	}
@@ -398,11 +384,26 @@ type liveFault struct {
 	repaired bool
 }
 
-// nodeSim holds per-worker scratch state.
+// nodeSim holds per-worker scratch state. One simulator serves one engine
+// worker; every buffer below is reused across trials so the per-trial
+// allocation count stays flat no matter how many nodes a campaign samples.
 type nodeSim struct {
 	model *fault.Model
 	cfg   Config
 	inc   repair.Incremental // nil when no repair is configured
+	state repair.NodeState   // reused across trials (Reset per node)
+
+	sampleSc fault.SampleScratch
+	// Per-trial working state, cleared at the start of each faulty trial
+	// (fault-free trials never touch it): devSeen is a flat
+	// [dimm*devPerDIMM+device] bit of which devices faulted, devCount the
+	// distinct faulty devices per DIMM, replaced/unrepaired per-DIMM flags.
+	devSeen    []bool
+	devCount   []int
+	replaced   []bool
+	unrepaired []bool
+	live       []liveFault
+	hits       []*fault.Fault
 }
 
 func newNodeSim(model *fault.Model, cfg Config) (*nodeSim, error) {
@@ -419,22 +420,38 @@ func newNodeSim(model *fault.Model, cfg Config) (*nodeSim, error) {
 
 // runNode simulates one node's 6-year history and accumulates metrics.
 func (s *nodeSim) runNode(rng *stats.RNG, res *Result) {
-	nf := s.model.SampleNode(rng)
+	nf := s.model.SampleNodeScratch(rng, &s.sampleSc)
 	if len(nf.Faults) == 0 {
 		return
 	}
 	g := s.model.Config().Geometry
+	nDIMMs := g.DIMMs()
+	devPer := g.DevicesPerDIMM()
+
+	// (Re)size and clear the per-trial scratch. A retried trial (panic
+	// isolation) re-enters here, so clearing happens on entry, never exit.
+	if cap(s.devSeen) < nDIMMs*devPer {
+		s.devSeen = make([]bool, nDIMMs*devPer)
+		s.devCount = make([]int, nDIMMs)
+		s.replaced = make([]bool, nDIMMs)
+		s.unrepaired = make([]bool, nDIMMs)
+	}
+	s.devSeen = s.devSeen[:nDIMMs*devPer]
+	clear(s.devSeen)
+	clear(s.devCount)
+	clear(s.replaced)
+	clear(s.unrepaired)
 
 	// Live permanent faults in arrival order (all DIMMs of the node).
-	var live []liveFault
+	live := s.live[:0]
 	var state repair.NodeState
 	if s.inc != nil {
-		state = s.inc.NewState()
+		if s.state == nil {
+			s.state = s.inc.NewState()
+		}
+		s.state.Reset()
+		state = s.state
 	}
-	// Track distinct faulty devices per DIMM over the whole horizon
-	// (for the multi-device-fault metric, independent of replacement).
-	devsSeen := make(map[int]map[int]bool)
-	replacedDIMMs := make(map[int]bool)
 	anyPermanent := false
 	nodeReplaced := false
 	nodeUnrepaired := false
@@ -449,7 +466,7 @@ func (s *nodeSim) runNode(rng *stats.RNG, res *Result) {
 			}
 		}
 		live = keep
-		replacedDIMMs[dimm] = true
+		s.replaced[dimm] = true
 		if s.inc != nil {
 			state.Reset()
 			for i := range live {
@@ -458,16 +475,17 @@ func (s *nodeSim) runNode(rng *stats.RNG, res *Result) {
 		}
 	}
 
+	hits := s.hits
 	for _, f := range nf.Faults {
 		recordFault(f)
 		dimm := f.Dev.DIMMIndex(g)
 		newRepaired := false
 		if f.Permanent() {
 			anyPermanent = true
-			if devsSeen[dimm] == nil {
-				devsSeen[dimm] = make(map[int]bool)
+			if di := dimm*devPer + f.Dev.Device; !s.devSeen[di] {
+				s.devSeen[di] = true
+				s.devCount[dimm]++
 			}
-			devsSeen[dimm][f.Dev.Device] = true
 
 			// The repair policy acts on every observed permanent fault
 			// before errors can accumulate (Section 4.1.1): a repairable
@@ -490,7 +508,7 @@ func (s *nodeSim) runNode(rng *stats.RNG, res *Result) {
 		// same rank produces an uncorrectable word. Live faults across the
 		// whole channel are considered because MirrorRanks faults project
 		// onto sibling ranks.
-		var hits []*fault.Fault
+		hits = hits[:0]
 		if !newRepaired {
 			for i := range live {
 				lf := &live[i]
@@ -551,29 +569,33 @@ func (s *nodeSim) runNode(rng *stats.RNG, res *Result) {
 		}
 	}
 
-	unrepairedDIMMs := make(map[int]bool)
 	for _, lf := range live {
 		if !lf.repaired {
-			unrepairedDIMMs[lf.dimm] = true
+			s.unrepaired[lf.dimm] = true
 		}
 	}
 	if anyPermanent {
 		res.FaultyNodes++
 		rm.faultyNodes.Inc()
 	}
-	for dimm, devs := range devsSeen {
+	for dimm := 0; dimm < nDIMMs; dimm++ {
+		if s.devCount[dimm] == 0 {
+			continue
+		}
 		res.FaultyDIMMs++
-		if len(devs) >= 2 {
+		if s.devCount[dimm] >= 2 {
 			res.MultiDeviceFaultDIMMs++
 		}
 		// A DIMM counts as transparently repaired when it had permanent
 		// faults, was never replaced, and none remain unrepaired.
-		if unrepairedDIMMs[dimm] {
+		if s.unrepaired[dimm] {
 			nodeUnrepaired = true
-		} else if s.cfg.Planner != nil && !replacedDIMMs[dimm] {
+		} else if s.cfg.Planner != nil && !s.replaced[dimm] {
 			res.RepairedDIMMs++
 		}
 	}
+	s.live = live[:0]
+	s.hits = hits[:0]
 	if anyPermanent && s.cfg.Planner != nil && !nodeUnrepaired && !nodeReplaced {
 		res.RepairedNodes++
 	}

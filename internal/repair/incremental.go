@@ -25,21 +25,33 @@ type Incremental interface {
 	TryRepair(st NodeState, f *fault.Fault, wayLimit int) bool
 }
 
-// llcState is the incremental state of the LLC-based planners.
+// llcState is the incremental state of the LLC-based planners. The per-set
+// counters are dense arrays (one slot per LLC set) cleared through touched
+// lists, and the line sets reuse their tables across faults and Resets, so
+// steady-state TryRepair calls allocate nothing.
 type llcState struct {
-	seen map[lineKey]struct{}
-	load map[int32]int32
+	seen        lineSet // lines committed by accepted repairs
+	load        []int32 // committed per-set line count
+	loadTouched []int32
+	// Per-call working state for the candidate fault.
+	newSeen       lineSet
+	demand        []int32
+	demandTouched []int32
 }
 
 // Reset implements NodeState.
 func (s *llcState) Reset() {
-	clear(s.seen)
-	clear(s.load)
+	s.seen.reset()
+	for _, set := range s.loadTouched {
+		s.load[set] = 0
+	}
+	s.loadTouched = s.loadTouched[:0]
 }
 
 // NewState implements Incremental.
 func (p *llcPlanner) NewState() NodeState {
-	return &llcState{seen: make(map[lineKey]struct{}), load: make(map[int32]int32)}
+	n := 1 << p.mapper.SetBits()
+	return &llcState{load: make([]int32, n), demand: make([]int32, n)}
 }
 
 // TryRepair implements Incremental for RelaxFault and FreeFault.
@@ -62,23 +74,28 @@ func (p *llcPlanner) TryRepair(st NodeState, f *fault.Fault, wayLimit int) bool 
 	}
 	// First pass: collect the fault's new lines and per-set demand,
 	// deduplicating both against prior repairs and within the fault.
-	newKeys := make(map[lineKey]struct{})
-	demand := make(map[int32]int32)
+	s.newSeen.reset()
+	for _, set := range s.demandTouched {
+		s.demand[set] = 0
+	}
+	s.demandTouched = s.demandTouched[:0]
 	ok := true
 	for _, rank := range ranks {
 		for _, e := range f.Extents {
 			e.ForEachLine(g, p.colsPerGroup, func(bank, row, cg int) bool {
 				set, tag := p.target(f, rank, bank, row, cg)
 				k := lineKey{set: set, tag: tag}
-				if _, dup := s.seen[k]; dup {
+				if s.seen.has(k) {
 					return true
 				}
-				if _, dup := newKeys[k]; dup {
+				if !s.newSeen.insert(k) {
 					return true
 				}
-				newKeys[k] = struct{}{}
-				demand[set]++
-				if int(s.load[set]+demand[set]) > wayLimit {
+				if s.demand[set] == 0 {
+					s.demandTouched = append(s.demandTouched, set)
+				}
+				s.demand[set]++
+				if int(s.load[set]+s.demand[set]) > wayLimit {
 					ok = false
 					return false
 				}
@@ -89,9 +106,13 @@ func (p *llcPlanner) TryRepair(st NodeState, f *fault.Fault, wayLimit int) bool 
 			}
 		}
 	}
-	// Commit.
-	for k := range newKeys {
-		s.seen[k] = struct{}{}
+	// Commit. Iteration order is insertion order, but the increments
+	// commute, so the resulting state matches the old map-based commit.
+	for _, k := range s.newSeen.list {
+		s.seen.insert(k)
+		if s.load[k.set] == 0 {
+			s.loadTouched = append(s.loadTouched, k.set)
+		}
 		s.load[k.set]++
 	}
 	return true

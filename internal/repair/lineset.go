@@ -1,0 +1,82 @@
+package repair
+
+// lineSet is an open-addressing hash set of lineKeys with O(1)
+// generation-based clearing and insertion-order iteration via list.
+// PlanNode and TryRepair run once per sampled permanent fault across
+// millions of Monte Carlo trials, and the per-call map allocations they
+// used to make dominated the allocation profile; a reused lineSet makes
+// those calls allocation-free in the steady state.
+type lineSet struct {
+	gens []uint32 // generation stamp per slot; any other value means empty
+	keys []lineKey
+	gen  uint32
+	mask uint64
+	list []lineKey // live keys in insertion order
+}
+
+func hashLineKey(k lineKey) uint64 {
+	h := k.tag*0x9e3779b97f4a7c15 ^ uint64(uint32(k.set))*0xff51afd7ed558ccd
+	return h ^ h>>29
+}
+
+// reset empties the set without touching the tables.
+func (s *lineSet) reset() {
+	s.gen++
+	if s.gen == 0 { // generation counter wrapped: invalidate stale stamps
+		clear(s.gens)
+		s.gen = 1
+	}
+	s.list = s.list[:0]
+}
+
+// insert adds k and reports true, or reports false when k was already
+// present.
+func (s *lineSet) insert(k lineKey) bool {
+	if len(s.gens) == 0 {
+		s.grow(64)
+	} else if uint64(len(s.list)+1)*4 > uint64(len(s.gens))*3 {
+		s.grow(2 * len(s.gens)) // keep load factor under 0.75
+	}
+	i := hashLineKey(k) & s.mask
+	for s.gens[i] == s.gen {
+		if s.keys[i] == k {
+			return false
+		}
+		i = (i + 1) & s.mask
+	}
+	s.gens[i] = s.gen
+	s.keys[i] = k
+	s.list = append(s.list, k)
+	return true
+}
+
+// has reports whether k is in the set.
+func (s *lineSet) has(k lineKey) bool {
+	if len(s.gens) == 0 {
+		return false
+	}
+	for i := hashLineKey(k) & s.mask; s.gens[i] == s.gen; i = (i + 1) & s.mask {
+		if s.keys[i] == k {
+			return true
+		}
+	}
+	return false
+}
+
+// grow rehashes into tables of n slots (a power of two).
+func (s *lineSet) grow(n int) {
+	s.gens = make([]uint32, n)
+	s.keys = make([]lineKey, n)
+	s.mask = uint64(n - 1)
+	if s.gen == 0 {
+		s.gen = 1
+	}
+	for _, k := range s.list {
+		i := hashLineKey(k) & s.mask
+		for s.gens[i] == s.gen {
+			i = (i + 1) & s.mask
+		}
+		s.gens[i] = s.gen
+		s.keys[i] = k
+	}
+}

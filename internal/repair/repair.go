@@ -18,6 +18,8 @@
 package repair
 
 import (
+	"sync"
+
 	"relaxfault/internal/addrmap"
 	"relaxfault/internal/dram"
 	"relaxfault/internal/fault"
@@ -54,8 +56,9 @@ type Plan struct {
 	// MaxWaysPerSet is the largest number of repair lines mapped into any
 	// single LLC set when all mappable faults are repaired.
 	MaxWaysPerSet int
-	// setLoad maps set index -> line count (only sets with load > 0).
-	setLoad map[int32]int32
+	// llcPlan marks plans produced by the LLC-based planners, whose repairs
+	// press on cache sets; PPR-style plans carry no set pressure.
+	llcPlan bool
 }
 
 // RepairableUnder reports whether the node is *fully* repairable when the
@@ -65,7 +68,7 @@ func (p *Plan) RepairableUnder(wayLimit int) bool {
 	if !p.AllMappable {
 		return false
 	}
-	if p.setLoad == nil { // PPR-style plans carry no set pressure
+	if !p.llcPlan { // PPR-style plans carry no set pressure
 		return true
 	}
 	return p.MaxWaysPerSet <= wayLimit
@@ -144,6 +147,32 @@ type llcPlanner struct {
 	// entire LLC can hold is unmappable regardless of way limit, so there
 	// is no reason to enumerate it.
 	maxEnumerate int64
+	// scratchPool recycles PlanNode working state. Planners are shared by
+	// all simulation workers (CoverageStudy hands one planner to the whole
+	// pool), so the scratch must not live on the planner itself.
+	scratchPool sync.Pool
+}
+
+// planScratch is the reusable working state of one PlanNode call.
+type planScratch struct {
+	seen    lineSet
+	load    []int32 // dense per-set line count, cleared via touched
+	touched []int32
+}
+
+func (p *llcPlanner) scratch() *planScratch {
+	if sc, ok := p.scratchPool.Get().(*planScratch); ok {
+		return sc
+	}
+	return &planScratch{load: make([]int32, 1<<p.mapper.SetBits())}
+}
+
+func (p *llcPlanner) release(sc *planScratch) {
+	for _, set := range sc.touched {
+		sc.load[set] = 0
+	}
+	sc.touched = sc.touched[:0]
+	p.scratchPool.Put(sc)
 }
 
 // RelaxFaultOptions ablate individual design choices of the repair mapping
@@ -250,9 +279,12 @@ func (p *llcPlanner) PlanNode(faults []*fault.Fault) *Plan {
 		Engine:      p.name,
 		AllMappable: true,
 		PerFault:    make([]FaultPlan, len(faults)),
-		setLoad:     make(map[int32]int32),
+		llcPlan:     true,
 	}
-	seen := make(map[lineKey]struct{})
+	sc := p.scratch()
+	defer p.release(sc)
+	seen := &sc.seen
+	seen.reset()
 	for i, f := range faults {
 		fp := &plan.PerFault[i]
 		fp.Mappable = true
@@ -278,16 +310,17 @@ func (p *llcPlanner) PlanNode(faults []*fault.Fault) *Plan {
 			for _, e := range f.Extents {
 				e.ForEachLine(g, p.colsPerGroup, func(bank, row, cg int) bool {
 					set, tag := p.target(f, rank, bank, row, cg)
-					k := lineKey{set: set, tag: tag}
-					if _, dup := seen[k]; dup {
+					if !seen.insert(lineKey{set: set, tag: tag}) {
 						return true
 					}
-					seen[k] = struct{}{}
 					fp.Lines++
 					fp.Sets = append(fp.Sets, set)
-					plan.setLoad[set]++
-					if int(plan.setLoad[set]) > plan.MaxWaysPerSet {
-						plan.MaxWaysPerSet = int(plan.setLoad[set])
+					if sc.load[set] == 0 {
+						sc.touched = append(sc.touched, set)
+					}
+					sc.load[set]++
+					if int(sc.load[set]) > plan.MaxWaysPerSet {
+						plan.MaxWaysPerSet = int(sc.load[set])
 					}
 					return true
 				})

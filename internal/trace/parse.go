@@ -1,0 +1,94 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ParseOps reads a textual trace. Each non-blank line is one record:
+//
+//	<nonmem> <addr> <kind>
+//
+// where nonmem is the decimal count of non-memory instructions before the
+// access, addr is the byte address (decimal or 0x-prefixed hex), and kind
+// is R (load), R! (critical load), or W (store). Text after # is a comment.
+// Malformed input yields an error naming the line; the parser never panics.
+func ParseOps(r io.Reader) ([]Op, error) {
+	var ops []Op
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("trace: line %d: want 3 fields (nonmem addr kind), got %d", lineNo, len(fields))
+		}
+		nonMem, err := strconv.ParseInt(fields[0], 10, 32)
+		if err != nil || nonMem < 0 {
+			return nil, fmt.Errorf("trace: line %d: bad non-memory count %q", lineNo, fields[0])
+		}
+		addr, err := strconv.ParseUint(fields[1], 0, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad address %q", lineNo, fields[1])
+		}
+		op := Op{NonMem: int32(nonMem), Addr: addr}
+		switch fields[2] {
+		case "R":
+		case "R!":
+			op.Critical = true
+		case "W":
+			op.Write = true
+		default:
+			return nil, fmt.Errorf("trace: line %d: bad access kind %q (want R, R!, or W)", lineNo, fields[2])
+		}
+		ops = append(ops, op)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: line %d: %w", lineNo, err)
+	}
+	return ops, nil
+}
+
+// Replay is a Generator that cycles through a parsed operation list, for
+// driving the performance model from a recorded trace instead of a
+// synthetic pattern.
+type Replay struct {
+	name string
+	ops  []Op
+	pos  int
+}
+
+// NewReplay builds a replay generator; ops must be non-empty.
+func NewReplay(name string, ops []Op) (*Replay, error) {
+	if len(ops) == 0 {
+		return nil, fmt.Errorf("trace: replay %q: empty operation list", name)
+	}
+	return &Replay{name: name, ops: ops}, nil
+}
+
+// Name implements Generator.
+func (r *Replay) Name() string { return r.name }
+
+// Next implements Generator, wrapping around at the end of the list.
+func (r *Replay) Next() Op {
+	op := r.ops[r.pos]
+	r.pos++
+	if r.pos == len(r.ops) {
+		r.pos = 0
+	}
+	return op
+}
+
+// Reset implements Generator.
+func (r *Replay) Reset() { r.pos = 0 }

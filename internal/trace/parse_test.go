@@ -1,0 +1,93 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseOps(t *testing.T) {
+	in := `
+# demand stream
+12 0x1000 R
+0 4096 W
+3 0x2040 R!   # pointer chase
+`
+	ops, err := ParseOps(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Op{
+		{NonMem: 12, Addr: 0x1000},
+		{NonMem: 0, Addr: 4096, Write: true},
+		{NonMem: 3, Addr: 0x2040, Critical: true},
+	}
+	if len(ops) != len(want) {
+		t.Fatalf("parsed %d ops, want %d", len(ops), len(want))
+	}
+	for i := range want {
+		if ops[i] != want[i] {
+			t.Errorf("op %d = %+v, want %+v", i, ops[i], want[i])
+		}
+	}
+}
+
+func TestParseOpsErrors(t *testing.T) {
+	for _, bad := range []string{
+		"1 0x10",                  // missing kind
+		"1 0x10 R extra",          // too many fields
+		"-1 0x10 R",               // negative burst
+		"99999999999999999 16 R",  // burst overflows int32
+		"1 nope R",                // bad address
+		"1 0xffffffffffffffff1 W", // address overflows uint64
+		"1 16 X",                  // bad kind
+	} {
+		if _, err := ParseOps(strings.NewReader(bad)); err == nil {
+			t.Errorf("ParseOps(%q) accepted malformed input", bad)
+		}
+	}
+}
+
+func TestReplayCycles(t *testing.T) {
+	ops := []Op{{Addr: 64}, {Addr: 128, Write: true}}
+	r, err := NewReplay("w", ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if got := r.Next(); got != ops[i%2] {
+			t.Fatalf("op %d = %+v, want %+v", i, got, ops[i%2])
+		}
+	}
+	r.Reset()
+	if got := r.Next(); got != ops[0] {
+		t.Fatalf("after Reset got %+v, want %+v", got, ops[0])
+	}
+	if _, err := NewReplay("empty", nil); err == nil {
+		t.Error("empty replay accepted")
+	}
+}
+
+// FuzzParseOps checks the parser never panics and that accepted inputs obey
+// the record invariants.
+func FuzzParseOps(f *testing.F) {
+	f.Add("12 0x1000 R\n0 4096 W\n")
+	f.Add("# comment only\n\n")
+	f.Add("3 0x2040 R! # tail comment\n")
+	f.Add("1 0x10")
+	f.Add("9999999999 1 R\n")
+	f.Add("\x00\xff 0 W")
+	f.Fuzz(func(t *testing.T, in string) {
+		ops, err := ParseOps(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		for i, op := range ops {
+			if op.NonMem < 0 {
+				t.Errorf("op %d: negative NonMem %d", i, op.NonMem)
+			}
+			if op.Write && op.Critical {
+				t.Errorf("op %d: both Write and Critical set", i)
+			}
+		}
+	})
+}
