@@ -6,9 +6,17 @@
 //	relaxfault [-scale quick|paper] [-seed N] [-parallel N] [-timeout D]
 //	           [-progress D] [-checkpoint FILE [-resume]] [-metrics FILE|-]
 //	           [-events FILE] [-pprof ADDR] <experiment> [...]
+//	relaxfault -scenario FILE|PRESET
+//	relaxfault sweep -scenario FILE|PRESET -set path=v1,v2 [-set ...]
+//	relaxfault list
 //
 // Experiments: tab1 tab2 tab3 tab4 fig2 fig8 fig9 fig10 fig11 fig12 fig13
 // fig14 fig15 fig16 all
+//
+// Every experiment is a preset scenario in internal/scenario's registry;
+// "list" prints them. -scenario runs any scenario — a preset name or a JSON
+// spec file — through the generic runner, and "sweep" runs the cross-product
+// of -set overrides over a base scenario, writing one manifest per point.
 //
 // Monte Carlo campaigns run on a sharded worker pool (-parallel N, default
 // all cores). Trials are claimed as fixed-size chunk indexes and every node
@@ -43,6 +51,7 @@ import (
 	_ "net/http/pprof" // registers /debug/pprof/* on the default mux
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
@@ -50,6 +59,7 @@ import (
 	"relaxfault/internal/experiments"
 	"relaxfault/internal/harness"
 	"relaxfault/internal/obs"
+	"relaxfault/internal/scenario"
 )
 
 func main() {
@@ -72,9 +82,22 @@ func run() int {
 	eventsOut := flag.String("events", "", "append machine-readable JSONL progress/skip/run events to FILE")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof, expvar, and Prometheus text metrics on ADDR (e.g. localhost:6060)")
 	parallel := flag.Int("parallel", 0, "Monte Carlo worker pool size (0 = all cores); results are identical for any value")
+	scenarioFlag := flag.String("scenario", "", "run a scenario: a preset name or a JSON spec file (see the list subcommand)")
+	var setFlagsRaw repeatedFlag
+	flag.Var(&setFlagsRaw, "set", "sweep axis as path=v1[,v2...]; repeatable, used with the sweep subcommand")
 	flag.Usage = usage
 	args := parseArgs()
-	if len(args) == 0 {
+	seedSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "seed" {
+			seedSet = true
+		}
+	})
+	if len(args) == 1 && args[0] == "list" {
+		printPresetList()
+		return 0
+	}
+	if len(args) == 0 && *scenarioFlag == "" {
 		usage()
 		return 2
 	}
@@ -93,6 +116,61 @@ func run() int {
 	if *resume && *checkpoint == "" {
 		fmt.Fprintf(os.Stderr, "-resume requires -checkpoint\n")
 		return 2
+	}
+
+	// Mode selection: the classic experiment list, one -scenario, or a sweep.
+	const (
+		modeExperiments = iota
+		modeScenario
+		modeSweep
+	)
+	mode := modeExperiments
+	if len(args) > 0 && args[0] == "sweep" {
+		mode = modeSweep
+		args = args[1:]
+	} else if *scenarioFlag != "" {
+		mode = modeScenario
+	}
+	var baseScenario *scenario.Scenario
+	var sweepPoints []*scenario.Scenario
+	switch mode {
+	case modeScenario, modeSweep:
+		if len(args) > 0 {
+			fmt.Fprintf(os.Stderr, "relaxfault: -scenario and sweep take no experiment names (got %q)\n", args)
+			return 2
+		}
+		if *scenarioFlag == "" {
+			fmt.Fprintf(os.Stderr, "relaxfault: sweep requires -scenario FILE|PRESET\n")
+			return 2
+		}
+		var err error
+		baseScenario, err = loadScenarioArg(*scenarioFlag, scale, seedSet, *seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "relaxfault: %v\n", err)
+			return 2
+		}
+		if mode == modeSweep {
+			var axes []scenario.SweepSet
+			for _, raw := range setFlagsRaw {
+				ax, err := scenario.ParseSet(raw)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "relaxfault: %v\n", err)
+					return 2
+				}
+				axes = append(axes, ax)
+			}
+			sweepPoints, err = scenario.Expand(baseScenario, axes)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "relaxfault: %v\n", err)
+				return 2
+			}
+			fmt.Fprintf(os.Stderr, "relaxfault: sweep expands to %d points\n", len(sweepPoints))
+		}
+	default:
+		if len(setFlagsRaw) > 0 {
+			fmt.Fprintf(os.Stderr, "relaxfault: -set is only meaningful with the sweep subcommand\n")
+			return 2
+		}
 	}
 
 	// First interrupt: cancel the context so in-flight chunks finish and
@@ -158,28 +236,39 @@ func run() int {
 		}()
 	}
 
-	if len(args) == 1 && args[0] == "all" {
+	if mode == modeExperiments && len(args) == 1 && args[0] == "all" {
 		args = allExperiments
 	}
+	runNames := args
+	switch mode {
+	case modeScenario:
+		runNames = []string{baseScenario.Name}
+	case modeSweep:
+		runNames = make([]string, len(sweepPoints))
+		for i, pt := range sweepPoints {
+			runNames[i] = pt.Name
+		}
+	}
 	mon.Event("run_start", map[string]any{
-		"experiments": args,
+		"experiments": runNames,
 		"scale":       *scaleFlag,
 		"seed":        *seed,
 	})
 
-	// Graceful degradation: every requested experiment runs; failures are
-	// collected and summarised, and only the final exit code reflects them.
+	// Graceful degradation: every requested experiment (or sweep point)
+	// runs; failures are collected and summarised, and only the final exit
+	// code reflects them.
 	var failures []string
+	var records []harness.ScenarioRecord
 	interrupted := false
-	runner := &runState{scale: scale}
-	for _, name := range args {
+	runOne := func(name string, f func(context.Context) error) {
 		if ctx.Err() != nil {
 			interrupted = true
-			break
+			return
 		}
 		mon.SetLabel(name)
 		start := time.Now()
-		err := runner.runExperiment(ctx, name, *timeout)
+		err := f(ctx)
 		switch {
 		case err == nil:
 			// Timing goes to stderr: stdout carries only the artifacts, so a
@@ -199,8 +288,67 @@ func run() int {
 				"experiment": name, "err": err.Error(),
 			})
 		}
-		if interrupted {
-			break
+	}
+
+	switch mode {
+	case modeScenario:
+		if rec, err := scenarioRecord(baseScenario); err == nil {
+			records = append(records, rec)
+		}
+		runOne(baseScenario.Name, func(ctx context.Context) error {
+			return runScenarioPoint(ctx, baseScenario, scale, *timeout)
+		})
+	case modeSweep:
+		for i, pt := range sweepPoints {
+			pm := harness.NewManifest()
+			pm.Experiments = []string{pt.Name}
+			pm.Scale = *scaleFlag
+			pm.Seed = *pt.Seed
+			pm.Checkpoint = *checkpoint
+			rec, recErr := scenarioRecord(pt)
+			if recErr == nil {
+				pm.Scenarios = []harness.ScenarioRecord{rec}
+				pm.Fingerprint = rec.Fingerprint
+				records = append(records, rec)
+			}
+			done0, skip0, fail0 := mon.DoneTrials(), mon.Skipped(), len(failures)
+			runOne(pt.Name, func(ctx context.Context) error {
+				return runScenarioPoint(ctx, pt, scale, *timeout)
+			})
+			pm.TrialsDone = mon.DoneTrials() - done0
+			pm.TrialsSkipped = mon.Skipped() - skip0
+			if len(failures) > fail0 {
+				pm.ExitCode = 1
+				pm.Failures = failures[fail0:]
+			}
+			pm.Finish()
+			if path := sweepManifestPath(*metricsOut, *checkpoint, i); path != "" {
+				if err := pm.WriteFile(path); err != nil {
+					fmt.Fprintf(os.Stderr, "relaxfault: %v\n", err)
+				}
+			}
+			if interrupted {
+				break
+			}
+		}
+	default:
+		for _, name := range args {
+			if scenario.IsPreset(strings.ToLower(name)) {
+				if sc, err := scale.PresetScenario(strings.ToLower(name)); err == nil {
+					if rec, err := scenarioRecord(sc); err == nil {
+						records = append(records, rec)
+					}
+				}
+			}
+		}
+		runner := &runState{scale: scale}
+		for _, name := range args {
+			runOne(name, func(ctx context.Context) error {
+				return runner.runExperiment(ctx, name, *timeout)
+			})
+			if interrupted {
+				break
+			}
 		}
 	}
 	mon.SetLabel("")
@@ -215,7 +363,7 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "\n")
 		code = 130
 	case len(failures) > 0:
-		fmt.Fprintf(os.Stderr, "relaxfault: %d/%d experiments failed:\n", len(failures), len(args))
+		fmt.Fprintf(os.Stderr, "relaxfault: %d/%d experiments failed:\n", len(failures), len(runNames))
 		for _, f := range failures {
 			fmt.Fprintf(os.Stderr, "  %s\n", f)
 		}
@@ -228,11 +376,12 @@ func run() int {
 		code = 3
 	}
 
-	manifest.Experiments = args
+	manifest.Experiments = runNames
 	manifest.Scale = *scaleFlag
 	manifest.Seed = *seed
-	manifest.Fingerprint = harness.Fingerprint("relaxfault-cli", *scaleFlag, *seed, args)
+	manifest.Fingerprint = harness.Fingerprint("relaxfault-cli", *scaleFlag, *seed, runNames)
 	manifest.Checkpoint = *checkpoint
+	manifest.Scenarios = records
 	manifest.TrialsDone = mon.DoneTrials()
 	manifest.TrialsSkipped = mon.Skipped()
 	manifest.Skips = mon.Skips()
@@ -251,6 +400,93 @@ func run() int {
 		}
 	}
 	return code
+}
+
+// repeatedFlag collects every occurrence of a repeatable string flag.
+type repeatedFlag []string
+
+func (r *repeatedFlag) String() string { return strings.Join(*r, " ") }
+
+func (r *repeatedFlag) Set(v string) error {
+	*r = append(*r, v)
+	return nil
+}
+
+// loadScenarioArg resolves the -scenario argument: a registry preset name,
+// or a path to a scenario JSON spec. Presets take their budget and seed
+// from -scale/-seed; a spec file is authoritative for both, except that an
+// explicitly passed -seed still overrides the file.
+func loadScenarioArg(arg string, scale experiments.Scale, seedSet bool, seed uint64) (*scenario.Scenario, error) {
+	if scenario.IsPreset(arg) {
+		return scale.PresetScenario(arg)
+	}
+	data, err := os.ReadFile(arg)
+	if err != nil {
+		return nil, fmt.Errorf("-scenario %s: %w (not a preset name either; try the list subcommand)", arg, err)
+	}
+	sc, err := scenario.Decode(data)
+	if err != nil {
+		return nil, fmt.Errorf("-scenario %s: %w", arg, err)
+	}
+	if seedSet {
+		sc.Seed = &seed
+	}
+	return sc, nil
+}
+
+// scenarioRecord renders a scenario into its manifest embedding: name,
+// fingerprint, and the canonical spec document.
+func scenarioRecord(sc *scenario.Scenario) (harness.ScenarioRecord, error) {
+	doc, err := sc.Canonical()
+	if err != nil {
+		return harness.ScenarioRecord{}, err
+	}
+	fpr, err := sc.Fingerprint()
+	if err != nil {
+		return harness.ScenarioRecord{}, err
+	}
+	return harness.ScenarioRecord{Name: sc.Name, Fingerprint: fpr, Spec: json.RawMessage(doc)}, nil
+}
+
+// runScenarioPoint executes one scenario on the generic runner and prints
+// its generic rendering to stdout.
+func runScenarioPoint(ctx context.Context, sc *scenario.Scenario, scale experiments.Scale, timeout time.Duration) error {
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	res, err := scenario.RunCtx(ctx, sc, scenario.Exec{Workers: scale.Workers, Mon: scale.Mon, Store: scale.Store})
+	if err != nil {
+		return err
+	}
+	fmt.Print(res)
+	return nil
+}
+
+// sweepManifestPath derives the per-point manifest path from the -metrics
+// target (or the checkpoint manifest) by inserting a .sweepNN tag before
+// the extension. Empty when neither target names a file.
+func sweepManifestPath(metricsOut, checkpoint string, i int) string {
+	var base string
+	switch {
+	case metricsOut != "" && metricsOut != "-":
+		base = metricsOut
+	case checkpoint != "":
+		base = checkpoint + ".manifest.json"
+	default:
+		return ""
+	}
+	ext := filepath.Ext(base)
+	return fmt.Sprintf("%s.sweep%02d%s", strings.TrimSuffix(base, ext), i, ext)
+}
+
+// printPresetList prints the scenario registry (the list subcommand).
+func printPresetList() {
+	fmt.Printf("%-10s %-12s %s\n", "name", "kind", "description")
+	for _, e := range scenario.Presets() {
+		fmt.Printf("%-10s %-12s %s\n", e.Name, e.Kind, e.Description)
+	}
 }
 
 // parseArgs parses flags interleaved with experiment names, so both
@@ -432,6 +668,9 @@ func usage() {
 	fmt.Fprintf(os.Stderr, `relaxfault regenerates the evaluation of "RelaxFault Memory Repair" (ISCA 2016).
 
 usage: relaxfault [flags] <experiment> [...]
+       relaxfault -scenario FILE|PRESET
+       relaxfault sweep -scenario FILE|PRESET -set path=v1,v2 [-set ...]
+       relaxfault list
 
 flags:
   -scale quick|paper  effort level (default quick)
@@ -447,9 +686,17 @@ flags:
   -pprof ADDR         serve /debug/pprof, /debug/vars, and /metrics on ADDR
   -parallel N         Monte Carlo worker pool size (default 0 = all cores);
                       any value yields bitwise-identical results
+  -scenario F|P       run a scenario JSON file, or a preset by name, through
+                      the generic runner (spec files carry their own budget
+                      and seed; an explicit -seed overrides)
+  -set path=v1,v2     sweep axis for the sweep subcommand (repeatable); the
+                      cross-product of all -set axes runs, one manifest per
+                      point next to the -metrics target
 
-Flags may appear before or after experiment names. See OBSERVABILITY.md for
-the metric catalogue and manifest schema.
+Flags may appear before or after experiment names. Every experiment below is
+a preset scenario ("list" prints the registry); run manifests embed each
+executed scenario's resolved spec and fingerprint. See EXPERIMENTS.md for the
+scenario schema and OBSERVABILITY.md for the metric catalogue.
 
 experiments:
   tab1   Table 1:  RelaxFault storage overhead

@@ -4,13 +4,6 @@ import (
 	"context"
 	"fmt"
 	"strings"
-
-	"relaxfault/internal/addrmap"
-	"relaxfault/internal/dram"
-	"relaxfault/internal/perf"
-	"relaxfault/internal/relsim"
-	"relaxfault/internal/repair"
-	"relaxfault/internal/trace"
 )
 
 // AblationRow is one mechanism's coverage/capacity outcome in the ablation
@@ -39,28 +32,13 @@ func Ablations(s Scale) (AblationResult, error) { return AblationsCtx(context.Ba
 
 // AblationsCtx is Ablations with cancellation.
 func AblationsCtx(ctx context.Context, s Scale) (AblationResult, error) {
-	m := defaultMapper()
-	g := m.Geometry()
-	cfg := relsim.DefaultCoverageConfig()
-	cfg.FaultyNodes = s.FaultyNodes
-	cfg.Seed = s.Seed
-	cfg.WayLimits = []int{1, 4}
-	s.instrumentCoverage(&cfg)
-	cfg.Planners = []repair.Planner{
-		repair.NewRelaxFault(m, 16),
-		repair.NewRelaxFaultAblated(m, 16, repair.RelaxFaultOptions{NoCoalescing: true}),
-		repair.NewRelaxFaultAblated(m, 16, repair.RelaxFaultOptions{NoSpread: true}),
-		repair.NewFreeFault(m, 16, true),
-		repair.NewPageRetirement(m, 4<<10, 0),
-		repair.NewPageRetirement(m, 2<<20, 0),
-		repair.NewMirroring(g),
-	}
-	res, err := relsim.CoverageStudyCtx(ctx, cfg)
+	res, err := runPreset(ctx, "ablate", s)
 	if err != nil {
 		return AblationResult{}, err
 	}
-	out := AblationResult{FaultyFraction: res.FaultyFraction}
-	for _, c := range res.Curves {
+	cov := res.Coverage[0]
+	out := AblationResult{FaultyFraction: cov.FaultyFraction}
+	for _, c := range cov.Curves {
 		// Page retirement and mirroring ignore way limits; show them once.
 		if (strings.HasPrefix(c.Planner, "PageRetire") || c.Planner == "Mirroring") && c.WayLimit != 1 {
 			continue
@@ -108,39 +86,20 @@ func GeometryVariants(s Scale) (VariantResult, error) {
 	return GeometryVariantsCtx(context.Background(), s)
 }
 
-// GeometryVariantsCtx is GeometryVariants with cancellation.
+// GeometryVariantsCtx is GeometryVariants with cancellation. One study per
+// organisation; the row names come back from the preset's study labels.
 func GeometryVariantsCtx(ctx context.Context, s Scale) (VariantResult, error) {
-	var out VariantResult
-	variants := []struct {
-		name string
-		geo  dram.Geometry
-	}{
-		{"DDR3 8GiB DIMMs (paper)", dram.Default8GiBNode()},
-		{"DDR4 16GiB DIMMs", dram.DDR4Node()},
-		{"HBM-like stacks", dram.HBMStackNode()},
-		{"LPDDR4 soldered", dram.LPDDR4Node()},
+	res, err := runPreset(ctx, "variants", s)
+	if err != nil {
+		return VariantResult{}, err
 	}
-	for _, v := range variants {
-		m, err := addrmap.New(v.geo, 8192)
-		if err != nil {
-			return out, err
-		}
-		cfg := relsim.DefaultCoverageConfig()
-		cfg.Model.Geometry = v.geo
-		cfg.FaultyNodes = s.FaultyNodes / 2
-		cfg.Seed = s.Seed
-		cfg.WayLimits = []int{1, 4}
-		cfg.Planners = []repair.Planner{repair.NewRelaxFault(m, 16)}
-		s.instrumentCoverage(&cfg)
-		res, err := relsim.CoverageStudyCtx(ctx, cfg)
-		if err != nil {
-			return out, err
-		}
+	var out VariantResult
+	for i, cov := range res.Coverage {
 		out.Rows = append(out.Rows, VariantRow{
-			Name:           v.name,
-			Coverage1Way:   res.Curve("RelaxFault", 1).Coverage(),
-			Coverage4Way:   res.Curve("RelaxFault", 4).Coverage(),
-			FaultyFraction: res.FaultyFraction,
+			Name:           res.Scenario.Coverage.Studies[i].Label,
+			Coverage1Way:   cov.Curve("RelaxFault", 1).Coverage(),
+			Coverage4Way:   cov.Curve("RelaxFault", 4).Coverage(),
+			FaultyFraction: cov.FaultyFraction,
 		})
 	}
 	return out, nil
@@ -180,44 +139,25 @@ func PrefetchAblation(s Scale) (PrefetchResult, error) {
 	return PrefetchAblationCtx(context.Background(), s)
 }
 
-// PrefetchAblationCtx is PrefetchAblation with cancellation, observed
-// between workload simulations.
+// PrefetchAblationCtx is PrefetchAblation with cancellation. The preset's
+// units come workload-major, prefetch-degree-minor: (SP,0), (SP,4),
+// (LULESH,0), (LULESH,4); each unit's locks are [no-repair, 4-way].
 func PrefetchAblationCtx(ctx context.Context, s Scale) (PrefetchResult, error) {
+	res, err := runPreset(ctx, "prefetch", s)
+	if err != nil {
+		return PrefetchResult{}, err
+	}
 	var out PrefetchResult
-	for _, name := range []string{"SP", "LULESH"} {
-		if err := ctx.Err(); err != nil {
-			return out, err
-		}
-		w := trace.WorkloadByName(name)
-		if w == nil {
-			return out, fmt.Errorf("missing workload %s", name)
-		}
-		row := PrefetchRow{Workload: name}
-		for _, pf := range []bool{false, true} {
-			cfg := perf.DefaultSystemConfig()
-			cfg.TargetInstructions = s.Instructions
-			cfg.Seed = s.Seed
-			if pf {
-				cfg.Core.PrefetchDegree = 4
-			}
-			ws, alone, res, err := perf.WeightedSpeedup(cfg, w.Threads, nil)
-			if err != nil {
-				return out, err
-			}
-			cfg4 := cfg
-			cfg4.LockWays = 4
-			ws4, _, _, err := perf.WeightedSpeedup(cfg4, w.Threads, alone)
-			if err != nil {
-				return out, err
-			}
-			if pf {
-				row.WSOn, row.WS4WayOn = ws, ws4
-				row.PrefetchFills = res.Prefetches
-			} else {
-				row.WSOff, row.WS4WayOff = ws, ws4
-			}
-		}
-		out.Rows = append(out.Rows, row)
+	for i := 0; i+1 < len(res.Perf); i += 2 {
+		off, on := res.Perf[i], res.Perf[i+1]
+		out.Rows = append(out.Rows, PrefetchRow{
+			Workload:      off.Workload,
+			WSOff:         off.Speedups[0],
+			WS4WayOff:     off.Speedups[1],
+			WSOn:          on.Speedups[0],
+			WS4WayOn:      on.Speedups[1],
+			PrefetchFills: on.Results[0].Prefetches,
+		})
 	}
 	return out, nil
 }

@@ -8,9 +8,7 @@ import (
 	"strings"
 	"time"
 
-	"relaxfault/internal/fault"
 	"relaxfault/internal/relsim"
-	"relaxfault/internal/repair"
 )
 
 // BenchResult is the schema of the BENCH_*.json artifacts: one parallel-
@@ -45,17 +43,18 @@ type BenchResult struct {
 }
 
 // benchCoverageConfig is the quick coverage study the bench experiment
-// times: the paper's three engines, small enough to finish in seconds.
-func benchCoverageConfig(s Scale) relsim.CoverageConfig {
-	m := defaultMapper()
-	rf, ffHash, _, ppr := planners(m)
-	cfg := relsim.DefaultCoverageConfig()
-	cfg.Model.Rates = fault.CieloRates().Scale(10)
-	cfg.FaultyNodes = s.FaultyNodes
-	cfg.Seed = s.Seed
-	cfg.WayLimits = []int{1, 4}
-	cfg.Planners = []repair.Planner{ppr, ffHash, rf}
-	return cfg
+// times: the "bench" preset's single study, lowered to an engine config so
+// the same work can be timed at different worker counts.
+func benchCoverageConfig(s Scale) (relsim.CoverageConfig, error) {
+	sc, err := s.PresetScenario("bench")
+	if err != nil {
+		return relsim.CoverageConfig{}, err
+	}
+	low, err := sc.Lower()
+	if err != nil {
+		return relsim.CoverageConfig{}, err
+	}
+	return low.Coverage[0], nil
 }
 
 // Bench times the quick coverage study sequentially (Workers=1) and with
@@ -77,8 +76,12 @@ func BenchCtx(ctx context.Context, s Scale) (BenchResult, error) {
 		Workers:    workers,
 	}
 
+	base, err := benchCoverageConfig(s)
+	if err != nil {
+		return out, err
+	}
 	run := func(w int) (*relsim.CoverageResult, float64, error) {
-		cfg := benchCoverageConfig(s)
+		cfg := base
 		cfg.Workers = w
 		cfg.Mon = s.Mon
 		start := time.Now()

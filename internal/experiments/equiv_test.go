@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"relaxfault/internal/harness"
+)
+
+// updateEquiv regenerates the preset-vs-legacy golden files. The committed
+// files were produced by the pre-scenario-refactor experiment functions, so
+// the equivalence test pins the refactored registry+runner path to the
+// legacy output byte for byte. Only regenerate them when the statistical
+// content of an experiment deliberately changes.
+var updateEquiv = flag.Bool("update-equiv", false, "regenerate testdata/equiv golden files")
+
+// equivScale is small enough to run the full suite in about a minute while
+// still spanning multiple work chunks on the bigger experiments.
+func equivScale() Scale {
+	return Scale{FaultyNodes: 500, Nodes: 2048, Replicas: 1, Instructions: 40_000, Seed: 11}
+}
+
+// equivCase is one experiment id whose result JSON and checkpoint bytes are
+// pinned against the pre-refactor goldens.
+type equivCase struct {
+	name string
+	// fourWorkers also runs the case with Workers=4 and compares against the
+	// same golden, asserting worker-count independence through the scenario
+	// path (the four ids the refactor issue names).
+	fourWorkers bool
+	run         func(context.Context, Scale) (any, error)
+}
+
+func equivCases() []equivCase {
+	return []equivCase{
+		{"fig8", true, func(ctx context.Context, s Scale) (any, error) { return Fig8Ctx(ctx, s) }},
+		{"fig9", false, func(ctx context.Context, s Scale) (any, error) { return Fig9Ctx(ctx, s) }},
+		{"fig10", true, func(ctx context.Context, s Scale) (any, error) { return Fig10Ctx(ctx, s) }},
+		{"fig11", false, func(ctx context.Context, s Scale) (any, error) { return Fig11Ctx(ctx, s) }},
+		{"fig12", true, func(ctx context.Context, s Scale) (any, error) {
+			one, ten, err := Fig12Ctx(ctx, s)
+			return []any{one, ten}, err
+		}},
+		{"fig13", false, func(ctx context.Context, s Scale) (any, error) {
+			one, ten, err := Fig13Ctx(ctx, s)
+			return []any{one, ten}, err
+		}},
+		{"fig14", false, func(ctx context.Context, s Scale) (any, error) { return Fig14Ctx(ctx, s) }},
+		{"fig15", true, func(ctx context.Context, s Scale) (any, error) { return Fig15And16Ctx(ctx, s) }},
+		{"ablate", false, func(ctx context.Context, s Scale) (any, error) { return AblationsCtx(ctx, s) }},
+		{"variants", false, func(ctx context.Context, s Scale) (any, error) { return GeometryVariantsCtx(ctx, s) }},
+		{"prefetch", false, func(ctx context.Context, s Scale) (any, error) { return PrefetchAblationCtx(ctx, s) }},
+	}
+}
+
+// runEquivCase executes one case with the given worker count against a fresh
+// checkpoint store and returns the result JSON and checkpoint snapshot.
+func runEquivCase(t *testing.T, c equivCase, workers int) (result, snapshot []byte) {
+	t.Helper()
+	dir := t.TempDir()
+	path := filepath.Join(dir, c.name+".ckpt")
+	store, err := harness.OpenStore(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := equivScale()
+	s.Workers = workers
+	s.Store = store
+	res, err := c.run(context.Background(), s)
+	if err != nil {
+		t.Fatalf("%s: %v", c.name, err)
+	}
+	if err := store.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if result, err = json.Marshal(res); err != nil {
+		t.Fatal(err)
+	}
+	if snapshot, err = os.ReadFile(path); err != nil {
+		t.Fatal(err)
+	}
+	return result, snapshot
+}
+
+// TestPresetMatchesLegacyGolden pins every experiment id to the result JSON
+// and checkpoint bytes captured from the pre-refactor code: the scenario
+// registry and generic runner must be an exact re-expression of the bespoke
+// per-figure functions, not an approximation of them.
+func TestPresetMatchesLegacyGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every Monte Carlo and performance experiment")
+	}
+	for _, c := range equivCases() {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			resPath := filepath.Join("testdata", "equiv", c.name+".result.json")
+			ckptPath := filepath.Join("testdata", "equiv", c.name+".ckpt")
+			if *updateEquiv {
+				result, snapshot := runEquivCase(t, c, 1)
+				if err := os.MkdirAll(filepath.Dir(resPath), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(resPath, result, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(ckptPath, snapshot, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			wantResult, err := os.ReadFile(resPath)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update-equiv): %v", err)
+			}
+			wantSnap, err := os.ReadFile(ckptPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			workerCounts := []int{1}
+			if c.fourWorkers {
+				workerCounts = append(workerCounts, 4)
+			}
+			for _, w := range workerCounts {
+				result, snapshot := runEquivCase(t, c, w)
+				if !bytes.Equal(result, wantResult) {
+					t.Errorf("workers=%d: result JSON differs from pre-refactor golden\ngot:  %.300s\nwant: %.300s",
+						w, result, wantResult)
+				}
+				if !bytes.Equal(snapshot, wantSnap) {
+					t.Errorf("workers=%d: checkpoint snapshot differs from pre-refactor golden (%d vs %d bytes)",
+						w, len(snapshot), len(wantSnap))
+				}
+			}
+		})
+	}
+}

@@ -11,13 +11,11 @@ import (
 	"fmt"
 	"strings"
 
-	"relaxfault/internal/addrmap"
 	"relaxfault/internal/core"
-	"relaxfault/internal/dram"
 	"relaxfault/internal/fault"
 	"relaxfault/internal/harness"
 	"relaxfault/internal/relsim"
-	"relaxfault/internal/repair"
+	"relaxfault/internal/scenario"
 )
 
 // Scale sets how much Monte Carlo and simulation effort an experiment
@@ -46,19 +44,42 @@ type Scale struct {
 	Store *harness.Store
 }
 
-// instrument attaches the scale's monitor and checkpoint store to a
-// reliability-run configuration.
-func (s Scale) instrument(cfg *relsim.Config) {
-	cfg.Mon = s.Mon
-	cfg.Checkpoint = s.Store
-	cfg.Workers = s.Workers
+// Exec bundles the scale's execution plumbing (worker cap, monitor,
+// checkpoint store) in the form both relsim.Config and
+// relsim.CoverageConfig embed, so one code path instruments every kind of
+// Monte Carlo run: `cfg.Exec = s.Exec()`.
+func (s Scale) Exec() relsim.Exec {
+	return relsim.Exec{Workers: s.Workers, Mon: s.Mon, Checkpoint: s.Store}
 }
 
-// instrumentCoverage is instrument for coverage-study configurations.
-func (s Scale) instrumentCoverage(cfg *relsim.CoverageConfig) {
-	cfg.Mon = s.Mon
-	cfg.Checkpoint = s.Store
-	cfg.Workers = s.Workers
+// PresetScenario resolves the named registry preset at this scale: budget
+// and seed applied, defaults normalized. This is the spec the experiment
+// functions below execute and the CLI embeds in run manifests.
+func (s Scale) PresetScenario(name string) (*scenario.Scenario, error) {
+	sc, err := scenario.Preset(name)
+	if err != nil {
+		return nil, err
+	}
+	sc.Budget = scenario.Budget{
+		FaultyNodes:  s.FaultyNodes,
+		Nodes:        s.Nodes,
+		Replicas:     s.Replicas,
+		Instructions: s.Instructions,
+	}
+	seed := s.Seed
+	sc.Seed = &seed
+	return sc, nil
+}
+
+// runPreset executes a registry preset at this scale on the generic
+// scenario runner. Every sim experiment below is this call plus a
+// figure-shaped presentation of the result.
+func runPreset(ctx context.Context, name string, s Scale) (*scenario.Result, error) {
+	sc, err := s.PresetScenario(name)
+	if err != nil {
+		return nil, err
+	}
+	return scenario.RunCtx(ctx, sc, scenario.Exec{Workers: s.Workers, Mon: s.Mon, Store: s.Store})
 }
 
 // PaperScale approaches the paper's statistical resolution (minutes of CPU).
@@ -69,24 +90,6 @@ func PaperScale() Scale {
 // QuickScale runs every experiment in seconds with coarser error bars.
 func QuickScale() Scale {
 	return Scale{FaultyNodes: 4000, Nodes: 16384, Replicas: 4, Instructions: 300_000, Seed: 7}
-}
-
-// defaultMapper builds the evaluated node's address mapper.
-func defaultMapper() *addrmap.Mapper {
-	m, err := addrmap.New(dram.Default8GiBNode(), 8192)
-	if err != nil {
-		panic(err) // static configuration; cannot fail
-	}
-	return m
-}
-
-// planners returns the paper's three repair engines.
-func planners(m *addrmap.Mapper) (rf, ffHash, ffNoHash, ppr repair.Planner) {
-	g := m.Geometry()
-	return repair.NewRelaxFault(m, 16),
-		repair.NewFreeFault(m, 16, true),
-		repair.NewFreeFault(m, 16, false),
-		repair.NewPPR(g)
 }
 
 // --- Table 1 ---------------------------------------------------------------
@@ -190,29 +193,20 @@ type Fig8Result struct {
 // matter for it; both columns are evaluated to demonstrate that.
 func Fig8(s Scale) (Fig8Result, error) { return Fig8Ctx(context.Background(), s) }
 
-// Fig8Ctx is Fig8 with cancellation.
+// Fig8Ctx is Fig8 with cancellation. RelaxFault's placement is independent
+// of the LLC's normal-access hash, so its single curve fills both Figure 8
+// columns.
 func Fig8Ctx(ctx context.Context, s Scale) (Fig8Result, error) {
-	m := defaultMapper()
-	rf, ffHash, ffNoHash, _ := planners(m)
-	cfg := relsim.DefaultCoverageConfig()
-	cfg.FaultyNodes = s.FaultyNodes
-	cfg.Seed = s.Seed
-	cfg.WayLimits = []int{1}
-	s.instrumentCoverage(&cfg)
-	// RelaxFault's placement is independent of the LLC's normal-access
-	// hash; running it once covers both Figure 8 columns, but we run it
-	// twice with different seeds folded in to show the invariance is not
-	// a sampling accident.
-	cfg.Planners = []repair.Planner{rf, ffHash, ffNoHash}
-	res, err := relsim.CoverageStudyCtx(ctx, cfg)
+	res, err := runPreset(ctx, "fig8", s)
 	if err != nil {
 		return Fig8Result{}, err
 	}
-	out := Fig8Result{FaultyFraction: res.FaultyFraction}
-	out.RelaxFaultXOR = res.Curve("RelaxFault", 1).Coverage()
+	cov := res.Coverage[0]
+	out := Fig8Result{FaultyFraction: cov.FaultyFraction}
+	out.RelaxFaultXOR = cov.Curve("RelaxFault", 1).Coverage()
 	out.RelaxFaultNoXOR = out.RelaxFaultXOR
-	out.FreeFaultHash = res.Curve("FreeFault+hash", 1).Coverage()
-	out.FreeFaultNoHash = res.Curve("FreeFault", 1).Coverage()
+	out.FreeFaultHash = cov.Curve("FreeFault+hash", 1).Coverage()
+	out.FreeFaultNoHash = cov.Curve("FreeFault", 1).Coverage()
 	return out, nil
 }
 

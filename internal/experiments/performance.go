@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"strings"
 
-	"relaxfault/internal/harness"
 	"relaxfault/internal/perf"
 	"relaxfault/internal/power"
 	"relaxfault/internal/trace"
@@ -73,67 +72,26 @@ func Fig15And16(s Scale) (Fig15Result, error) {
 	return Fig15And16Ctx(context.Background(), s)
 }
 
-// Fig15And16Ctx is Fig15And16 with cancellation. Workloads are independent
-// simulations, so they run in parallel on the sharded engine (one chunk per
-// workload); rows are collected by workload index, keeping the output order
-// and values identical to a sequential sweep.
+// Fig15And16Ctx is Fig15And16 with cancellation. The preset runs one unit
+// per Table 4 workload across the four lock configurations; the power
+// columns derive from the same simulation results (Figure 16 shares
+// Figure 15's runs).
 func Fig15And16Ctx(ctx context.Context, s Scale) (Fig15Result, error) {
-	workloads := trace.Workloads()
+	res, err := runPreset(ctx, "fig15", s)
+	if err != nil {
+		return Fig15Result{Instructions: s.Instructions}, err
+	}
 	out := Fig15Result{Instructions: s.Instructions}
-	rows := make([]PerfRow, len(workloads))
-	errs := make([]error, len(workloads))
-	eng := harness.Engine{Workers: s.Workers, Mon: s.Mon}
-	runErr := eng.Run(ctx, len(workloads), func(_, k int) (int64, bool) {
-		w := workloads[k]
-		base := perf.DefaultSystemConfig()
-		base.TargetInstructions = s.Instructions
-		base.Seed = s.Seed
-
-		wsNone, alone, resNone, err := perf.WeightedSpeedup(base, w.Threads, nil)
-		if err != nil {
-			errs[k] = err
-			return 0, true
-		}
-		run := func(lockWays int, lockBytes int64) (float64, *perf.Result, error) {
-			cfg := base
-			cfg.LockWays = lockWays
-			cfg.LockBytes = lockBytes
-			ws, _, res, err := perf.WeightedSpeedup(cfg, w.Threads, alone)
-			return ws, res, err
-		}
-		wsK, resK, err := run(0, 100<<10)
-		if err != nil {
-			errs[k] = err
-			return 0, true
-		}
-		ws1, res1, err := run(1, 0)
-		if err != nil {
-			errs[k] = err
-			return 0, true
-		}
-		ws4, res4, err := run(4, 0)
-		if err != nil {
-			errs[k] = err
-			return 0, true
-		}
+	for _, u := range res.Perf {
+		resNone := u.Results[0]
 		rel := func(r *perf.Result) float64 {
 			return power.RelativeDynamicPower(r.Ops, resNone.Ops, r.Seconds, resNone.Seconds)
 		}
-		rows[k] = PerfRow{
-			Workload: w.Name,
-			WSNone:   wsNone, WS100KiB: wsK, WS1Way: ws1, WS4Way: ws4,
-			Power100KiB: rel(resK), Power1Way: rel(res1), Power4Way: rel(res4),
-		}
-		return 1, true
-	})
-	if runErr != nil {
-		return out, runErr
-	}
-	for k := range workloads {
-		if errs[k] != nil {
-			return out, errs[k]
-		}
-		out.Rows = append(out.Rows, rows[k])
+		out.Rows = append(out.Rows, PerfRow{
+			Workload: u.Workload,
+			WSNone:   u.Speedups[0], WS100KiB: u.Speedups[1], WS1Way: u.Speedups[2], WS4Way: u.Speedups[3],
+			Power100KiB: rel(u.Results[1]), Power1Way: rel(u.Results[2]), Power4Way: rel(u.Results[3]),
+		})
 	}
 	return out, nil
 }

@@ -5,9 +5,8 @@ import (
 	"fmt"
 	"strings"
 
-	"relaxfault/internal/fault"
 	"relaxfault/internal/relsim"
-	"relaxfault/internal/repair"
+	"relaxfault/internal/scenario"
 )
 
 // --- Figure 9: fault-model sensitivity -------------------------------------
@@ -34,48 +33,32 @@ type Fig9Result struct {
 // replace-after-DUE, as in the paper's model exploration).
 func Fig9(s Scale) (Fig9Result, error) { return Fig9Ctx(context.Background(), s) }
 
-// Fig9Ctx is Fig9 with cancellation.
+// Fig9Ctx is Fig9 with cancellation. The x-axis values are read back from
+// the resolved scenario: the preset's cells carry the raw swept accel/frac
+// pointers, so presentation never re-states the sweep.
 func Fig9Ctx(ctx context.Context, s Scale) (Fig9Result, error) {
+	res, err := runPreset(ctx, "fig9", s)
+	if err != nil {
+		return Fig9Result{}, err
+	}
 	var out Fig9Result
-	run := func(accel, frac float64) (Fig9Point, error) {
-		cfg := relsim.DefaultConfig()
-		cfg.Nodes = s.Nodes
-		cfg.Replicas = s.Replicas
-		cfg.Seed = s.Seed
-		cfg.Model.AccelFactor = accel
-		cfg.Model.AccelNodeFrac = frac
-		cfg.Model.AccelDIMMFrac = frac
-		if accel <= 1 {
-			cfg.Model.AccelFactor = 1
+	cells := res.Scenario.Reliability.Cells
+	for i, r := range res.Reliability {
+		f := cells[i].Fault
+		p := Fig9Point{
+			Accel:        *f.AccelFactor,
+			Frac:         *f.AccelNodeFrac,
+			FaultyNodes:  r.FaultyNodes,
+			MultiDIMM:    r.MultiDeviceFaultDIMMs,
+			DUEs:         r.DUEs,
+			SDCs:         r.SDCs,
+			Replacements: r.Replacements,
 		}
-		s.instrument(&cfg)
-		res, err := relsim.RunCtx(ctx, cfg)
-		if err != nil {
-			return Fig9Point{}, err
+		if i < 5 {
+			out.AccelSweep = append(out.AccelSweep, p)
+		} else {
+			out.FracSweep = append(out.FracSweep, p)
 		}
-		return Fig9Point{
-			Accel:        accel,
-			Frac:         frac,
-			FaultyNodes:  res.FaultyNodes,
-			MultiDIMM:    res.MultiDeviceFaultDIMMs,
-			DUEs:         res.DUEs,
-			SDCs:         res.SDCs,
-			Replacements: res.Replacements,
-		}, nil
-	}
-	for _, a := range []float64{0, 50, 100, 150, 200} {
-		p, err := run(a, 0.001)
-		if err != nil {
-			return out, err
-		}
-		out.AccelSweep = append(out.AccelSweep, p)
-	}
-	for _, f := range []float64{0, 0.0001, 0.001, 0.002, 0.003, 0.004, 0.005} {
-		p, err := run(100, f)
-		if err != nil {
-			return out, err
-		}
-		out.FracSweep = append(out.FracSweep, p)
 	}
 	return out, nil
 }
@@ -129,22 +112,15 @@ var coverageCapacities = []int64{
 	192 << 10, 256 << 10, 512 << 10, 1 << 20, 2 << 20,
 }
 
-// coverageStudy runs the Figure 10/11 experiment at a FIT multiplier.
-func coverageStudy(ctx context.Context, s Scale, fitScale float64, title string) (Fig10Result, error) {
-	m := defaultMapper()
-	rf, ffHash, _, ppr := planners(m)
-	cfg := relsim.DefaultCoverageConfig()
-	cfg.Model.Rates = fault.CieloRates().Scale(fitScale)
-	cfg.FaultyNodes = s.FaultyNodes
-	cfg.Seed = s.Seed
-	cfg.WayLimits = []int{1, 4, 16}
-	cfg.Planners = []repair.Planner{ppr, ffHash, rf}
-	s.instrumentCoverage(&cfg)
-	res, err := relsim.CoverageStudyCtx(ctx, cfg)
+// coverageStudy shapes a coverage-vs-capacity preset into the Figure 10/11
+// series layout.
+func coverageStudy(ctx context.Context, s Scale, preset string, fitScale float64, title string) (Fig10Result, error) {
+	res, err := runPreset(ctx, preset, s)
 	if err != nil {
 		return Fig10Result{}, err
 	}
-	out := Fig10Result{Title: title, FITScale: fitScale, FaultyFraction: res.FaultyFraction}
+	cov := res.Coverage[0]
+	out := Fig10Result{Title: title, FITScale: fitScale, FaultyFraction: cov.FaultyFraction}
 	series := []struct {
 		planner string
 		way     int
@@ -159,7 +135,7 @@ func coverageStudy(ctx context.Context, s Scale, fitScale float64, title string)
 		{"RelaxFault", 16, "RelaxFault-16way"},
 	}
 	for _, sp := range series {
-		c := res.Curve(sp.planner, sp.way)
+		c := cov.Curve(sp.planner, sp.way)
 		if c == nil {
 			continue
 		}
@@ -181,7 +157,7 @@ func Fig10(s Scale) (Fig10Result, error) { return Fig10Ctx(context.Background(),
 
 // Fig10Ctx is Fig10 with cancellation.
 func Fig10Ctx(ctx context.Context, s Scale) (Fig10Result, error) {
-	return coverageStudy(ctx, s, 1, "Figure 10: cumulative repair coverage vs required LLC capacity (1x FIT)")
+	return coverageStudy(ctx, s, "fig10", 1, "Figure 10: cumulative repair coverage vs required LLC capacity (1x FIT)")
 }
 
 // Fig11 reproduces the 10x-FIT curves.
@@ -189,7 +165,7 @@ func Fig11(s Scale) (Fig10Result, error) { return Fig11Ctx(context.Background(),
 
 // Fig11Ctx is Fig11 with cancellation.
 func Fig11Ctx(ctx context.Context, s Scale) (Fig10Result, error) {
-	return coverageStudy(ctx, s, 10, "Figure 11: cumulative repair coverage vs required LLC capacity (10x FIT)")
+	return coverageStudy(ctx, s, "fig11", 10, "Figure 11: cumulative repair coverage vs required LLC capacity (10x FIT)")
 }
 
 // String prints the curves as a capacity-by-series table.
@@ -246,47 +222,21 @@ type Fig12Result struct {
 	Columns  []RepairColumn
 }
 
-// reliabilityPanel runs no-repair plus {PPR, FreeFault, RelaxFault} x
-// {1-way, 4-way} under the given policy and FIT scale.
-func reliabilityPanel(ctx context.Context, s Scale, fitScale float64, policy relsim.ReplacementPolicy, title string) (Fig12Result, error) {
-	m := defaultMapper()
-	rf, ffHash, _, ppr := planners(m)
+// panelFromCells shapes six consecutive reliability cells (one
+// reliabilityCombos block of the preset) into a Figure 12-14 panel.
+func panelFromCells(res *scenario.Result, start int, fitScale float64, policy relsim.ReplacementPolicy, title string) Fig12Result {
 	out := Fig12Result{Title: title, FITScale: fitScale, Policy: policy}
-	type combo struct {
-		label   string
-		planner repair.Planner
-		way     int
-	}
-	combos := []combo{
-		{"no-repair", nil, 0},
-		{"PPR", ppr, 1},
-		{"FreeFault-1way", ffHash, 1},
-		{"FreeFault-4way", ffHash, 4},
-		{"RelaxFault-1way", rf, 1},
-		{"RelaxFault-4way", rf, 4},
-	}
-	for _, c := range combos {
-		cfg := relsim.DefaultConfig()
-		cfg.Model.Rates = fault.CieloRates().Scale(fitScale)
-		cfg.Nodes = s.Nodes
-		cfg.Replicas = s.Replicas
-		cfg.Seed = s.Seed
-		cfg.Planner = c.planner
-		cfg.WayLimit = c.way
-		cfg.Policy = policy
-		s.instrument(&cfg)
-		res, err := relsim.RunCtx(ctx, cfg)
-		if err != nil {
-			return out, err
-		}
+	cells := res.Scenario.Reliability.Cells
+	for i := start; i < start+6; i++ {
+		r := res.Reliability[i]
 		out.Columns = append(out.Columns, RepairColumn{
-			Label:        c.label,
-			DUEs:         res.DUEs,
-			SDCs:         res.SDCs,
-			Replacements: res.Replacements,
+			Label:        cells[i].Label,
+			DUEs:         r.DUEs,
+			SDCs:         r.SDCs,
+			Replacements: r.Replacements,
 		})
 	}
-	return out, nil
+	return out
 }
 
 // Fig12 reproduces the expected-DUE comparison at 1x and 10x FIT.
@@ -296,12 +246,13 @@ func Fig12(s Scale) (one, ten Fig12Result, err error) {
 
 // Fig12Ctx is Fig12 with cancellation.
 func Fig12Ctx(ctx context.Context, s Scale) (one, ten Fig12Result, err error) {
-	one, err = reliabilityPanel(ctx, s, 1, relsim.ReplaceAfterDUE,
-		"Figure 12a: expected DUEs per 16,384-node system over 6 years (1x FIT)")
+	res, err := runPreset(ctx, "fig12", s)
 	if err != nil {
 		return
 	}
-	ten, err = reliabilityPanel(ctx, s, 10, relsim.ReplaceAfterDUE,
+	one = panelFromCells(res, 0, 1, relsim.ReplaceAfterDUE,
+		"Figure 12a: expected DUEs per 16,384-node system over 6 years (1x FIT)")
+	ten = panelFromCells(res, 6, 10, relsim.ReplaceAfterDUE,
 		"Figure 12b: expected DUEs per system (10x FIT)")
 	return
 }
@@ -332,7 +283,10 @@ func Fig14(s Scale) (Fig14Result, error) { return Fig14Ctx(context.Background(),
 
 // Fig14Ctx is Fig14 with cancellation.
 func Fig14Ctx(ctx context.Context, s Scale) (Fig14Result, error) {
-	var out Fig14Result
+	res, err := runPreset(ctx, "fig14", s)
+	if err != nil {
+		return Fig14Result{}, err
+	}
 	specs := []struct {
 		fit    float64
 		policy relsim.ReplacementPolicy
@@ -343,12 +297,9 @@ func Fig14Ctx(ctx context.Context, s Scale) (Fig14Result, error) {
 		{1, relsim.ReplaceAfterThreshold, "Figure 14c: DIMM replacements, replace after frequent errors (1x FIT)"},
 		{10, relsim.ReplaceAfterThreshold, "Figure 14d: DIMM replacements, replace after frequent errors (10x FIT)"},
 	}
-	for _, sp := range specs {
-		p, err := reliabilityPanel(ctx, s, sp.fit, sp.policy, sp.title)
-		if err != nil {
-			return out, err
-		}
-		out.Panels = append(out.Panels, p)
+	var out Fig14Result
+	for i, sp := range specs {
+		out.Panels = append(out.Panels, panelFromCells(res, 6*i, sp.fit, sp.policy, sp.title))
 	}
 	return out, nil
 }

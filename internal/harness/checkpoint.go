@@ -33,7 +33,7 @@ type Store struct {
 }
 
 type sectionData struct {
-	Fingerprint string                 `json:"fingerprint"`
+	Fingerprint string                     `json:"fingerprint"`
 	Chunks      map[string]json.RawMessage `json:"chunks"`
 }
 

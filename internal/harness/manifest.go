@@ -33,6 +33,10 @@ type Manifest struct {
 	Seed        uint64   `json:"seed"`
 	Fingerprint string   `json:"fingerprint,omitempty"` // config fingerprint(s), joined
 	Checkpoint  string   `json:"checkpoint,omitempty"`
+	// Scenarios embeds every fully-resolved scenario the run executed, so a
+	// manifest alone reproduces the run without the preset registry or the
+	// original -scenario file.
+	Scenarios []ScenarioRecord `json:"scenarios,omitempty"`
 
 	Start       time.Time `json:"start"`
 	End         time.Time `json:"end"`
@@ -48,6 +52,15 @@ type Manifest struct {
 	Failures []string `json:"failures,omitempty"`
 
 	Metrics map[string]obs.MetricSnapshot `json:"metrics"`
+}
+
+// ScenarioRecord is one scenario the run executed: its name, spec
+// fingerprint, and the canonical spec document itself. The spec stays a
+// RawMessage so the harness does not depend on the scenario package.
+type ScenarioRecord struct {
+	Name        string          `json:"name"`
+	Fingerprint string          `json:"fingerprint"`
+	Spec        json.RawMessage `json:"spec"`
 }
 
 // NewManifest starts a manifest for the current process: schema, build

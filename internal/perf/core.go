@@ -1,6 +1,8 @@
 package perf
 
 import (
+	"fmt"
+
 	"relaxfault/internal/addrmap"
 	"relaxfault/internal/trace"
 )
@@ -71,6 +73,28 @@ type CoreConfig struct {
 // DefaultCoreConfig matches Table 3.
 func DefaultCoreConfig() CoreConfig {
 	return CoreConfig{L1Sets: 64, L1Ways: 8, L2Sets: 256, L2Ways: 8, MLP: 8, MissPenalty: 16, LLCHitPenalty: 4}
+}
+
+// Validate reports the first configuration error, if any. NewCore keeps its
+// historical leniency (it clamps MLP); Validate instead rejects the values
+// a declarative configuration should never carry.
+func (cfg CoreConfig) Validate() error {
+	if cfg.L1Sets <= 0 || cfg.L1Ways <= 0 {
+		return fmt.Errorf("perf: L1 geometry %dx%d must be positive", cfg.L1Sets, cfg.L1Ways)
+	}
+	if cfg.L2Sets <= 0 || cfg.L2Ways <= 0 {
+		return fmt.Errorf("perf: L2 geometry %dx%d must be positive", cfg.L2Sets, cfg.L2Ways)
+	}
+	if cfg.MLP < 1 {
+		return fmt.Errorf("perf: MLP %d must be at least 1", cfg.MLP)
+	}
+	if cfg.MissPenalty < 0 || cfg.LLCHitPenalty < 0 {
+		return fmt.Errorf("perf: negative stall penalty")
+	}
+	if cfg.PrefetchDegree < 0 {
+		return fmt.Errorf("perf: negative prefetch degree")
+	}
+	return nil
 }
 
 // Latencies (CPU cycles) of each hit level, from Table 3. L1 hits are fully

@@ -116,9 +116,23 @@ func DefaultMemConfig() MemConfig {
 	}
 }
 
+// Validate reports the first configuration error, if any.
+func (cfg MemConfig) Validate() error {
+	if err := cfg.Geometry.Validate(); err != nil {
+		return fmt.Errorf("perf: %w", err)
+	}
+	if cfg.LLCSets <= 0 || cfg.LLCSets&(cfg.LLCSets-1) != 0 {
+		return fmt.Errorf("perf: LLC sets %d must be a positive power of two", cfg.LLCSets)
+	}
+	if cfg.LLCWays <= 0 {
+		return fmt.Errorf("perf: LLC ways %d must be positive", cfg.LLCWays)
+	}
+	return nil
+}
+
 // NewMemSystem builds the shared hierarchy.
 func NewMemSystem(cfg MemConfig) (*MemSystem, error) {
-	if err := cfg.Geometry.Validate(); err != nil {
+	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	mapper, err := addrmap.New(cfg.Geometry, cfg.LLCSets)

@@ -22,10 +22,10 @@ var pm = struct {
 	llcEvictions       *obs.Counter
 	llcPrefetches      *obs.Counter
 
-	rowHits, rowConflicts                  *obs.Counter
-	activates, precharges, reads, writes   *obs.Counter
-	readQDepth, writeQDepth                *obs.Histogram
-	mshrDepth                              *obs.Histogram
+	rowHits, rowConflicts                         *obs.Counter
+	activates, precharges, reads, writes          *obs.Counter
+	readQDepth, writeQDepth                       *obs.Histogram
+	mshrDepth                                     *obs.Histogram
 	stallMemCycles, stallLatCycles, computeCycles *obs.Counter
 
 	cycles, instructions *obs.Counter

@@ -36,6 +36,37 @@ func DefaultSystemConfig() SystemConfig {
 	}
 }
 
+// Validate reports the first configuration error, if any. Run applies it on
+// entry; the scenario layer calls it directly so a bad performance spec
+// fails before any simulation work starts.
+func (cfg SystemConfig) Validate() error {
+	if err := cfg.Mem.Validate(); err != nil {
+		return err
+	}
+	if err := cfg.Core.Validate(); err != nil {
+		return err
+	}
+	if cfg.TargetInstructions == 0 {
+		return fmt.Errorf("perf: zero instruction target")
+	}
+	if cfg.LockWays < 0 || cfg.LockBytes < 0 {
+		return fmt.Errorf("perf: negative repair lock (%d ways, %d bytes)", cfg.LockWays, cfg.LockBytes)
+	}
+	if cfg.LockWays > 0 && cfg.LockBytes > 0 {
+		return fmt.Errorf("perf: LockWays and LockBytes are mutually exclusive")
+	}
+	if cfg.LockWays > cfg.Mem.LLCWays {
+		return fmt.Errorf("perf: cannot lock %d of %d LLC ways", cfg.LockWays, cfg.Mem.LLCWays)
+	}
+	if max := int64(cfg.Mem.LLCSets) * 64; cfg.LockBytes > max {
+		return fmt.Errorf("perf: LockBytes %d exceeds one way of the LLC (%dB)", cfg.LockBytes, max)
+	}
+	if cfg.MaxCycles < 0 {
+		return fmt.Errorf("perf: negative MaxCycles")
+	}
+	return nil
+}
+
 // CoreResult is one core's outcome.
 type CoreResult struct {
 	Name         string
@@ -78,8 +109,8 @@ func Run(cfg SystemConfig, threads []trace.ThreadParams) (*Result, error) {
 	if len(threads) == 0 {
 		return nil, fmt.Errorf("perf: no threads")
 	}
-	if cfg.TargetInstructions == 0 {
-		return nil, fmt.Errorf("perf: zero instruction target")
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	ms, err := NewMemSystem(cfg.Mem)
 	if err != nil {

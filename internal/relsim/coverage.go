@@ -28,13 +28,8 @@ type CoverageConfig struct {
 	FaultyNodes int
 	MaxNodes    int
 	Seed        uint64
-	Workers     int
-	// Mon, if non-nil, receives progress, watchdog, and skipped-trial
-	// events.
-	Mon *harness.Monitor
-	// Checkpoint, if non-nil, persists completed chunks so a killed study
-	// can resume (see Config.Checkpoint).
-	Checkpoint *harness.Store
+	// Exec attaches the worker pool, monitor, and checkpoint store.
+	Exec
 
 	// trialHook, when set (tests only), runs at the start of every node
 	// attempt with the global node index.
@@ -135,6 +130,34 @@ func (r *CoverageResult) Curve(planner string, wayLimit int) *CoverageCurve {
 	return nil
 }
 
+// Validate reports the first configuration error, if any. CoverageStudyCtx
+// applies it on entry; the scenario layer calls it directly.
+func (cfg *CoverageConfig) Validate() error {
+	if len(cfg.Planners) == 0 {
+		return fmt.Errorf("relsim: no planners configured")
+	}
+	for i, p := range cfg.Planners {
+		if p == nil {
+			return fmt.Errorf("relsim: planner %d is nil", i)
+		}
+	}
+	if len(cfg.WayLimits) == 0 {
+		return fmt.Errorf("relsim: no way limits configured")
+	}
+	for _, wl := range cfg.WayLimits {
+		if wl <= 0 {
+			return fmt.Errorf("relsim: way limit %d must be positive", wl)
+		}
+	}
+	if cfg.FaultyNodes <= 0 || cfg.MaxNodes <= 0 {
+		return fmt.Errorf("relsim: FaultyNodes and MaxNodes must be positive")
+	}
+	if err := cfg.Model.Geometry.Validate(); err != nil {
+		return fmt.Errorf("relsim: %w", err)
+	}
+	return nil
+}
+
 // covChunkSize is the scheduling/checkpointing granularity of coverage
 // studies (nodes per chunk).
 const covChunkSize = 2048
@@ -184,11 +207,8 @@ func CoverageStudy(cfg CoverageConfig) (*CoverageResult, error) {
 // which is what makes checkpoint/resume reproduce an uninterrupted run
 // exactly.
 func CoverageStudyCtx(ctx context.Context, cfg CoverageConfig) (*CoverageResult, error) {
-	if len(cfg.Planners) == 0 {
-		return nil, fmt.Errorf("relsim: no planners configured")
-	}
-	if cfg.FaultyNodes <= 0 || cfg.MaxNodes <= 0 {
-		return nil, fmt.Errorf("relsim: FaultyNodes and MaxNodes must be positive")
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	model, err := fault.NewModel(cfg.Model)
 	if err != nil {
@@ -209,12 +229,12 @@ func CoverageStudyCtx(ctx context.Context, cfg CoverageConfig) (*CoverageResult,
 	// mu; chunk computation itself runs outside the lock.
 	var mu sync.Mutex
 	chunks := make([]*covChunk, nChunks)
-	cutoff := -1     // first chunk index where prefix-cumulative faulty >= target
-	ub := -1         // sound upper bound on cutoff (-1 = unknown)
-	scanned := 0     // next contiguous chunk index to fold into cumFaulty
-	cumFaulty := 0   // faulty nodes in chunks [0, scanned)
-	specFaulty := 0  // faulty nodes over every stored chunk, contiguous or not
-	maxStored := -1  // highest stored chunk index
+	cutoff := -1                          // first chunk index where prefix-cumulative faulty >= target
+	ub := -1                              // sound upper bound on cutoff (-1 = unknown)
+	scanned := 0                          // next contiguous chunk index to fold into cumFaulty
+	cumFaulty := 0                        // faulty nodes in chunks [0, scanned)
+	specFaulty := 0                       // faulty nodes over every stored chunk, contiguous or not
+	maxStored := -1                       // highest stored chunk index
 	store := func(ci int, ch *covChunk) { // called with mu held
 		chunks[ci] = ch
 		specFaulty += ch.Faulty

@@ -27,6 +27,24 @@ import (
 	"relaxfault/internal/stats"
 )
 
+// Exec bundles the execution-environment attachments every simulation entry
+// point shares: worker-pool size, progress monitor, and checkpoint store.
+// None of its fields affect results — they steer how a run executes, not
+// what it computes — so configuration fingerprints deliberately exclude it.
+type Exec struct {
+	// Workers bounds parallelism (0 = GOMAXPROCS). The worker count never
+	// affects results.
+	Workers int
+	// Mon, if non-nil, receives progress, watchdog, and skipped-trial
+	// events.
+	Mon *harness.Monitor
+	// Checkpoint, if non-nil, persists completed chunks so a killed run
+	// can resume. A section keyed by the configuration's fingerprint is
+	// used, so unrelated runs can share one store. Checkpoint I/O errors
+	// degrade to warnings; they never abort a run.
+	Checkpoint *harness.Store
+}
+
 // ReplacementPolicy selects when a faulty DIMM is replaced.
 type ReplacementPolicy int
 
@@ -86,17 +104,8 @@ type Config struct {
 	// estimates; results are reported per system.
 	Replicas int
 	Seed     uint64
-	// Workers bounds parallelism (0 = GOMAXPROCS). The worker count never
-	// affects results.
-	Workers int
-	// Mon, if non-nil, receives progress, watchdog, and skipped-trial
-	// events.
-	Mon *harness.Monitor
-	// Checkpoint, if non-nil, persists completed chunks so a killed run
-	// can resume. A section keyed by this configuration's fingerprint is
-	// used, so unrelated runs can share one store. Checkpoint I/O errors
-	// degrade to warnings; they never abort a run.
-	Checkpoint *harness.Store
+	// Exec attaches the worker pool, monitor, and checkpoint store.
+	Exec
 
 	// trialHook, when set (tests only), runs at the start of every trial
 	// attempt with the global node index. It is the injection point for
@@ -119,6 +128,30 @@ func DefaultConfig() Config {
 		Replicas:                1,
 		Seed:                    1,
 	}
+}
+
+// Validate reports the first configuration error, if any. RunCtx applies it
+// after defaulting Replicas; the scenario layer calls it directly so bad
+// specs fail before any simulation work starts.
+func (cfg *Config) Validate() error {
+	if cfg.Nodes <= 0 {
+		return fmt.Errorf("relsim: Nodes must be positive")
+	}
+	if cfg.Replicas <= 0 {
+		return fmt.Errorf("relsim: Replicas must be positive")
+	}
+	if cfg.Planner != nil {
+		if _, ok := cfg.Planner.(repair.Incremental); !ok {
+			return fmt.Errorf("relsim: planner %q does not support incremental planning (repair.Incremental); the fleet simulator consumes faults in arrival order and cannot drive a batch-only planner", cfg.Planner.Name())
+		}
+		if cfg.WayLimit < 0 {
+			return fmt.Errorf("relsim: WayLimit must be non-negative")
+		}
+	}
+	if err := cfg.Model.Geometry.Validate(); err != nil {
+		return fmt.Errorf("relsim: %w", err)
+	}
+	return nil
 }
 
 // Result aggregates per-system expectations (averaged over replicas).
@@ -212,16 +245,11 @@ func Run(cfg Config) (Result, error) {
 // stops at the next chunk boundary (at most ~chunkSize trials away per
 // worker), flushes any checkpoint, and returns ctx's error.
 func RunCtx(ctx context.Context, cfg Config) (Result, error) {
-	if cfg.Nodes <= 0 {
-		return Result{}, fmt.Errorf("relsim: Nodes must be positive")
-	}
 	if cfg.Replicas <= 0 {
 		cfg.Replicas = 1
 	}
-	if cfg.Planner != nil {
-		if _, ok := cfg.Planner.(repair.Incremental); !ok {
-			return Result{}, fmt.Errorf("relsim: planner %q does not support incremental planning (repair.Incremental); the fleet simulator consumes faults in arrival order and cannot drive a batch-only planner", cfg.Planner.Name())
-		}
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
 	}
 	model, err := fault.NewModel(cfg.Model)
 	if err != nil {
@@ -358,10 +386,8 @@ func ReplayNode(cfg Config, node int) (Result, error) {
 	if node < 0 || node >= cfg.Nodes*cfg.Replicas {
 		return Result{}, fmt.Errorf("relsim: node %d outside [0, %d)", node, cfg.Nodes*cfg.Replicas)
 	}
-	if cfg.Planner != nil {
-		if _, ok := cfg.Planner.(repair.Incremental); !ok {
-			return Result{}, fmt.Errorf("relsim: planner %q does not support incremental planning", cfg.Planner.Name())
-		}
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
 	}
 	model, err := fault.NewModel(cfg.Model)
 	if err != nil {

@@ -1,0 +1,96 @@
+package repair
+
+import (
+	"fmt"
+
+	"relaxfault/internal/addrmap"
+	"relaxfault/internal/dram"
+)
+
+// This file holds the validating constructors. The historical constructors
+// (NewRelaxFault, NewFreeFault, ...) assume a well-formed configuration and
+// either clamp bad values or defer the failure to a downstream panic — fine
+// for hand-written experiment code, wrong for configurations that arrive as
+// data. The Checked variants verify every precondition and return an error
+// instead, which is what the scenario layer surfaces through
+// scenario.Validate before any simulation work starts.
+
+// checkLLCPlanner validates the inputs shared by RelaxFault and FreeFault.
+func checkLLCPlanner(engine string, m *addrmap.Mapper, llcWays int) error {
+	if m == nil {
+		return fmt.Errorf("repair: %s: nil address mapper", engine)
+	}
+	if llcWays <= 0 {
+		return fmt.Errorf("repair: %s: LLC ways must be positive, got %d", engine, llcWays)
+	}
+	if err := m.Geometry().Validate(); err != nil {
+		return fmt.Errorf("repair: %s: %w", engine, err)
+	}
+	return nil
+}
+
+// NewRelaxFaultChecked is NewRelaxFaultAblated with configuration
+// validation: it reports nil mappers, non-positive way counts, and invalid
+// geometries as errors instead of panicking later.
+func NewRelaxFaultChecked(m *addrmap.Mapper, llcWays int, opts RelaxFaultOptions) (Planner, error) {
+	if err := checkLLCPlanner("RelaxFault", m, llcWays); err != nil {
+		return nil, err
+	}
+	return NewRelaxFaultAblated(m, llcWays, opts), nil
+}
+
+// NewFreeFaultChecked is NewFreeFault with configuration validation.
+func NewFreeFaultChecked(m *addrmap.Mapper, llcWays int, hash bool) (Planner, error) {
+	if err := checkLLCPlanner("FreeFault", m, llcWays); err != nil {
+		return nil, err
+	}
+	return NewFreeFault(m, llcWays, hash), nil
+}
+
+// NewPPRChecked is NewPPRWithBudget with configuration validation: instead
+// of silently clamping a non-positive budget to 1 spare it reports the bad
+// value, so a sweep over PPR budgets cannot quietly evaluate the wrong
+// point.
+func NewPPRChecked(g dram.Geometry, banksPerGroup, sparesPerGroup int) (Planner, error) {
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("repair: PPR: %w", err)
+	}
+	if banksPerGroup < 1 {
+		return nil, fmt.Errorf("repair: PPR: banks per group must be positive, got %d", banksPerGroup)
+	}
+	if banksPerGroup > g.Banks {
+		return nil, fmt.Errorf("repair: PPR: banks per group %d exceeds the device's %d banks", banksPerGroup, g.Banks)
+	}
+	if sparesPerGroup < 1 {
+		return nil, fmt.Errorf("repair: PPR: spares per group must be positive, got %d", sparesPerGroup)
+	}
+	return NewPPRWithBudget(g, banksPerGroup, sparesPerGroup), nil
+}
+
+// NewPageRetirementChecked is NewPageRetirement with configuration
+// validation: the frame size must be a positive multiple of the 64B line
+// (zero still selects the 4KiB default, and a zero budget still defaults to
+// 1% of node capacity).
+func NewPageRetirementChecked(m *addrmap.Mapper, pageBytes, maxLossBytes int64) (Planner, error) {
+	if m == nil {
+		return nil, fmt.Errorf("repair: page retirement: nil address mapper")
+	}
+	if err := m.Geometry().Validate(); err != nil {
+		return nil, fmt.Errorf("repair: page retirement: %w", err)
+	}
+	if pageBytes < 0 || pageBytes%64 != 0 {
+		return nil, fmt.Errorf("repair: page retirement: frame size %dB must be a positive multiple of the 64B line", pageBytes)
+	}
+	if maxLossBytes < 0 {
+		return nil, fmt.Errorf("repair: page retirement: negative retirement budget %dB", maxLossBytes)
+	}
+	return NewPageRetirement(m, pageBytes, maxLossBytes), nil
+}
+
+// NewMirroringChecked is NewMirroring with geometry validation.
+func NewMirroringChecked(g dram.Geometry) (Planner, error) {
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("repair: mirroring: %w", err)
+	}
+	return NewMirroring(g), nil
+}

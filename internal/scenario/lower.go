@@ -1,0 +1,338 @@
+package scenario
+
+import (
+	"fmt"
+
+	"relaxfault/internal/addrmap"
+	"relaxfault/internal/dram"
+	"relaxfault/internal/fault"
+	"relaxfault/internal/perf"
+	"relaxfault/internal/relsim"
+	"relaxfault/internal/repair"
+	"relaxfault/internal/trace"
+)
+
+// GeometryDefault is the paper's evaluated node.
+const GeometryDefault = "ddr3-8gib"
+
+// llcSets is the LLC set count remap planners index against (8MiB 16-way,
+// matching the performance model and every legacy experiment).
+const llcSets = 8192
+
+// GeometryByName resolves a geometry name to its DRAM organisation.
+func GeometryByName(name string) (dram.Geometry, error) {
+	switch name {
+	case GeometryDefault:
+		return dram.Default8GiBNode(), nil
+	case "ddr4-16gib":
+		return dram.DDR4Node(), nil
+	case "hbm-stack":
+		return dram.HBMStackNode(), nil
+	case "lpddr4":
+		return dram.LPDDR4Node(), nil
+	case "perf-node":
+		return dram.PerfNode(), nil
+	default:
+		return dram.Geometry{}, fmt.Errorf("scenario: unknown geometry %q (want %s, ddr4-16gib, hbm-stack, lpddr4, or perf-node)", name, GeometryDefault)
+	}
+}
+
+// ratesByName resolves a FIT table name.
+func ratesByName(name string) (fault.Rates, error) {
+	switch name {
+	case "", "cielo":
+		return fault.CieloRates(), nil
+	case "hopper":
+		return fault.HopperRates(), nil
+	default:
+		return fault.Rates{}, fmt.Errorf("scenario: unknown fault rates %q (want cielo or hopper)", name)
+	}
+}
+
+// policyByName resolves a replacement-policy name.
+func policyByName(name string) (relsim.ReplacementPolicy, error) {
+	switch name {
+	case "", "replace-after-due":
+		return relsim.ReplaceAfterDUE, nil
+	case "replace-after-threshold":
+		return relsim.ReplaceAfterThreshold, nil
+	case "none":
+		return relsim.ReplaceNever, nil
+	default:
+		return 0, fmt.Errorf("scenario: unknown replacement policy %q (want replace-after-due, replace-after-threshold, or none)", name)
+	}
+}
+
+// faultConfig builds the fault model from the merged spec layers. The base
+// is the paper's default model with the resolved geometry; every FIT table
+// passes through Rates.Scale (Scale(1) is bit-identical to the unscaled
+// table, so configurations that never mention fit_scale lower exactly onto
+// the legacy defaults).
+func faultConfig(geo dram.Geometry, spec *FaultSpec) (fault.Config, error) {
+	cfg := fault.DefaultConfig()
+	cfg.Geometry = geo
+	if spec == nil {
+		spec = &FaultSpec{}
+	}
+	rates, err := ratesByName(spec.Rates)
+	if err != nil {
+		return cfg, err
+	}
+	scale := spec.FITScale
+	if scale == 0 {
+		scale = 1
+	}
+	if scale < 0 {
+		return cfg, fmt.Errorf("scenario: negative fit_scale %v", scale)
+	}
+	cfg.Rates = rates.Scale(scale)
+	if spec.AccelFactor != nil {
+		cfg.AccelFactor = *spec.AccelFactor
+		if cfg.AccelFactor <= 1 {
+			cfg.AccelFactor = 1
+		}
+	}
+	if spec.AccelNodeFrac != nil {
+		cfg.AccelNodeFrac = *spec.AccelNodeFrac
+	}
+	if spec.AccelDIMMFrac != nil {
+		cfg.AccelDIMMFrac = *spec.AccelDIMMFrac
+	}
+	if spec.HorizonYears != 0 {
+		if spec.HorizonYears < 0 {
+			return cfg, fmt.Errorf("scenario: negative horizon_years %v", spec.HorizonYears)
+		}
+		cfg.Hours = spec.HorizonYears * fault.HoursPerYear
+	}
+	if spec.VarianceFrac != nil {
+		cfg.VarianceFrac = *spec.VarianceFrac
+	}
+	return cfg, nil
+}
+
+// buildPlanner constructs the named repair engine through the repair
+// package's validating constructors, so a bad budget is an error here, not
+// a clamp or a downstream panic.
+func buildPlanner(spec PlannerSpec, geo dram.Geometry) (repair.Planner, error) {
+	ways := spec.LLCWays
+	if ways == 0 {
+		ways = 16
+	}
+	needsMapper := spec.Kind == "relaxfault" || spec.Kind == "freefault" || spec.Kind == "page-retire"
+	var m *addrmap.Mapper
+	if needsMapper {
+		var err error
+		m, err = addrmap.New(geo, llcSets)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: planner %s: %w", spec.Kind, err)
+		}
+	}
+	switch spec.Kind {
+	case "relaxfault":
+		return repair.NewRelaxFaultChecked(m, ways, repair.RelaxFaultOptions{
+			NoCoalescing: spec.NoCoalescing,
+			NoSpread:     spec.NoSpread,
+		})
+	case "freefault":
+		hash := true
+		if spec.Hash != nil {
+			hash = *spec.Hash
+		}
+		return repair.NewFreeFaultChecked(m, ways, hash)
+	case "ppr":
+		bpg := spec.BanksPerGroup
+		if bpg == 0 {
+			bpg = geo.Banks / 4
+			if bpg < 1 {
+				bpg = 1
+			}
+		}
+		spares := spec.SparesPerGroup
+		if spares == 0 {
+			spares = 1
+		}
+		return repair.NewPPRChecked(geo, bpg, spares)
+	case "page-retire":
+		return repair.NewPageRetirementChecked(m, spec.PageBytes, spec.MaxLossBytes)
+	case "mirroring":
+		return repair.NewMirroringChecked(geo)
+	default:
+		return nil, fmt.Errorf("scenario: unknown planner kind %q (want relaxfault, freefault, ppr, page-retire, or mirroring)", spec.Kind)
+	}
+}
+
+// PerfUnitConfig is one lowered (workload, prefetch degree) simulation
+// cell: the base system configuration plus the lock variants to measure
+// against its unlocked baseline.
+type PerfUnitConfig struct {
+	Workload       trace.Workload
+	PrefetchDegree int
+	Base           perf.SystemConfig
+	Locks          []LockSpec
+}
+
+// Lowered is a scenario compiled onto the simulators' own configuration
+// structs. Exec attachments (workers, monitor, checkpoint) are left zero;
+// the runner fills them, keeping result fingerprints independent of how a
+// run executes.
+type Lowered struct {
+	Coverage    []relsim.CoverageConfig
+	Reliability []relsim.Config
+	Perf        []PerfUnitConfig
+}
+
+// Lower compiles the scenario. Every configuration it produces has passed
+// the target package's validation; for preset scenarios the output is
+// bit-for-bit the configuration the legacy experiment code built.
+func (sc *Scenario) Lower() (*Lowered, error) {
+	sc.Normalize()
+	out := &Lowered{}
+	switch sc.Kind {
+	case KindStatic:
+		return out, nil
+	case KindCoverage:
+		return out, sc.lowerCoverage(out)
+	case KindReliability:
+		return out, sc.lowerReliability(out)
+	case KindPerf:
+		return out, sc.lowerPerf(out)
+	default:
+		return nil, fmt.Errorf("scenario %s: unknown kind %q", sc.Name, sc.Kind)
+	}
+}
+
+func (sc *Scenario) lowerCoverage(out *Lowered) error {
+	if sc.Coverage == nil || len(sc.Coverage.Studies) == 0 {
+		return fmt.Errorf("scenario %s: coverage scenario needs at least one study", sc.Name)
+	}
+	for i, st := range sc.Coverage.Studies {
+		geoName := st.Geometry
+		if geoName == "" {
+			geoName = sc.Geometry
+		}
+		geo, err := GeometryByName(geoName)
+		if err != nil {
+			return fmt.Errorf("scenario %s: study %d: %w", sc.Name, i, err)
+		}
+		model, err := faultConfig(geo, mergeFault(sc.Fault, st.Fault))
+		if err != nil {
+			return fmt.Errorf("scenario %s: study %d: %w", sc.Name, i, err)
+		}
+		cfg := relsim.DefaultCoverageConfig()
+		cfg.Model = model
+		cfg.Seed = *sc.Seed
+		cfg.FaultyNodes = int(float64(sc.Budget.FaultyNodes) * st.FaultyNodesFrac)
+		cfg.MaxNodes = st.MaxNodes
+		cfg.WayLimits = append([]int(nil), st.WayLimits...)
+		for _, ps := range st.Planners {
+			p, err := buildPlanner(ps, geo)
+			if err != nil {
+				return fmt.Errorf("scenario %s: study %d: %w", sc.Name, i, err)
+			}
+			cfg.Planners = append(cfg.Planners, p)
+		}
+		if err := cfg.Validate(); err != nil {
+			return fmt.Errorf("scenario %s: study %d: %w", sc.Name, i, err)
+		}
+		out.Coverage = append(out.Coverage, cfg)
+	}
+	return nil
+}
+
+func (sc *Scenario) lowerReliability(out *Lowered) error {
+	if sc.Reliability == nil || len(sc.Reliability.Cells) == 0 {
+		return fmt.Errorf("scenario %s: reliability scenario needs at least one cell", sc.Name)
+	}
+	geo, err := GeometryByName(sc.Geometry)
+	if err != nil {
+		return fmt.Errorf("scenario %s: %w", sc.Name, err)
+	}
+	base := mergeFault(sc.Fault, sc.Reliability.Fault)
+	for i, cell := range sc.Reliability.Cells {
+		model, err := faultConfig(geo, mergeFault(base, cell.Fault))
+		if err != nil {
+			return fmt.Errorf("scenario %s: cell %d (%s): %w", sc.Name, i, cell.Label, err)
+		}
+		policy, err := policyByName(cell.Policy)
+		if err != nil {
+			return fmt.Errorf("scenario %s: cell %d (%s): %w", sc.Name, i, cell.Label, err)
+		}
+		cfg := relsim.DefaultConfig()
+		cfg.Model = model
+		cfg.Nodes = sc.Budget.Nodes
+		cfg.Replicas = sc.Budget.Replicas
+		cfg.Seed = *sc.Seed
+		cfg.Policy = policy
+		cfg.WayLimit = cell.WayLimit
+		if cell.Planner != nil {
+			p, err := buildPlanner(*cell.Planner, geo)
+			if err != nil {
+				return fmt.Errorf("scenario %s: cell %d (%s): %w", sc.Name, i, cell.Label, err)
+			}
+			cfg.Planner = p
+		}
+		if sc.ECC != nil {
+			if sc.ECC.SDCAliasProb != nil {
+				cfg.SDCAliasProb = *sc.ECC.SDCAliasProb
+			}
+			if sc.ECC.TripleSDCProb != nil {
+				cfg.TripleSDCProb = *sc.ECC.TripleSDCProb
+			}
+			if sc.ECC.ReplBActivationsPerHour != nil {
+				cfg.ReplBActivationsPerHour = *sc.ECC.ReplBActivationsPerHour
+			}
+		}
+		if err := cfg.Validate(); err != nil {
+			return fmt.Errorf("scenario %s: cell %d (%s): %w", sc.Name, i, cell.Label, err)
+		}
+		out.Reliability = append(out.Reliability, cfg)
+	}
+	return nil
+}
+
+func (sc *Scenario) lowerPerf(out *Lowered) error {
+	if sc.Perf == nil || len(sc.Perf.Locks) == 0 {
+		return fmt.Errorf("scenario %s: perf scenario needs at least one lock configuration", sc.Name)
+	}
+	if l := sc.Perf.Locks[0]; l.Ways != 0 || l.Bytes != 0 {
+		return fmt.Errorf("scenario %s: locks[0] must be the unlocked baseline (0 ways, 0 bytes); it provides the alone-IPC denominators", sc.Name)
+	}
+	var workloads []trace.Workload
+	if len(sc.Perf.Workloads) == 0 {
+		workloads = trace.Workloads()
+	} else {
+		for _, name := range sc.Perf.Workloads {
+			w := trace.WorkloadByName(name)
+			if w == nil {
+				return fmt.Errorf("scenario %s: unknown workload %q", sc.Name, name)
+			}
+			workloads = append(workloads, *w)
+		}
+	}
+	for _, w := range workloads {
+		for _, deg := range sc.Perf.PrefetchDegrees {
+			cfg := perf.DefaultSystemConfig()
+			cfg.TargetInstructions = sc.Budget.Instructions
+			cfg.Seed = *sc.Seed
+			cfg.Core.PrefetchDegree = deg
+			if err := cfg.Validate(); err != nil {
+				return fmt.Errorf("scenario %s: workload %s: %w", sc.Name, w.Name, err)
+			}
+			for _, l := range sc.Perf.Locks[1:] {
+				lc := cfg
+				lc.LockWays = l.Ways
+				lc.LockBytes = l.Bytes
+				if err := lc.Validate(); err != nil {
+					return fmt.Errorf("scenario %s: lock %s: %w", sc.Name, l.Label, err)
+				}
+			}
+			out.Perf = append(out.Perf, PerfUnitConfig{
+				Workload:       w,
+				PrefetchDegree: deg,
+				Base:           cfg,
+				Locks:          append([]LockSpec(nil), sc.Perf.Locks...),
+			})
+		}
+	}
+	return nil
+}

@@ -1,0 +1,194 @@
+package scenario
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"relaxfault/internal/harness"
+	"relaxfault/internal/perf"
+	"relaxfault/internal/relsim"
+)
+
+// Exec carries the execution-environment attachments of a run — worker
+// pool size, monitor, checkpoint store. None of it affects results (the
+// Monte Carlo engine is bitwise independent of worker count), so none of
+// it lives in the Scenario spec.
+type Exec struct {
+	Workers int
+	Mon     *harness.Monitor
+	Store   *harness.Store
+}
+
+// PerfUnit is one (workload, prefetch degree) outcome: the weighted
+// speedup and full simulation result per lock configuration, plus the
+// alone-IPC baselines the speedups were measured against.
+type PerfUnit struct {
+	Workload       string
+	PrefetchDegree int
+	Locks          []LockSpec
+	// Speedups[i] and Results[i] correspond to Locks[i]; Speedups[0] is
+	// the unlocked baseline.
+	Speedups []float64
+	Results  []*perf.Result
+	Alone    []float64
+}
+
+// Result is a scenario's outcome: one entry per study, cell, or perf unit,
+// in spec order, alongside the resolved spec and its fingerprint.
+type Result struct {
+	Scenario    *Scenario
+	Fingerprint string
+
+	Coverage    []*relsim.CoverageResult
+	Reliability []*relsim.Result
+	Perf        []PerfUnit
+}
+
+// Run executes the scenario with background context.
+func Run(sc *Scenario, ex Exec) (*Result, error) { return RunCtx(context.Background(), sc, ex) }
+
+// RunCtx validates, lowers, and executes the scenario on the shared
+// simulation engines. Coverage studies and reliability cells run in spec
+// order on the checkpointing Monte Carlo engine; perf units fan out on the
+// sharded work engine (results are index-collected, so output is identical
+// to a sequential sweep).
+func RunCtx(ctx context.Context, sc *Scenario, ex Exec) (*Result, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	low, err := sc.Lower()
+	if err != nil {
+		return nil, err
+	}
+	fp, err := sc.Fingerprint()
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{Scenario: sc, Fingerprint: fp}
+	rex := relsim.Exec{Workers: ex.Workers, Mon: ex.Mon, Checkpoint: ex.Store}
+
+	for i := range low.Coverage {
+		cfg := low.Coverage[i]
+		cfg.Exec = rex
+		res, err := relsim.CoverageStudyCtx(ctx, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("scenario %s: study %d: %w", sc.Name, i, err)
+		}
+		out.Coverage = append(out.Coverage, res)
+	}
+	for i := range low.Reliability {
+		cfg := low.Reliability[i]
+		cfg.Exec = rex
+		res, err := relsim.RunCtx(ctx, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("scenario %s: cell %d (%s): %w", sc.Name, i, sc.Reliability.Cells[i].Label, err)
+		}
+		out.Reliability = append(out.Reliability, &res)
+	}
+	if len(low.Perf) > 0 {
+		units, err := runPerf(ctx, low.Perf, ex)
+		if err != nil {
+			return nil, fmt.Errorf("scenario %s: %w", sc.Name, err)
+		}
+		out.Perf = units
+	}
+	return out, nil
+}
+
+// runPerf fans the perf units out on the sharded engine, one chunk per
+// unit. Each unit measures its unlocked baseline first (computing the
+// alone-IPC denominators), then every other lock against it — the
+// weighted-speedup methodology of Figure 15.
+func runPerf(ctx context.Context, units []PerfUnitConfig, ex Exec) ([]PerfUnit, error) {
+	outs := make([]PerfUnit, len(units))
+	errs := make([]error, len(units))
+	eng := harness.Engine{Workers: ex.Workers, Mon: ex.Mon}
+	runErr := eng.Run(ctx, len(units), func(_, k int) (int64, bool) {
+		u := units[k]
+		res := PerfUnit{
+			Workload:       u.Workload.Name,
+			PrefetchDegree: u.PrefetchDegree,
+			Locks:          u.Locks,
+			Speedups:       make([]float64, len(u.Locks)),
+			Results:        make([]*perf.Result, len(u.Locks)),
+		}
+		ws, alone, shared, err := perf.WeightedSpeedup(u.Base, u.Workload.Threads, nil)
+		if err != nil {
+			errs[k] = err
+			return 0, true
+		}
+		res.Speedups[0], res.Results[0], res.Alone = ws, shared, alone
+		for i, l := range u.Locks[1:] {
+			cfg := u.Base
+			cfg.LockWays = l.Ways
+			cfg.LockBytes = l.Bytes
+			ws, _, shared, err := perf.WeightedSpeedup(cfg, u.Workload.Threads, alone)
+			if err != nil {
+				errs[k] = err
+				return 0, true
+			}
+			res.Speedups[i+1], res.Results[i+1] = ws, shared
+		}
+		outs[k] = res
+		return 1, true
+	})
+	if runErr != nil {
+		return nil, runErr
+	}
+	for k := range units {
+		if errs[k] != nil {
+			return nil, fmt.Errorf("workload %s: %w", units[k].Workload.Name, errs[k])
+		}
+	}
+	return outs, nil
+}
+
+// String renders the result generically: coverage curves, reliability
+// cells, or weighted speedups as plain tables. Preset experiments have
+// richer figure-specific presentations in internal/experiments; this is
+// the output of user-supplied scenario files and sweeps.
+func (r *Result) String() string {
+	var b strings.Builder
+	sc := r.Scenario
+	fmt.Fprintf(&b, "Scenario %s (%s, seed %d, fingerprint %s)\n", sc.Name, sc.Kind, *sc.Seed, r.Fingerprint)
+	if sc.Description != "" {
+		fmt.Fprintf(&b, "%s\n", sc.Description)
+	}
+	for i, cov := range r.Coverage {
+		st := sc.Coverage.Studies[i]
+		label := st.Label
+		if label == "" {
+			label = fmt.Sprintf("study %d", i)
+		}
+		fmt.Fprintf(&b, "[%s] faulty nodes: %d/%d (%.1f%%)\n",
+			label, cov.FaultyNodes, cov.TotalNodes, 100*cov.FaultyFraction)
+		fmt.Fprintf(&b, "%-28s %5s %9s %14s\n", "planner", "ways", "coverage", "p90 capacity")
+		for _, c := range cov.Curves {
+			fmt.Fprintf(&b, "%-28s %5d %8.1f%% %13.0fB\n",
+				c.Planner, c.WayLimit, 100*c.Coverage(), c.CapacityQuantile(0.90))
+		}
+	}
+	if len(r.Reliability) > 0 {
+		fmt.Fprintf(&b, "%-24s %12s %10s %10s %12s\n", "cell", "faultyNodes", "DUEs", "SDCs", "replacements")
+		for i, res := range r.Reliability {
+			fmt.Fprintf(&b, "%-24s %12.0f %10.4f %10.6f %12.4f\n",
+				sc.Reliability.Cells[i].Label, res.FaultyNodes, res.DUEs, res.SDCs, res.Replacements)
+		}
+	}
+	if len(r.Perf) > 0 {
+		fmt.Fprintf(&b, "%-10s %9s", "workload", "prefetch")
+		for _, l := range sc.Perf.Locks {
+			fmt.Fprintf(&b, " %12s", l.Label)
+		}
+		fmt.Fprintf(&b, "\n")
+		for _, u := range r.Perf {
+			fmt.Fprintf(&b, "%-10s %9d", u.Workload, u.PrefetchDegree)
+			for _, ws := range u.Speedups {
+				fmt.Fprintf(&b, " %12.2f", ws)
+			}
+			fmt.Fprintf(&b, "\n")
+		}
+	}
+	return b.String()
+}

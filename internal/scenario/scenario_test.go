@@ -1,0 +1,347 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// minimalCoverage is a small valid coverage scenario used across tests.
+func minimalCoverage() *Scenario {
+	return &Scenario{
+		Name: "t",
+		Kind: KindCoverage,
+		Coverage: &CoverageSpec{Studies: []CoverageStudy{{
+			Planners:  []PlannerSpec{{Kind: "relaxfault"}},
+			WayLimits: []int{1},
+		}}},
+	}
+}
+
+func TestNormalizeDefaults(t *testing.T) {
+	sc := minimalCoverage()
+	sc.Normalize()
+	if sc.Schema != Schema {
+		t.Errorf("schema = %q, want %q", sc.Schema, Schema)
+	}
+	if sc.Seed == nil || *sc.Seed != 7 {
+		t.Errorf("seed = %v, want 7", sc.Seed)
+	}
+	if sc.Budget != DefaultBudget() {
+		t.Errorf("budget = %+v, want quick defaults %+v", sc.Budget, DefaultBudget())
+	}
+	if sc.Geometry != GeometryDefault {
+		t.Errorf("geometry = %q, want %q", sc.Geometry, GeometryDefault)
+	}
+	st := sc.Coverage.Studies[0]
+	if st.FaultyNodesFrac != 1 || st.MaxNodes != 5_000_000 {
+		t.Errorf("study defaults = frac %v maxNodes %v, want 1 and 5000000", st.FaultyNodesFrac, st.MaxNodes)
+	}
+
+	pf := &Scenario{Name: "p", Kind: KindPerf, Perf: &PerfSpec{Locks: []LockSpec{{Label: "base"}}}}
+	pf.Normalize()
+	if len(pf.Perf.PrefetchDegrees) != 1 || pf.Perf.PrefetchDegrees[0] != 0 {
+		t.Errorf("prefetch degrees = %v, want [0]", pf.Perf.PrefetchDegrees)
+	}
+}
+
+func TestNormalizeIdempotent(t *testing.T) {
+	sc := minimalCoverage()
+	sc.Normalize()
+	first, err := sc.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.Normalize()
+	second, err := sc.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, second) {
+		t.Errorf("Normalize is not idempotent:\n%s\nvs\n%s", first, second)
+	}
+}
+
+// TestCanonicalRoundTrip: encode -> decode -> encode must reproduce the
+// document byte for byte, for a hand-built scenario and for every preset.
+func TestCanonicalRoundTrip(t *testing.T) {
+	scens := []*Scenario{minimalCoverage()}
+	for _, name := range PresetNames() {
+		sc, err := Preset(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scens = append(scens, sc)
+	}
+	for _, sc := range scens {
+		doc, err := sc.Canonical()
+		if err != nil {
+			t.Fatalf("%s: %v", sc.Name, err)
+		}
+		back, err := Decode(doc)
+		if err != nil {
+			t.Fatalf("%s: decode canonical: %v", sc.Name, err)
+		}
+		doc2, err := back.Canonical()
+		if err != nil {
+			t.Fatalf("%s: %v", sc.Name, err)
+		}
+		if !bytes.Equal(doc, doc2) {
+			t.Errorf("%s: canonical round-trip differs:\n%s\nvs\n%s", sc.Name, doc, doc2)
+		}
+	}
+}
+
+func TestFingerprintDistinguishesSpecs(t *testing.T) {
+	a := minimalCoverage()
+	b := minimalCoverage()
+	fa, err := a.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, err := b.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fa != fb {
+		t.Errorf("identical specs, different fingerprints: %s vs %s", fa, fb)
+	}
+	b.Coverage.Studies[0].WayLimits = []int{1, 4}
+	fb2, err := b.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fa == fb2 {
+		t.Error("different specs share a fingerprint")
+	}
+}
+
+// TestValidateErrors pins the failure messages a bad spec produces: every
+// case must fail before any simulation work, with the offending knob named.
+func TestValidateErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Scenario)
+		want string
+	}{
+		{"missing name", func(sc *Scenario) { sc.Name = "" }, "missing name"},
+		{"bad kind", func(sc *Scenario) { sc.Kind = "bogus" }, `unknown kind "bogus"`},
+		{"kind/section mismatch", func(sc *Scenario) { sc.Kind = KindReliability }, `requires a "reliability" section`},
+		{"bad geometry", func(sc *Scenario) { sc.Geometry = "ddr9" }, `unknown geometry "ddr9"`},
+		{"bad rates", func(sc *Scenario) { sc.Fault = &FaultSpec{Rates: "jaguar"} }, `unknown fault rates "jaguar"`},
+		{"negative fit scale", func(sc *Scenario) { sc.Fault = &FaultSpec{FITScale: -1} }, "negative fit_scale"},
+		{"bad planner kind", func(sc *Scenario) { sc.Coverage.Studies[0].Planners[0].Kind = "magic" },
+			`unknown planner kind "magic"`},
+		{"no studies", func(sc *Scenario) { sc.Coverage.Studies = nil }, "at least one study"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sc := minimalCoverage()
+			tc.mut(sc)
+			err := sc.Validate()
+			if err == nil {
+				t.Fatalf("Validate() = nil, want error containing %q", tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("Validate() = %q, want it to contain %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestValidatePlannerBudgets(t *testing.T) {
+	// PPR budgets flow through the repair package's checked constructor:
+	// a spare budget that exceeds what the geometry can hold must be a
+	// validation error, not a clamp or a panic.
+	sc := minimalCoverage()
+	sc.Coverage.Studies[0].Planners = []PlannerSpec{{Kind: "ppr", BanksPerGroup: 1000}}
+	if err := sc.Validate(); err == nil {
+		t.Error("oversized banks_per_group validated")
+	}
+	sc = minimalCoverage()
+	sc.Coverage.Studies[0].Planners = []PlannerSpec{{Kind: "page-retire", PageBytes: -4}}
+	if err := sc.Validate(); err == nil {
+		t.Error("negative page_bytes validated")
+	}
+}
+
+func TestValidateReliability(t *testing.T) {
+	sc := &Scenario{
+		Name: "r",
+		Kind: KindReliability,
+		Reliability: &ReliabilitySpec{Cells: []ReliabilityCell{
+			{Label: "bad-policy", Policy: "replace-never"},
+		}},
+	}
+	err := sc.Validate()
+	if err == nil || !strings.Contains(err.Error(), `unknown replacement policy "replace-never"`) {
+		t.Errorf("Validate() = %v, want unknown-policy error", err)
+	}
+}
+
+func TestValidatePerfBaselineRule(t *testing.T) {
+	sc := &Scenario{
+		Name: "p",
+		Kind: KindPerf,
+		Perf: &PerfSpec{Locks: []LockSpec{{Label: "locked", Ways: 4}}},
+	}
+	err := sc.Validate()
+	if err == nil || !strings.Contains(err.Error(), "locks[0] must be the unlocked baseline") {
+		t.Errorf("Validate() = %v, want baseline-rule error", err)
+	}
+
+	sc.Perf.Locks = []LockSpec{{Label: "base"}, {Label: "4-way", Ways: 4}}
+	sc.Perf.Workloads = []string{"NOPE"}
+	err = sc.Validate()
+	if err == nil || !strings.Contains(err.Error(), `unknown workload "NOPE"`) {
+		t.Errorf("Validate() = %v, want unknown-workload error", err)
+	}
+}
+
+func TestDecodeRejectsUnknownFieldsAndSchemas(t *testing.T) {
+	doc, err := minimalCoverage().Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	typo := bytes.Replace(doc, []byte(`"way_limits"`), []byte(`"way_limit"`), 1)
+	if _, err := Decode(typo); err == nil || !strings.Contains(err.Error(), "unknown field") {
+		t.Errorf("Decode(typo) = %v, want unknown-field error", err)
+	}
+	foreign := bytes.Replace(doc, []byte(Schema), []byte("relaxfault-scenario/v9"), 1)
+	if _, err := Decode(foreign); err == nil || !strings.Contains(err.Error(), "unsupported schema") {
+		t.Errorf("Decode(foreign schema) = %v, want unsupported-schema error", err)
+	}
+}
+
+// TestLowerFig9AccelClamp: spec values at or below 1 lower to exactly 1
+// (the Figure 9 0x point), while the spec keeps the raw swept value.
+func TestLowerFig9AccelClamp(t *testing.T) {
+	sc, err := Preset("fig9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	low, err := sc.Lower()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := *sc.Reliability.Cells[0].Fault.AccelFactor; got != 0 {
+		t.Errorf("spec accel = %v, want raw 0", got)
+	}
+	if got := low.Reliability[0].Model.AccelFactor; got != 1 {
+		t.Errorf("lowered accel = %v, want clamp to 1", got)
+	}
+	if got := low.Reliability[2].Model.AccelFactor; got != 100 {
+		t.Errorf("lowered accel = %v, want 100", got)
+	}
+}
+
+func TestPresetsAllValidateAndAreFresh(t *testing.T) {
+	seen := map[string]string{}
+	for _, name := range PresetNames() {
+		sc, err := Preset(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sc.Validate(); err != nil {
+			t.Errorf("preset %s: %v", name, err)
+		}
+		fpr, err := sc.Fingerprint()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev, dup := seen[fpr]; dup {
+			t.Errorf("presets %s and %s share fingerprint %s", prev, name, fpr)
+		}
+		seen[fpr] = name
+	}
+	// Callers own the returned copy: mutating it must not leak into the
+	// registry.
+	a, _ := Preset("fig8")
+	a.Coverage.Studies[0].WayLimits[0] = 999
+	b, _ := Preset("fig8")
+	if b.Coverage.Studies[0].WayLimits[0] == 999 {
+		t.Error("Preset returned a shared way-limits slice")
+	}
+}
+
+func TestSweepExpand(t *testing.T) {
+	base := minimalCoverage()
+	base.Fault = &FaultSpec{FITScale: 1}
+	sets := []SweepSet{
+		{Path: "fault.fit_scale", Values: []string{"1", "10"}},
+		{Path: "coverage.studies.0.way_limits.0", Values: []string{"1", "4"}},
+	}
+	points, err := Expand(base, sets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 4 {
+		t.Fatalf("expanded to %d points, want 4", len(points))
+	}
+	wantNames := []string{
+		"t/fault.fit_scale=1,coverage.studies.0.way_limits.0=1",
+		"t/fault.fit_scale=1,coverage.studies.0.way_limits.0=4",
+		"t/fault.fit_scale=10,coverage.studies.0.way_limits.0=1",
+		"t/fault.fit_scale=10,coverage.studies.0.way_limits.0=4",
+	}
+	for i, pt := range points {
+		if pt.Name != wantNames[i] {
+			t.Errorf("point %d name = %q, want %q", i, pt.Name, wantNames[i])
+		}
+	}
+	if got := points[3].Fault.FITScale; got != 10 {
+		t.Errorf("point 3 fit_scale = %v, want 10", got)
+	}
+	if got := points[3].Coverage.Studies[0].WayLimits[0]; got != 4 {
+		t.Errorf("point 3 way limit = %v, want 4", got)
+	}
+	// The base scenario must be untouched.
+	if base.Fault.FITScale != 1 || base.Coverage.Studies[0].WayLimits[0] != 1 {
+		t.Error("Expand mutated the base scenario")
+	}
+}
+
+func TestSweepErrors(t *testing.T) {
+	base := minimalCoverage()
+	if _, err := Expand(base, nil); err == nil {
+		t.Error("Expand with no axes succeeded")
+	}
+	if _, err := Expand(base, []SweepSet{{Path: "fault.fit_scale", Values: []string{"10"}}}); err == nil {
+		t.Error("sweeping under an absent fault section succeeded")
+	}
+	if _, err := Expand(base, []SweepSet{{Path: "coverage.studies.9.way_limits.0", Values: []string{"1"}}}); err == nil {
+		t.Error("out-of-range array index succeeded")
+	}
+	// A typoed leaf introduces an unknown field; Decode must reject it.
+	if _, err := Expand(base, []SweepSet{{Path: "coverage.studies.0.way_limitz", Values: []string{"1"}}}); err == nil {
+		t.Error("typoed leaf field succeeded")
+	}
+	if _, err := ParseSet("no-equals-sign"); err == nil {
+		t.Error("ParseSet without '=' succeeded")
+	}
+}
+
+// TestCanonicalEmbedsInJSON: the canonical document must survive embedding
+// as a json.RawMessage (what run manifests do).
+func TestCanonicalEmbedsInJSON(t *testing.T) {
+	doc, err := minimalCoverage().Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrapped, err := json.Marshal(struct {
+		Spec json.RawMessage `json:"spec"`
+	}{Spec: doc})
+	if err != nil {
+		t.Fatalf("canonical form does not embed: %v", err)
+	}
+	var back struct {
+		Spec Scenario `json:"spec"`
+	}
+	if err := json.Unmarshal(wrapped, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Spec.Name != "t" {
+		t.Errorf("embedded spec name = %q, want t", back.Spec.Name)
+	}
+}
