@@ -435,7 +435,8 @@ func loadScenarioArg(arg string, scale experiments.Scale, seedSet bool, seed uin
 }
 
 // scenarioRecord renders a scenario into its manifest embedding: name,
-// fingerprint, and the canonical spec document.
+// fingerprint, the canonical spec document, and the resolved memory
+// technology.
 func scenarioRecord(sc *scenario.Scenario) (harness.ScenarioRecord, error) {
 	doc, err := sc.Canonical()
 	if err != nil {
@@ -445,7 +446,12 @@ func scenarioRecord(sc *scenario.Scenario) (harness.ScenarioRecord, error) {
 	if err != nil {
 		return harness.ScenarioRecord{}, err
 	}
-	return harness.ScenarioRecord{Name: sc.Name, Fingerprint: fpr, Spec: json.RawMessage(doc)}, nil
+	rec := harness.ScenarioRecord{Name: sc.Name, Fingerprint: fpr, Spec: json.RawMessage(doc)}
+	if tech, err := sc.Tech(); err == nil {
+		rec.Technology = tech.Name
+		rec.TechFingerprint = tech.Fingerprint()
+	}
+	return rec, nil
 }
 
 // runScenarioPoint executes one scenario on the generic runner and prints
@@ -643,6 +649,12 @@ func (r *runState) runExperiment(ctx context.Context, name string, timeout time.
 			return err
 		}
 		fmt.Print(res)
+	case "ddr4":
+		res, err := experiments.DDR4PerfCtx(ctx, scale)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res)
 	case "bench":
 		res, err := experiments.BenchCtx(ctx, scale)
 		if err != nil {
@@ -654,6 +666,20 @@ func (r *runState) runExperiment(ctx context.Context, name string, timeout time.
 			return err
 		}
 		file := "BENCH_coverage.json"
+		if err := os.WriteFile(file, append(out, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "[bench artifact written to %s]\n", file)
+		d4, err := experiments.BenchDDR4Ctx(ctx, scale)
+		if err != nil {
+			return err
+		}
+		fmt.Print(d4)
+		out, err = json.MarshalIndent(d4, "", "  ")
+		if err != nil {
+			return err
+		}
+		file = "BENCH_ddr4.json"
 		if err := os.WriteFile(file, append(out, '\n'), 0o644); err != nil {
 			return err
 		}
@@ -718,9 +744,15 @@ experiments:
 extensions beyond the paper:
   ablate    design-choice ablations + retirement baselines (page retirement, mirroring)
   variants  RelaxFault coverage on DDR4 / HBM / LPDDR4 organisations
+  ddr4      weighted speedup + relative power on DDR4-2400 (bank-group timing)
   prefetch  sensitivity of the performance conclusions to a stream prefetcher
-  bench     time a quick coverage study sequential vs -parallel N; verifies
-            identical results and writes BENCH_coverage.json
+  bench     time a quick coverage study and the DDR4 perf preset sequential vs
+            -parallel N; verifies identical results and writes
+            BENCH_coverage.json and BENCH_ddr4.json
+
+Scenarios may pin a memory technology ("technology": "ddr3-1600", "ddr4-2400",
+"lpddr4", or "hbm"); timing, energies, FIT table, and PPR provisioning follow,
+and manifests record the resolved name + fingerprint.
 
 exit codes: 0 ok; 1 experiment failure; 2 usage; 3 completed with skipped
 trials (partial success); 130 interrupted.

@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"relaxfault/internal/scenario"
+)
+
+// DDR4PerfCtx runs the "ddr4" preset — the Figure 15/16 methodology on the
+// DDR4-2400 technology (bank-group tCCD_S/tCCD_L timing, DDR4 energy
+// table) — and returns the generic scenario result.
+func DDR4PerfCtx(ctx context.Context, s Scale) (*scenario.Result, error) {
+	return runPreset(ctx, "ddr4", s)
+}
+
+// DDR4Perf is DDR4PerfCtx with background context.
+func DDR4Perf(s Scale) (*scenario.Result, error) {
+	return DDR4PerfCtx(context.Background(), s)
+}
+
+// BenchDDR4Result is the schema of the BENCH_ddr4.json artifact: the DDR4
+// perf preset timed with one worker vs the sharded pool, with the
+// determinism check that both produce identical perf units.
+type BenchDDR4Result struct {
+	Schema     string `json:"schema"` // "relaxfault-bench-ddr4/v1"
+	Name       string `json:"name"`
+	Technology string `json:"technology"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	// Workers is the -parallel value benchmarked against Workers=1.
+	Workers int `json:"workers"`
+	// Units is the number of (workload, prefetch degree) perf cells.
+	Units int `json:"units"`
+
+	SeqSeconds float64 `json:"sequential_seconds"`
+	ParSeconds float64 `json:"parallel_seconds"`
+	// Speedup is sequential_seconds / parallel_seconds.
+	Speedup float64 `json:"speedup"`
+
+	// Identical is true when both runs' perf units marshal to the same
+	// JSON — the fan-out engine's determinism contract.
+	Identical bool `json:"identical"`
+}
+
+// BenchDDR4 times the DDR4 perf preset sequentially and parallel.
+func BenchDDR4(s Scale) (BenchDDR4Result, error) {
+	return BenchDDR4Ctx(context.Background(), s)
+}
+
+// BenchDDR4Ctx is BenchDDR4 with cancellation.
+func BenchDDR4Ctx(ctx context.Context, s Scale) (BenchDDR4Result, error) {
+	workers := s.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	out := BenchDDR4Result{
+		Schema:     "relaxfault-bench-ddr4/v1",
+		Name:       "ddr4",
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Workers:    workers,
+	}
+	sc, err := s.PresetScenario("ddr4")
+	if err != nil {
+		return out, err
+	}
+	if tech, err := sc.Tech(); err == nil {
+		out.Technology = tech.Name
+	}
+
+	run := func(w int) (*scenario.Result, float64, error) {
+		start := time.Now()
+		res, err := scenario.RunCtx(ctx, sc, scenario.Exec{Workers: w, Mon: s.Mon})
+		return res, time.Since(start).Seconds(), err
+	}
+	seqRes, seqSec, err := run(1)
+	if err != nil {
+		return out, err
+	}
+	parRes, parSec, err := run(workers)
+	if err != nil {
+		return out, err
+	}
+
+	seqJSON, err := json.Marshal(seqRes.Perf)
+	if err != nil {
+		return out, err
+	}
+	parJSON, err := json.Marshal(parRes.Perf)
+	if err != nil {
+		return out, err
+	}
+	out.Identical = string(seqJSON) == string(parJSON)
+	out.Units = len(seqRes.Perf)
+	out.SeqSeconds = seqSec
+	out.ParSeconds = parSec
+	if parSec > 0 {
+		out.Speedup = seqSec / parSec
+	}
+	if !out.Identical {
+		return out, fmt.Errorf("bench ddr4: sequential and %d-worker results differ", workers)
+	}
+	return out, nil
+}
+
+// String prints the measurement as a small report.
+func (r BenchDDR4Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Benchmark: DDR4 perf preset (%s), sequential vs -parallel %d\n", r.Technology, r.Workers)
+	fmt.Fprintf(&b, "%-26s %d (GOMAXPROCS %d)\n", "cores", r.NumCPU, r.GOMAXPROCS)
+	fmt.Fprintf(&b, "%-26s %d\n", "perf units", r.Units)
+	fmt.Fprintf(&b, "%-26s %.2fs\n", "sequential", r.SeqSeconds)
+	fmt.Fprintf(&b, "%-26s %.2fs\n", "parallel", r.ParSeconds)
+	fmt.Fprintf(&b, "%-26s %.2fx\n", "speedup", r.Speedup)
+	fmt.Fprintf(&b, "%-26s %v\n", "results bitwise identical", r.Identical)
+	return b.String()
+}

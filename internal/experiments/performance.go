@@ -6,7 +6,6 @@ import (
 	"strings"
 
 	"relaxfault/internal/perf"
-	"relaxfault/internal/power"
 	"relaxfault/internal/trace"
 )
 
@@ -83,14 +82,12 @@ func Fig15And16Ctx(ctx context.Context, s Scale) (Fig15Result, error) {
 	}
 	out := Fig15Result{Instructions: s.Instructions}
 	for _, u := range res.Perf {
-		resNone := u.Results[0]
-		rel := func(r *perf.Result) float64 {
-			return power.RelativeDynamicPower(r.Ops, resNone.Ops, r.Seconds, resNone.Seconds)
-		}
+		// The runner charges relative power with the scenario technology's
+		// energy table (DDR3-1600 here); RelPower[0] is the 100% baseline.
 		out.Rows = append(out.Rows, PerfRow{
 			Workload: u.Workload,
 			WSNone:   u.Speedups[0], WS100KiB: u.Speedups[1], WS1Way: u.Speedups[2], WS4Way: u.Speedups[3],
-			Power100KiB: rel(u.Results[1]), Power1Way: rel(u.Results[2]), Power4Way: rel(u.Results[3]),
+			Power100KiB: u.RelPower[1], Power1Way: u.RelPower[2], Power4Way: u.RelPower[3],
 		})
 	}
 	return out, nil

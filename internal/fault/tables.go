@@ -1,0 +1,60 @@
+package fault
+
+import "sort"
+
+// DDR4Rates returns approximate per-mode FIT rates for DDR4 devices,
+// loosely following the field measurements of Beigi et al. ("A Systematic
+// Study of DDR4 DRAM Faults in the Field"): compared to the DDR3 systems,
+// single-bit faults contribute a smaller share while permanent row/bank
+// faults are relatively more prominent, and overall per-device rates are
+// somewhat lower at equal capacity.
+func DDR4Rates() Rates {
+	return Rates{
+		Transient: [NumModes]float64{
+			SingleBit:    7.0,
+			SingleRow:    1.2,
+			SingleColumn: 0.8,
+			SingleBank:   1.0,
+			MultiBank:    0.1,
+			MultiRank:    0.1,
+		},
+		Permanent: [NumModes]float64{
+			SingleBit:    9.5,
+			SingleRow:    3.2,
+			SingleColumn: 1.5,
+			SingleBank:   2.8,
+			MultiBank:    0.5,
+			MultiRank:    0.2,
+		},
+	}
+}
+
+// rateTables is the registry of named FIT tables. Consumers resolve names
+// through RatesByName and derive user-facing name lists from
+// RateTableNames, so a new registration can never drift from the error
+// text that advertises it.
+var rateTables = map[string]func() Rates{
+	"cielo":      CieloRates,
+	"hopper":     HopperRates,
+	"ddr4-field": DDR4Rates,
+}
+
+// RatesByName resolves a registered FIT table; ok is false for unknown
+// names.
+func RatesByName(name string) (Rates, bool) {
+	build, ok := rateTables[name]
+	if !ok {
+		return Rates{}, false
+	}
+	return build(), true
+}
+
+// RateTableNames returns every registered FIT table name, sorted.
+func RateTableNames() []string {
+	names := make([]string, 0, len(rateTables))
+	for name := range rateTables {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -55,12 +55,18 @@ type Manifest struct {
 }
 
 // ScenarioRecord is one scenario the run executed: its name, spec
-// fingerprint, and the canonical spec document itself. The spec stays a
-// RawMessage so the harness does not depend on the scenario package.
+// fingerprint, the resolved memory technology, and the canonical spec
+// document itself. The spec stays a RawMessage so the harness does not
+// depend on the scenario package.
 type ScenarioRecord struct {
 	Name        string          `json:"name"`
 	Fingerprint string          `json:"fingerprint"`
 	Spec        json.RawMessage `json:"spec"`
+	// Technology and TechFingerprint record the memory technology the
+	// scenario resolved to (internal/memtech): the name plus a hash of
+	// every parameter the simulators consumed.
+	Technology      string `json:"technology,omitempty"`
+	TechFingerprint string `json:"tech_fingerprint,omitempty"`
 }
 
 // NewManifest starts a manifest for the current process: schema, build

@@ -1,0 +1,268 @@
+// Package memtech is the pluggable memory-technology layer: one Tech
+// descriptor bundles everything the simulators used to hard-code for
+// DDR3-1600 — channel timing (internal/perf TimingSpec, including
+// DDR4-style bank groups), per-operation energies (internal/power),
+// the default field-study FIT table (internal/fault), the node geometry
+// (internal/dram), and the post-package-repair spare-row provisioning
+// (internal/repair/ppr) — so DDR4, LPDDR4, and HBM organisations run
+// end-to-end through the same coverage, reliability, performance, and
+// power paths.
+//
+// The registered `ddr3-1600` instance is bit-identical to the constants it
+// replaced: lowering a legacy scenario through it produces exactly the
+// configurations the pre-technology code built (the golden differential
+// suite in internal/experiments pins this). The scenario layer resolves a
+// Tech from the spec's `technology` field, or infers it from the geometry
+// name via the registry here.
+package memtech
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"relaxfault/internal/dram"
+	"relaxfault/internal/fault"
+	"relaxfault/internal/harness"
+	"relaxfault/internal/perf"
+	"relaxfault/internal/power"
+)
+
+// CPUHz is the simulated CPU clock every TimingSpec's CPUPerMC ratio is
+// derived against (the paper's 4GHz cores).
+const CPUHz = 4e9
+
+// Tech describes one memory technology.
+type Tech struct {
+	// Name is the registry key (e.g. "ddr4-2400").
+	Name        string
+	Description string
+	// Timing is the channel timing spec the performance model runs.
+	Timing perf.TimingSpec
+	// Energy is the per-rank operation energy table the power model
+	// charges.
+	Energy power.OpEnergies
+	// DefaultRates names the FIT table (fault.RatesByName) scenarios fall
+	// back to when they do not pin one explicitly.
+	DefaultRates string
+	// DefaultGeometry names the node organisation (GeometryByName) this
+	// technology evaluates by default.
+	DefaultGeometry string
+	// PPRBanksPerGroup and PPRSparesPerGroup provision post-package
+	// repair: PPRBanksPerGroup banks share PPRSparesPerGroup one-shot
+	// spare rows per device. Zero values mean the legacy defaults
+	// (Banks/4 groups, one spare each).
+	PPRBanksPerGroup  int
+	PPRSparesPerGroup int
+}
+
+// NodeGeometry builds the technology's default node organisation.
+func (t Tech) NodeGeometry() dram.Geometry {
+	g, err := GeometryByName(t.DefaultGeometry)
+	if err != nil {
+		// Unreachable for registered techs (the tests pin registry
+		// consistency); a hand-built Tech with a bad name fails loudly.
+		panic(err)
+	}
+	return g
+}
+
+// PerfGeometry is the node organisation the performance model simulates:
+// the default geometry narrowed to 2 channels, matching the paper's
+// Table 3 setup (dram.PerfNode is exactly this for the DDR3 node).
+func (t Tech) PerfGeometry() dram.Geometry {
+	g := t.NodeGeometry()
+	g.Channels = 2
+	return g
+}
+
+// Rates resolves a FIT-table name against the fault registry, with the
+// technology's default for the empty name.
+func (t Tech) Rates(name string) (fault.Rates, error) {
+	if name == "" {
+		name = t.DefaultRates
+	}
+	r, ok := fault.RatesByName(name)
+	if !ok {
+		return fault.Rates{}, fmt.Errorf("memtech: unknown fault rates %q (want %s)",
+			name, strings.Join(fault.RateTableNames(), ", "))
+	}
+	return r, nil
+}
+
+// PPRBudget returns the spare-row provisioning for a geometry: banks per
+// group and spares per group, applying the legacy defaults (Banks/4
+// groups, one spare) where the technology leaves them unset.
+func (t Tech) PPRBudget(geo dram.Geometry) (banksPerGroup, sparesPerGroup int) {
+	banksPerGroup = t.PPRBanksPerGroup
+	if banksPerGroup == 0 {
+		banksPerGroup = geo.Banks / 4
+		if banksPerGroup < 1 {
+			banksPerGroup = 1
+		}
+	}
+	sparesPerGroup = t.PPRSparesPerGroup
+	if sparesPerGroup == 0 {
+		sparesPerGroup = 1
+	}
+	return banksPerGroup, sparesPerGroup
+}
+
+// Fingerprint identifies the resolved technology: two techs share a
+// fingerprint exactly when every parameter the simulators consume is
+// identical. Run manifests embed it next to the technology name.
+func (t Tech) Fingerprint() string {
+	return harness.Fingerprint("memtech", t.Name, t.Timing, t.Energy,
+		t.DefaultRates, t.DefaultGeometry, t.PPRBanksPerGroup, t.PPRSparesPerGroup)
+}
+
+// cpuPerMC derives the integer CPU-cycles-per-memory-cycle ratio from the
+// memory clock period (rounded; the property tests pin every registered
+// spec to this rule).
+func cpuPerMC(tckNS float64) int64 {
+	return int64(math.Round(CPUHz * tckNS * 1e-9))
+}
+
+// techs is the registry, in rough generation order. ddr3-1600 carries the
+// exact constants the simulators hard-coded before this package existed.
+var techs = []Tech{
+	{
+		Name:            "ddr3-1600",
+		Description:     "DDR3-1600 11-11-11, 8GiB ECC DIMMs (the paper's evaluated node)",
+		Timing:          perf.DDR3Timing(),
+		Energy:          power.DDR3Energies(),
+		DefaultRates:    "cielo",
+		DefaultGeometry: "ddr3-8gib",
+		// Legacy PPR provisioning: Banks/4 groups, one spare each.
+	},
+	{
+		Name:        "ddr4-2400",
+		Description: "DDR4-2400 17-17-17, 16GiB DIMMs, 4 bank groups (tCCD_S/tCCD_L)",
+		Timing: perf.TimingSpec{
+			TCKNS: 0.833,
+			TRCD:  17, TRP: 17, TCL: 17, TCWL: 12, TRAS: 39,
+			TCCDS: 4, TCCDL: 6, TBurst: 4,
+			TWR: 18, TWTR: 9, TRTP: 9,
+			BankGroups: 4,
+			CPUPerMC:   cpuPerMC(0.833),
+		},
+		// 1.2V parts: roughly the DDR3 table scaled by the IDD and
+		// voltage reduction of TN-40-07-class datasheets.
+		Energy:            power.OpEnergies{ActPreNJ: 9.1, ReadNJ: 3.3, WriteNJ: 3.5},
+		DefaultRates:      "ddr4-field",
+		DefaultGeometry:   "ddr4-16gib",
+		PPRBanksPerGroup:  4, // 16 banks, 4 groups, one spare row each
+		PPRSparesPerGroup: 1,
+	},
+	{
+		Name:        "lpddr4",
+		Description: "LPDDR4-3200 soldered-down channels (burst modelled BL8-equivalent)",
+		Timing: perf.TimingSpec{
+			TCKNS: 0.625,
+			TRCD:  29, TRP: 34, TCL: 28, TCWL: 14, TRAS: 67,
+			// LPDDR4's native BL16 keeps the column pipeline at 8 tCK;
+			// the data bus still moves one 64B line per TBurst.
+			TCCDS: 8, TCCDL: 8, TBurst: 4,
+			TWR: 34, TWTR: 16, TRTP: 12,
+			BankGroups: 1,
+			CPUPerMC:   cpuPerMC(0.625),
+		},
+		Energy:          power.OpEnergies{ActPreNJ: 4.8, ReadNJ: 1.9, WriteNJ: 2.0},
+		DefaultRates:    "cielo",
+		DefaultGeometry: "lpddr4",
+		// LPDDR4 PPR allows one spare row per bank, not per bank group.
+		PPRBanksPerGroup:  1,
+		PPRSparesPerGroup: 1,
+	},
+	{
+		Name:        "hbm",
+		Description: "HBM-like stacked channels at 1GHz, 4 bank groups",
+		Timing: perf.TimingSpec{
+			TCKNS: 1.0,
+			TRCD:  14, TRP: 14, TCL: 14, TCWL: 7, TRAS: 34,
+			TCCDS: 4, TCCDL: 6, TBurst: 4,
+			TWR: 16, TWTR: 8, TRTP: 7,
+			BankGroups: 4,
+			CPUPerMC:   cpuPerMC(1.0),
+		},
+		Energy:            power.OpEnergies{ActPreNJ: 3.9, ReadNJ: 1.3, WriteNJ: 1.4},
+		DefaultRates:      "cielo",
+		DefaultGeometry:   "hbm-stack",
+		PPRBanksPerGroup:  4,
+		PPRSparesPerGroup: 1,
+	},
+}
+
+// geometryEntry maps one geometry name to its constructor and owning
+// technology (the tech a scenario naming only the geometry resolves to).
+type geometryEntry struct {
+	name  string
+	tech  string
+	build func() dram.Geometry
+}
+
+var geometries = []geometryEntry{
+	{"ddr3-8gib", "ddr3-1600", dram.Default8GiBNode},
+	{"ddr4-16gib", "ddr4-2400", dram.DDR4Node},
+	{"hbm-stack", "hbm", dram.HBMStackNode},
+	{"lpddr4", "lpddr4", dram.LPDDR4Node},
+	{"perf-node", "ddr3-1600", dram.PerfNode},
+}
+
+// ByName resolves a registered technology.
+func ByName(name string) (Tech, error) {
+	for _, t := range techs {
+		if t.Name == name {
+			return t, nil
+		}
+	}
+	return Tech{}, fmt.Errorf("memtech: unknown technology %q (want %s)",
+		name, strings.Join(Names(), ", "))
+}
+
+// Names returns every registered technology name, sorted.
+func Names() []string {
+	names := make([]string, 0, len(techs))
+	for _, t := range techs {
+		names = append(names, t.Name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// All returns the registered technologies in registry order.
+func All() []Tech { return append([]Tech(nil), techs...) }
+
+// GeometryByName resolves a geometry name to its DRAM organisation.
+func GeometryByName(name string) (dram.Geometry, error) {
+	for _, e := range geometries {
+		if e.name == name {
+			return e.build(), nil
+		}
+	}
+	return dram.Geometry{}, fmt.Errorf("memtech: unknown geometry %q (want %s)",
+		name, strings.Join(GeometryNames(), ", "))
+}
+
+// GeometryNames returns every registered geometry name, sorted.
+func GeometryNames() []string {
+	names := make([]string, 0, len(geometries))
+	for _, e := range geometries {
+		names = append(names, e.name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ForGeometry returns the technology that owns a geometry name — what a
+// scenario that names only a geometry implicitly runs on.
+func ForGeometry(geoName string) (Tech, error) {
+	for _, e := range geometries {
+		if e.name == geoName {
+			return ByName(e.tech)
+		}
+	}
+	return Tech{}, fmt.Errorf("memtech: unknown geometry %q (want %s)",
+		geoName, strings.Join(GeometryNames(), ", "))
+}

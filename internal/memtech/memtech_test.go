@@ -1,0 +1,225 @@
+package memtech
+
+import (
+	"math"
+	"testing"
+
+	"relaxfault/internal/dram"
+	"relaxfault/internal/perf"
+	"relaxfault/internal/power"
+)
+
+// TestTechDatasheetProperties is the registration gate: every Tech in the
+// registry must satisfy the datasheet sanity relations, so a bad
+// registration fails in CI rather than mid-study.
+func TestTechDatasheetProperties(t *testing.T) {
+	techs := All()
+	if len(techs) < 4 {
+		t.Fatalf("registry has %d techs, want at least ddr3-1600/ddr4-2400/lpddr4/hbm", len(techs))
+	}
+	seenName := map[string]bool{}
+	seenFP := map[string]string{}
+	for _, tech := range techs {
+		tech := tech
+		t.Run(tech.Name, func(t *testing.T) {
+			if seenName[tech.Name] {
+				t.Fatalf("duplicate technology name %q", tech.Name)
+			}
+			seenName[tech.Name] = true
+
+			ts := tech.Timing
+			if err := ts.Validate(); err != nil {
+				t.Fatalf("timing rejected: %v", err)
+			}
+			// Datasheet relations (also enforced by Validate; asserted
+			// here explicitly so the property reads off the page).
+			if ts.TRAS < ts.TRCD+ts.TBurst {
+				t.Errorf("tRAS %d < tRCD+tBurst %d", ts.TRAS, ts.TRCD+ts.TBurst)
+			}
+			if ts.TRC() != ts.TRAS+ts.TRP {
+				t.Errorf("tRC %d != tRAS+tRP %d", ts.TRC(), ts.TRAS+ts.TRP)
+			}
+			if ts.TCCDL < ts.TCCDS {
+				t.Errorf("tCCD_L %d < tCCD_S %d", ts.TCCDL, ts.TCCDS)
+			}
+			// The clock ratio must follow from the memory clock period.
+			if want := int64(math.Round(CPUHz * ts.TCKNS * 1e-9)); ts.CPUPerMC != want || want < 1 {
+				t.Errorf("CPUPerMC %d, want round(4GHz * %gns) = %d", ts.CPUPerMC, ts.TCKNS, want)
+			}
+
+			geo := tech.NodeGeometry()
+			if err := geo.Validate(); err != nil {
+				t.Fatalf("default geometry invalid: %v", err)
+			}
+			// Burst length vs ColumnsPerBlk: one cacheline block is
+			// ColumnsPerBlk columns moved at double data rate, so the bus
+			// burst is half that in tCK.
+			if 2*int(ts.TBurst) != geo.ColumnsPerBlk {
+				t.Errorf("tBurst %d inconsistent with ColumnsPerBlk %d (want 2*tBurst == ColumnsPerBlk)",
+					ts.TBurst, geo.ColumnsPerBlk)
+			}
+			if ts.Grouped() && geo.Banks%ts.BankGroups != 0 {
+				t.Errorf("%d bank groups do not divide %d banks", ts.BankGroups, geo.Banks)
+			}
+			pg := tech.PerfGeometry()
+			if pg.Channels != 2 {
+				t.Errorf("perf geometry has %d channels, want 2", pg.Channels)
+			}
+			if err := pg.Validate(); err != nil {
+				t.Errorf("perf geometry invalid: %v", err)
+			}
+			// The perf path must accept the full (geometry, timing) pair.
+			mc := perf.DefaultMemConfig()
+			mc.Geometry, mc.Timing = pg, ts
+			if err := mc.Validate(); err != nil {
+				t.Errorf("perf MemConfig rejected: %v", err)
+			}
+
+			// Energies must be positive (the relative-power model divides
+			// by the baseline energy).
+			if tech.Energy.ActPreNJ <= 0 || tech.Energy.ReadNJ <= 0 || tech.Energy.WriteNJ <= 0 {
+				t.Errorf("non-positive energy table %+v", tech.Energy)
+			}
+
+			// The default FIT table must resolve.
+			if _, err := tech.Rates(""); err != nil {
+				t.Errorf("default rates %q unresolvable: %v", tech.DefaultRates, err)
+			}
+			if _, err := tech.Rates("no-such-table"); err == nil {
+				t.Error("bogus rates name accepted")
+			}
+
+			// PPR provisioning: groups must tile the banks.
+			bpg, spares := tech.PPRBudget(geo)
+			if bpg < 1 || spares < 1 {
+				t.Errorf("PPR budget %d banks/group, %d spares: must be at least 1 each", bpg, spares)
+			}
+			if geo.Banks%bpg != 0 {
+				t.Errorf("PPR banks/group %d does not divide %d banks", bpg, geo.Banks)
+			}
+
+			fp := tech.Fingerprint()
+			if fp == "" {
+				t.Error("empty fingerprint")
+			}
+			if prev, dup := seenFP[fp]; dup {
+				t.Errorf("fingerprint collides with %s", prev)
+			}
+			seenFP[fp] = tech.Name
+		})
+	}
+}
+
+// TestDDR3TechIsBitIdenticalToLegacyConstants pins the refactor's anchor:
+// the ddr3-1600 registration must reproduce the exact constants the
+// simulators hard-coded, so legacy scenarios lower unchanged through it.
+func TestDDR3TechIsBitIdenticalToLegacyConstants(t *testing.T) {
+	tech, err := ByName("ddr3-1600")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tech.Timing != perf.DDR3Timing() {
+		t.Errorf("timing %+v differs from perf.DDR3Timing()", tech.Timing)
+	}
+	if tech.Energy != power.DDR3Energies() {
+		t.Errorf("energy %+v differs from power.DDR3Energies()", tech.Energy)
+	}
+	if got := tech.PerfGeometry(); got != dram.PerfNode() {
+		t.Errorf("perf geometry %+v differs from dram.PerfNode()", got)
+	}
+	if tech.DefaultRates != "cielo" {
+		t.Errorf("default rates %q, want cielo", tech.DefaultRates)
+	}
+	bpg, spares := tech.PPRBudget(dram.Default8GiBNode())
+	if bpg != 2 || spares != 1 {
+		t.Errorf("PPR budget (%d, %d), want the legacy (Banks/4 = 2, 1)", bpg, spares)
+	}
+}
+
+// TestGeometryRegistryConsistent checks the geometry table against the tech
+// registry: every geometry resolves, belongs to a registered tech, and the
+// tech's default geometry round-trips.
+func TestGeometryRegistryConsistent(t *testing.T) {
+	for _, name := range GeometryNames() {
+		if _, err := GeometryByName(name); err != nil {
+			t.Errorf("geometry %s: %v", name, err)
+		}
+		tech, err := ForGeometry(name)
+		if err != nil {
+			t.Errorf("geometry %s has no owning tech: %v", name, err)
+			continue
+		}
+		if _, err := ByName(tech.Name); err != nil {
+			t.Errorf("geometry %s names unregistered tech %s", name, tech.Name)
+		}
+	}
+	for _, tech := range All() {
+		owner, err := ForGeometry(tech.DefaultGeometry)
+		if err != nil {
+			t.Errorf("tech %s default geometry %q unregistered: %v", tech.Name, tech.DefaultGeometry, err)
+			continue
+		}
+		if owner.Name != tech.Name {
+			t.Errorf("tech %s default geometry %q is owned by %s", tech.Name, tech.DefaultGeometry, owner.Name)
+		}
+	}
+	if _, err := GeometryByName("ddr9"); err == nil {
+		t.Error("bogus geometry accepted")
+	}
+	if _, err := ByName("sdram"); err == nil {
+		t.Error("bogus technology accepted")
+	}
+}
+
+// TestDDR4ChannelHonoursBankGroups drives the perf channel with the
+// REGISTERED ddr4-2400 spec and checks the scheduling respects
+// tCCD_L/tCCD_S — the acceptance criterion tying the registry to the
+// simulator behaviour (the perf package has the unit-level variant).
+func TestDDR4ChannelHonoursBankGroups(t *testing.T) {
+	tech, err := ByName("ddr4-2400")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := tech.Timing
+	geo := tech.PerfGeometry()
+	banksPerGroup := geo.Banks / spec.BankGroups
+
+	measure := func(bankA, bankB int) int64 {
+		ch := perf.NewChannelSpec(1, geo.Banks, spec)
+		run := func(from int64, reqs ...*perf.Request) {
+			for tck := from; tck < from+10000; tck++ {
+				done := true
+				for _, r := range reqs {
+					if !r.Scheduled {
+						done = false
+					}
+				}
+				if done {
+					return
+				}
+				ch.Tick(tck)
+			}
+			t.Fatal("requests not scheduled")
+		}
+		pa := &perf.Request{Loc: dram.Location{Bank: bankA, Row: 5}}
+		pb := &perf.Request{Loc: dram.Location{Bank: bankB, Row: 7}}
+		ch.Enqueue(pa)
+		ch.Enqueue(pb)
+		run(0, pa, pb)
+		ra := &perf.Request{Loc: dram.Location{Bank: bankA, Row: 5}}
+		rb := &perf.Request{Loc: dram.Location{Bank: bankB, Row: 7}}
+		ch.Enqueue(ra)
+		ch.Enqueue(rb)
+		run(5000, ra, rb)
+		startA := ra.DoneAt/spec.CPUPerMC - spec.TBurst
+		startB := rb.DoneAt/spec.CPUPerMC - spec.TBurst
+		return startB - startA
+	}
+
+	if gap := measure(0, 1); gap != spec.TCCDL {
+		t.Errorf("same-group separation %d tCK, want tCCD_L = %d", gap, spec.TCCDL)
+	}
+	if gap := measure(0, banksPerGroup); gap != spec.TCCDS {
+		t.Errorf("cross-group separation %d tCK, want tCCD_S = %d", gap, spec.TCCDS)
+	}
+}

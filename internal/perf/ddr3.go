@@ -1,30 +1,15 @@
 // Package perf is the trace-driven performance model standing in for the
 // paper's MacSim setup (Table 3): eight 4-wide cores with private L1/L2
 // caches, a shared 8MiB 16-way LLC that can sacrifice ways or individual
-// lines to RelaxFault repair, and FR-FCFS open-page DDR3-1600 memory
-// controllers with bank XOR hashing. It reports per-core IPC (for weighted
-// speedup) and DRAM operation counts (for the dynamic-power model).
+// lines to RelaxFault repair, and FR-FCFS open-page memory controllers with
+// bank XOR hashing. The channel timing is a TimingSpec (DDR3-1600 by
+// default; internal/memtech registers DDR4/LPDDR4/HBM specs). It reports
+// per-core IPC (for weighted speedup) and DRAM operation counts (for the
+// dynamic-power model).
 package perf
 
 import (
 	"relaxfault/internal/dram"
-)
-
-// DDR3-1600 11-11-11 timing in memory-clock cycles (tCK = 1.25ns), from the
-// Micron MT41J datasheet the paper configures.
-const (
-	tCK      = 1.25 // ns
-	tRCD     = 11
-	tRP      = 11
-	tCL      = 11
-	tCWL     = 8
-	tRAS     = 28
-	tCCD     = 4
-	tBurst   = 4 // BL8, double data rate
-	tWR      = 12
-	tWTR     = 6
-	tRTP     = 6
-	CPUPerMC = 5 // 4GHz CPU cycles per 800MHz memory cycle
 )
 
 // Request is one DRAM transaction (a 64B line fill or writeback).
@@ -107,6 +92,7 @@ func (o *OpCounts) Add(b OpCounts) {
 // scheduling with an opportunistically drained write queue, open-page
 // policy, and a shared data bus.
 type Channel struct {
+	t         TimingSpec
 	banks     [][]bank // [rank][bank]
 	readQ     []*Request
 	writeQ    []*Request
@@ -118,14 +104,26 @@ type Channel struct {
 	// writeDrainHigh/Low are the write-queue watermarks.
 	writeDrainHigh int
 	writeDrainLow  int
+	// Bank-group state, active only when the spec has more than one group
+	// (banksPerGroup stays 0 otherwise, and DDR3 schedules are untouched):
+	// the effective CAS issue time of the last column command per rank and
+	// per (rank, group), constraining the next CAS by tCCD_S / tCCD_L.
+	banksPerGroup int
+	lastCASRank   []int64
+	lastCASGroup  [][]int64
 	// pool recycles scheduled requests nobody retains; set by NewMemSystem
 	// (nil for standalone Channels).
 	pool *reqPool
 }
 
-// NewChannel builds a channel for the geometry's ranks and banks.
+// NewChannel builds a DDR3-1600 channel for the geometry's ranks and banks.
 func NewChannel(ranks, banks int) *Channel {
-	ch := &Channel{writeDrainHigh: 32, writeDrainLow: 8}
+	return NewChannelSpec(ranks, banks, DDR3Timing())
+}
+
+// NewChannelSpec builds a channel with an explicit timing spec.
+func NewChannelSpec(ranks, banks int, spec TimingSpec) *Channel {
+	ch := &Channel{t: spec, writeDrainHigh: 32, writeDrainLow: 8}
 	ch.banks = make([][]bank, ranks)
 	for r := range ch.banks {
 		ch.banks[r] = make([]bank, banks)
@@ -133,8 +131,23 @@ func NewChannel(ranks, banks int) *Channel {
 			ch.banks[r][b].openRow = -1
 		}
 	}
+	if spec.Grouped() && banks%spec.BankGroups == 0 {
+		ch.banksPerGroup = banks / spec.BankGroups
+		ch.lastCASRank = make([]int64, ranks)
+		ch.lastCASGroup = make([][]int64, ranks)
+		for r := range ch.lastCASGroup {
+			ch.lastCASRank[r] = -spec.TCCDL
+			ch.lastCASGroup[r] = make([]int64, spec.BankGroups)
+			for g := range ch.lastCASGroup[r] {
+				ch.lastCASGroup[r][g] = -spec.TCCDL
+			}
+		}
+	}
 	return ch
 }
+
+// Timing returns the channel's timing spec.
+func (c *Channel) Timing() TimingSpec { return c.t }
 
 // Enqueue adds a request to the appropriate queue and samples the queue's
 // occupancy into the FR-FCFS depth histograms.
@@ -199,6 +212,7 @@ func (c *Channel) Tick(nowTck int64) {
 // schedule assigns the full command timeline of a request, returning false
 // when the bank cannot accept a new row command yet.
 func (c *Channel) schedule(r *Request, nowTck int64) bool {
+	t := &c.t
 	b := &c.banks[r.Loc.Rank][r.Loc.Bank]
 	var casAt int64
 	switch {
@@ -209,9 +223,9 @@ func (c *Channel) schedule(r *Request, nowTck int64) bool {
 	case b.openRow >= 0:
 		// Precharge after tRAS from the activate and after the last data
 		// burst drains (+ write recovery), then activate, then CAS.
-		preAt := maxi64(nowTck, maxi64(b.lastAct+tRAS, maxi64(b.busyUntil, b.lastDataEnd+tRTP)))
-		actAt := preAt + tRP
-		casAt = actAt + tRCD
+		preAt := maxi64(nowTck, maxi64(b.lastAct+t.TRAS, maxi64(b.busyUntil, b.lastDataEnd+t.TRTP)))
+		actAt := preAt + t.TRP
+		casAt = actAt + t.TRCD
 		c.Ops.Precharges++
 		c.Ops.Activates++
 		b.lastAct = actAt
@@ -221,7 +235,7 @@ func (c *Channel) schedule(r *Request, nowTck int64) bool {
 		b.rowConflicts++
 	default:
 		actAt := maxi64(nowTck, b.busyUntil)
-		casAt = actAt + tRCD
+		casAt = actAt + t.TRCD
 		c.Ops.Activates++
 		b.lastAct = actAt
 		b.busyUntil = actAt
@@ -229,22 +243,37 @@ func (c *Channel) schedule(r *Request, nowTck int64) bool {
 		c.RowMisses++
 		b.rowConflicts++
 	}
+	group := 0
+	if c.banksPerGroup > 0 {
+		// DDR4-style column-command separation: tCCD_L within the bank
+		// group, tCCD_S across groups of the same rank.
+		group = r.Loc.Bank / c.banksPerGroup
+		casAt = maxi64(casAt, c.lastCASRank[r.Loc.Rank]+t.TCCDS)
+		casAt = maxi64(casAt, c.lastCASGroup[r.Loc.Rank][group]+t.TCCDL)
+	}
 	// Serialise the data bus.
-	lat := int64(tCL)
+	lat := t.TCL
 	if r.Write {
-		lat = tCWL
+		lat = t.TCWL
 	}
 	dataStart := maxi64(casAt+lat, c.busFree)
-	c.busFree = dataStart + tBurst
-	b.casReady = maxi64(dataStart-lat+tCCD, casAt+tCCD)
+	c.busFree = dataStart + t.TBurst
+	// Same-bank commands stay within one group, so their separation is the
+	// long tCCD (equal to the short one on ungrouped technologies).
+	b.casReady = maxi64(dataStart-lat+t.TCCDL, casAt+t.TCCDL)
+	if c.banksPerGroup > 0 {
+		cas := dataStart - lat // effective CAS issue after bus slotting
+		c.lastCASRank[r.Loc.Rank] = cas
+		c.lastCASGroup[r.Loc.Rank][group] = cas
+	}
 	if r.Write {
 		c.Ops.Writes++
-		b.lastDataEnd = dataStart + tBurst + tWR
+		b.lastDataEnd = dataStart + t.TBurst + t.TWR
 	} else {
 		c.Ops.Reads++
-		b.lastDataEnd = dataStart + tBurst
+		b.lastDataEnd = dataStart + t.TBurst
 	}
-	r.DoneAt = (dataStart + tBurst) * CPUPerMC
+	r.DoneAt = (dataStart + t.TBurst) * t.CPUPerMC
 	r.Scheduled = true
 	return true
 }

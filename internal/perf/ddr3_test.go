@@ -121,13 +121,14 @@ func TestBusBandwidthBound(t *testing.T) {
 			lastDone = r.DoneAt
 		}
 	}
-	elapsedTck := lastDone / CPUPerMC
-	if int64(len(reqs))*tBurst > elapsedTck {
-		t.Errorf("512 bursts completed in %d tCK; bus allows at most %d", elapsedTck, elapsedTck/tBurst)
+	spec := ch.Timing()
+	elapsedTck := lastDone / spec.CPUPerMC
+	if int64(len(reqs))*spec.TBurst > elapsedTck {
+		t.Errorf("512 bursts completed in %d tCK; bus allows at most %d", elapsedTck, elapsedTck/spec.TBurst)
 	}
 	// And the schedule should not be wildly inefficient either: banks and
 	// bus together should keep utilisation above 25%.
-	if elapsedTck > int64(len(reqs))*tBurst*4 {
+	if elapsedTck > int64(len(reqs))*spec.TBurst*4 {
 		t.Errorf("schedule too sparse: %d tCK for %d bursts", elapsedTck, len(reqs))
 	}
 }
@@ -146,10 +147,11 @@ func TestNoTwoBurstsOverlapOnBus(t *testing.T) {
 	for tck := int64(0); tck < 100000 && ch.Busy(); tck++ {
 		ch.Tick(tck)
 	}
+	spec := ch.Timing()
 	ends := map[int64]bool{}
 	for _, r := range reqs {
-		end := r.DoneAt / CPUPerMC
-		for b := end - tBurst + 1; b <= end; b++ {
+		end := r.DoneAt / spec.CPUPerMC
+		for b := end - spec.TBurst + 1; b <= end; b++ {
 			if ends[b] {
 				t.Fatalf("two bursts share bus slot %d", b)
 			}

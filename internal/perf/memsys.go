@@ -85,6 +85,7 @@ type MemSystem struct {
 	hash     bool
 	bankHash bool
 	channels []*Channel
+	cpuPerMC int64
 	pool     reqPool
 
 	LLCHits      uint64
@@ -103,9 +104,13 @@ type MemConfig struct {
 	// BankXORHash applies permutation-based bank interleaving in the
 	// memory controller (Table 3).
 	BankXORHash bool
+	// Timing is the channel timing spec; the zero value means DDR3-1600
+	// (the legacy hard-coded timing).
+	Timing TimingSpec
 }
 
-// DefaultMemConfig matches Table 3 (2 channels, 8MiB 16-way LLC).
+// DefaultMemConfig matches Table 3 (2 channels, 8MiB 16-way LLC,
+// DDR3-1600).
 func DefaultMemConfig() MemConfig {
 	return MemConfig{
 		Geometry:     dram.PerfNode(),
@@ -113,11 +118,22 @@ func DefaultMemConfig() MemConfig {
 		LLCWays:      16,
 		HashSetIndex: true,
 		BankXORHash:  true,
+		Timing:       DDR3Timing(),
 	}
+}
+
+// normalized fills the zero-value timing with the DDR3 default, so
+// hand-built MemConfigs that predate the technology layer keep working.
+func (cfg MemConfig) normalized() MemConfig {
+	if cfg.Timing == (TimingSpec{}) {
+		cfg.Timing = DDR3Timing()
+	}
+	return cfg
 }
 
 // Validate reports the first configuration error, if any.
 func (cfg MemConfig) Validate() error {
+	cfg = cfg.normalized()
 	if err := cfg.Geometry.Validate(); err != nil {
 		return fmt.Errorf("perf: %w", err)
 	}
@@ -127,11 +143,19 @@ func (cfg MemConfig) Validate() error {
 	if cfg.LLCWays <= 0 {
 		return fmt.Errorf("perf: LLC ways %d must be positive", cfg.LLCWays)
 	}
+	if err := cfg.Timing.Validate(); err != nil {
+		return err
+	}
+	if cfg.Timing.Grouped() && cfg.Geometry.Banks%cfg.Timing.BankGroups != 0 {
+		return fmt.Errorf("perf: %d bank groups do not divide %d banks",
+			cfg.Timing.BankGroups, cfg.Geometry.Banks)
+	}
 	return nil
 }
 
 // NewMemSystem builds the shared hierarchy.
 func NewMemSystem(cfg MemConfig) (*MemSystem, error) {
+	cfg = cfg.normalized()
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -149,9 +173,10 @@ func NewMemSystem(cfg MemConfig) (*MemSystem, error) {
 		llc:      llc,
 		hash:     cfg.HashSetIndex,
 		bankHash: cfg.BankXORHash,
+		cpuPerMC: cfg.Timing.CPUPerMC,
 	}
 	for i := 0; i < cfg.Geometry.Channels; i++ {
-		ch := NewChannel(cfg.Geometry.DIMMsPerChan, cfg.Geometry.Banks)
+		ch := NewChannelSpec(cfg.Geometry.DIMMsPerChan, cfg.Geometry.Banks, cfg.Timing)
 		ch.pool = &ms.pool
 		ms.channels = append(ms.channels, ch)
 	}
@@ -302,10 +327,10 @@ func (m *MemSystem) lineAddrFromIndex(set int, tag uint64) addrmap.LineAddr {
 
 // Tick advances every channel at memory-clock boundaries.
 func (m *MemSystem) Tick(nowCPU int64) {
-	if nowCPU%CPUPerMC != 0 {
+	if nowCPU%m.cpuPerMC != 0 {
 		return
 	}
-	nowTck := nowCPU / CPUPerMC
+	nowTck := nowCPU / m.cpuPerMC
 	for _, ch := range m.channels {
 		ch.Tick(nowTck)
 	}

@@ -1,0 +1,140 @@
+package perf
+
+import (
+	"testing"
+
+	"relaxfault/internal/dram"
+)
+
+// ddr4LikeTiming is a grouped spec with tCCD_L > tCCD_S so the bank-group
+// constraints are observable: 16 banks in 4 groups.
+func ddr4LikeTiming() TimingSpec {
+	return TimingSpec{
+		TCKNS: 0.833,
+		TRCD:  17, TRP: 17, TCL: 17, TCWL: 12, TRAS: 39,
+		TCCDS: 4, TCCDL: 6, TBurst: 4,
+		TWR: 18, TWTR: 9, TRTP: 9,
+		BankGroups: 4,
+		CPUPerMC:   3,
+	}
+}
+
+// dataStart recovers the tCK the burst began from the CPU-cycle completion.
+func dataStart(r *Request, t TimingSpec) int64 {
+	return r.DoneAt/t.CPUPerMC - t.TBurst
+}
+
+// runAll ticks the channel until every request is scheduled.
+func runAll(t *testing.T, ch *Channel, from int64, reqs ...*Request) {
+	t.Helper()
+	for tck := from; tck < from+10000; tck++ {
+		done := true
+		for _, r := range reqs {
+			if !r.Scheduled {
+				done = false
+			}
+		}
+		if done {
+			return
+		}
+		ch.Tick(tck)
+	}
+	t.Fatal("requests not all scheduled within 10000 tCK")
+}
+
+// TestBankGroupCCD checks the DDR4 column-command separation: back-to-back
+// row-hit reads to different banks of the SAME bank group must start their
+// data bursts tCCD_L apart, while reads to DIFFERENT groups are only bus
+// limited (tBurst = tCCD_S apart). This is the observable difference the
+// grouped timing path introduces over the DDR3 scheduler.
+func TestBankGroupCCD(t *testing.T) {
+	spec := ddr4LikeTiming()
+	mk := func(bank, row int) *Request {
+		return &Request{Loc: dram.Location{Bank: bank, Row: row}}
+	}
+	measure := func(bankA, bankB int) int64 {
+		ch := NewChannelSpec(1, 16, spec)
+		// Prime the rows so the measured pair are both row hits.
+		pa, pb := mk(bankA, 5), mk(bankB, 7)
+		ch.Enqueue(pa)
+		ch.Enqueue(pb)
+		runAll(t, ch, 0, pa, pb)
+		// Far past the priming traffic, issue the back-to-back hits.
+		const T = 5000
+		ra, rb := mk(bankA, 5), mk(bankB, 7)
+		ch.Enqueue(ra)
+		ch.Enqueue(rb)
+		runAll(t, ch, T, ra, rb)
+		return dataStart(rb, spec) - dataStart(ra, spec)
+	}
+
+	// Banks 0 and 1 share group 0 (16 banks / 4 groups).
+	if gap := measure(0, 1); gap != spec.TCCDL {
+		t.Errorf("same-group burst separation %d tCK, want tCCD_L = %d", gap, spec.TCCDL)
+	}
+	// Banks 0 and 4 sit in different groups: only tCCD_S (= tBurst) binds.
+	if gap := measure(0, 4); gap != spec.TCCDS {
+		t.Errorf("cross-group burst separation %d tCK, want tCCD_S = %d", gap, spec.TCCDS)
+	}
+}
+
+// TestUngroupedMatchesLegacySchedule pins the DDR3 path: a channel built
+// with the DDR3 spec must produce exactly the schedule the hard-coded
+// constants produced (the golden differential suite pins this end to end;
+// this is the unit-level witness).
+func TestUngroupedMatchesLegacySchedule(t *testing.T) {
+	spec := DDR3Timing()
+	if spec.Grouped() {
+		t.Fatal("DDR3 spec must not be grouped")
+	}
+	ch := NewChannelSpec(1, 8, spec)
+	r1 := &Request{Loc: dram.Location{Bank: 0, Row: 3}}
+	r2 := &Request{Loc: dram.Location{Bank: 0, Row: 3, ColBlock: 1}}
+	ch.Enqueue(r1)
+	ch.Enqueue(r2)
+	runAll(t, ch, 0, r1, r2)
+	// Closed bank: ACT at 0, CAS at tRCD, data at tRCD+tCL .. +tBurst.
+	if want := (spec.TRCD + spec.TCL + spec.TBurst) * spec.CPUPerMC; r1.DoneAt != want {
+		t.Errorf("first read DoneAt %d, want %d", r1.DoneAt, want)
+	}
+	// Row hit: CAS gated by tCCD after the first CAS, bus after the burst.
+	if gap := dataStart(r2, spec) - dataStart(r1, spec); gap != spec.TBurst {
+		t.Errorf("row-hit burst separation %d tCK, want bus-limited %d", gap, spec.TBurst)
+	}
+}
+
+// TestTimingSpecValidate exercises the datasheet sanity checks.
+func TestTimingSpecValidate(t *testing.T) {
+	if err := DDR3Timing().Validate(); err != nil {
+		t.Fatalf("DDR3 timing invalid: %v", err)
+	}
+	if err := ddr4LikeTiming().Validate(); err != nil {
+		t.Fatalf("DDR4-like timing invalid: %v", err)
+	}
+	bad := DDR3Timing()
+	bad.TCCDL = bad.TCCDS - 1
+	if err := bad.Validate(); err == nil {
+		t.Error("tCCD_L < tCCD_S accepted")
+	}
+	bad = DDR3Timing()
+	bad.TRAS = bad.TRCD // < tRCD + tBurst
+	if err := bad.Validate(); err == nil {
+		t.Error("tRAS < tRCD+tBurst accepted")
+	}
+	bad = DDR3Timing()
+	bad.CPUPerMC = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero CPUPerMC accepted")
+	}
+	// A grouped spec whose groups do not divide the banks is a MemConfig
+	// error.
+	cfg := DefaultMemConfig()
+	cfg.Timing = ddr4LikeTiming() // 4 groups vs the 8-bank DDR3 geometry is fine
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("4 groups over 8 banks rejected: %v", err)
+	}
+	cfg.Timing.BankGroups = 3
+	if err := cfg.Validate(); err == nil {
+		t.Error("3 groups over 8 banks accepted")
+	}
+}

@@ -17,6 +17,49 @@ const (
 	WriteEnergyNJ  = 4.6  // one BL8 write burst
 )
 
+// OpEnergies is one memory technology's per-rank operation energy table.
+// The technology layer (internal/memtech) registers a table per part; the
+// package-level functions below evaluate the DDR3-1600 table and remain the
+// single source of truth for its constants.
+type OpEnergies struct {
+	ActPreNJ float64 // one activate+precharge pair
+	ReadNJ   float64 // one burst read
+	WriteNJ  float64 // one burst write
+}
+
+// DDR3Energies returns the paper's TN-41-01 DDR3-1600 energy table.
+func DDR3Energies() OpEnergies {
+	return OpEnergies{ActPreNJ: ActPreEnergyNJ, ReadNJ: ReadEnergyNJ, WriteNJ: WriteEnergyNJ}
+}
+
+// DynamicEnergyNJ returns total DRAM dynamic energy for the op counts under
+// this energy table.
+func (e OpEnergies) DynamicEnergyNJ(ops perf.OpCounts) float64 {
+	// Precharges pair with activates; charge the pair on the activate
+	// count (every opened row is eventually closed).
+	return float64(ops.Activates)*e.ActPreNJ +
+		float64(ops.Reads)*e.ReadNJ +
+		float64(ops.Writes)*e.WriteNJ
+}
+
+// DynamicPowerW returns average DRAM dynamic power over the interval.
+func (e OpEnergies) DynamicPowerW(ops perf.OpCounts, seconds float64) float64 {
+	if seconds <= 0 {
+		return 0
+	}
+	return e.DynamicEnergyNJ(ops) * 1e-9 / seconds
+}
+
+// RelativeDynamicPower returns the percentage of baseline dynamic power a
+// configuration consumes under this energy table.
+func (e OpEnergies) RelativeDynamicPower(cfg, baseline perf.OpCounts, cfgSeconds, baseSeconds float64) float64 {
+	base := e.DynamicPowerW(baseline, baseSeconds)
+	if base == 0 {
+		return 0
+	}
+	return 100 * e.DynamicPowerW(cfg, cfgSeconds) / base
+}
+
 // RelaxFault metadata energies (Section 3.3).
 const (
 	// TagLookupNJ is the augmented LLC tag probe (9pJ per 1MiB bank,
@@ -29,31 +72,23 @@ const (
 	DRAMMissNJ = 36.0
 )
 
-// DynamicEnergyNJ returns total DRAM dynamic energy for the op counts.
+// DynamicEnergyNJ returns total DDR3-1600 DRAM dynamic energy for the op
+// counts.
 func DynamicEnergyNJ(ops perf.OpCounts) float64 {
-	// Precharges pair with activates; charge the pair on the activate
-	// count (every opened row is eventually closed).
-	return float64(ops.Activates)*ActPreEnergyNJ +
-		float64(ops.Reads)*ReadEnergyNJ +
-		float64(ops.Writes)*WriteEnergyNJ
+	return DDR3Energies().DynamicEnergyNJ(ops)
 }
 
-// DynamicPowerW returns average DRAM dynamic power over the interval.
+// DynamicPowerW returns average DDR3-1600 DRAM dynamic power over the
+// interval.
 func DynamicPowerW(ops perf.OpCounts, seconds float64) float64 {
-	if seconds <= 0 {
-		return 0
-	}
-	return DynamicEnergyNJ(ops) * 1e-9 / seconds
+	return DDR3Energies().DynamicPowerW(ops, seconds)
 }
 
 // RelativeDynamicPower returns the percentage of baseline dynamic power a
-// configuration consumes (Figure 16 reports this per workload).
+// configuration consumes (Figure 16 reports this per workload), under the
+// DDR3-1600 energy table.
 func RelativeDynamicPower(cfg, baseline perf.OpCounts, cfgSeconds, baseSeconds float64) float64 {
-	base := DynamicPowerW(baseline, baseSeconds)
-	if base == 0 {
-		return 0
-	}
-	return 100 * DynamicPowerW(cfg, cfgSeconds) / base
+	return DDR3Energies().RelativeDynamicPower(cfg, baseline, cfgSeconds, baseSeconds)
 }
 
 // MetadataOverheadFraction returns the worst-case fraction of LLC access

@@ -2,11 +2,15 @@ package scenario
 
 import (
 	"fmt"
+	"sort"
+	"strings"
 
 	"relaxfault/internal/addrmap"
 	"relaxfault/internal/dram"
 	"relaxfault/internal/fault"
+	"relaxfault/internal/memtech"
 	"relaxfault/internal/perf"
+	"relaxfault/internal/power"
 	"relaxfault/internal/relsim"
 	"relaxfault/internal/repair"
 	"relaxfault/internal/trace"
@@ -15,66 +19,108 @@ import (
 // GeometryDefault is the paper's evaluated node.
 const GeometryDefault = "ddr3-8gib"
 
-// llcSets is the LLC set count remap planners index against (8MiB 16-way,
-// matching the performance model and every legacy experiment).
-const llcSets = 8192
+// llcSets is the LLC set count remap planners index against — derived from
+// the performance model's LLC configuration so the two paths cannot drift
+// (8MiB 16-way 64B lines: 8192 sets).
+var llcSets = perf.DefaultMemConfig().LLCSets
 
-// GeometryByName resolves a geometry name to its DRAM organisation.
+// GeometryByName resolves a geometry name against the memtech registry.
 func GeometryByName(name string) (dram.Geometry, error) {
-	switch name {
-	case GeometryDefault:
-		return dram.Default8GiBNode(), nil
-	case "ddr4-16gib":
-		return dram.DDR4Node(), nil
-	case "hbm-stack":
-		return dram.HBMStackNode(), nil
-	case "lpddr4":
-		return dram.LPDDR4Node(), nil
-	case "perf-node":
-		return dram.PerfNode(), nil
-	default:
-		return dram.Geometry{}, fmt.Errorf("scenario: unknown geometry %q (want %s, ddr4-16gib, hbm-stack, lpddr4, or perf-node)", name, GeometryDefault)
+	g, err := memtech.GeometryByName(name)
+	if err != nil {
+		return dram.Geometry{}, fmt.Errorf("scenario: unknown geometry %q (want %s)",
+			name, strings.Join(memtech.GeometryNames(), ", "))
 	}
+	return g, nil
 }
 
-// ratesByName resolves a FIT table name.
-func ratesByName(name string) (fault.Rates, error) {
-	switch name {
-	case "", "cielo":
-		return fault.CieloRates(), nil
-	case "hopper":
-		return fault.HopperRates(), nil
-	default:
-		return fault.Rates{}, fmt.Errorf("scenario: unknown fault rates %q (want cielo or hopper)", name)
+// resolveTech resolves the scenario's memory technology: the explicit
+// technology field if set, else the technology owning the scenario geometry
+// (legacy specs name only a geometry and keep lowering exactly as before).
+func (sc *Scenario) resolveTech() (memtech.Tech, error) {
+	if sc.Technology != "" {
+		tech, err := memtech.ByName(sc.Technology)
+		if err != nil {
+			return memtech.Tech{}, fmt.Errorf("scenario %s: %w", sc.Name, err)
+		}
+		return tech, nil
 	}
+	geoName := sc.Geometry
+	if geoName == "" {
+		geoName = GeometryDefault
+	}
+	tech, err := memtech.ForGeometry(geoName)
+	if err != nil {
+		return memtech.Tech{}, fmt.Errorf("scenario %s: %w", sc.Name, err)
+	}
+	return tech, nil
 }
 
-// policyByName resolves a replacement-policy name.
+// Tech returns the resolved memory technology the scenario lowers onto
+// (manifests embed its name and fingerprint).
+func (sc *Scenario) Tech() (memtech.Tech, error) {
+	sc.Normalize()
+	return sc.resolveTech()
+}
+
+// ratesByName resolves a FIT table name through the fault registry, with
+// the technology's default table for the empty name.
+func ratesByName(tech memtech.Tech, name string) (fault.Rates, error) {
+	r, err := tech.Rates(name)
+	if err != nil {
+		return fault.Rates{}, fmt.Errorf("scenario: %w", err)
+	}
+	return r, nil
+}
+
+// policies is the replacement-policy registry; the resolver and its error
+// text both derive from it.
+var policies = []struct {
+	name   string
+	policy relsim.ReplacementPolicy
+}{
+	{"replace-after-due", relsim.ReplaceAfterDUE},
+	{"replace-after-threshold", relsim.ReplaceAfterThreshold},
+	{"none", relsim.ReplaceNever},
+}
+
+func policyNames() []string {
+	names := make([]string, 0, len(policies))
+	for _, e := range policies {
+		names = append(names, e.name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// policyByName resolves a replacement-policy name (default:
+// replace-after-due).
 func policyByName(name string) (relsim.ReplacementPolicy, error) {
-	switch name {
-	case "", "replace-after-due":
+	if name == "" {
 		return relsim.ReplaceAfterDUE, nil
-	case "replace-after-threshold":
-		return relsim.ReplaceAfterThreshold, nil
-	case "none":
-		return relsim.ReplaceNever, nil
-	default:
-		return 0, fmt.Errorf("scenario: unknown replacement policy %q (want replace-after-due, replace-after-threshold, or none)", name)
 	}
+	for _, e := range policies {
+		if e.name == name {
+			return e.policy, nil
+		}
+	}
+	return 0, fmt.Errorf("scenario: unknown replacement policy %q (want %s)",
+		name, strings.Join(policyNames(), ", "))
 }
 
 // faultConfig builds the fault model from the merged spec layers. The base
-// is the paper's default model with the resolved geometry; every FIT table
-// passes through Rates.Scale (Scale(1) is bit-identical to the unscaled
-// table, so configurations that never mention fit_scale lower exactly onto
-// the legacy defaults).
-func faultConfig(geo dram.Geometry, spec *FaultSpec) (fault.Config, error) {
+// is the paper's default model with the resolved geometry; the FIT table
+// defaults to the technology's field-study table, and every table passes
+// through Rates.Scale (Scale(1) is bit-identical to the unscaled table, so
+// configurations that never mention fit_scale lower exactly onto the legacy
+// defaults).
+func faultConfig(tech memtech.Tech, geo dram.Geometry, spec *FaultSpec) (fault.Config, error) {
 	cfg := fault.DefaultConfig()
 	cfg.Geometry = geo
 	if spec == nil {
 		spec = &FaultSpec{}
 	}
-	rates, err := ratesByName(spec.Rates)
+	rates, err := ratesByName(tech, spec.Rates)
 	if err != nil {
 		return cfg, err
 	}
@@ -112,8 +158,9 @@ func faultConfig(geo dram.Geometry, spec *FaultSpec) (fault.Config, error) {
 
 // buildPlanner constructs the named repair engine through the repair
 // package's validating constructors, so a bad budget is an error here, not
-// a clamp or a downstream panic.
-func buildPlanner(spec PlannerSpec, geo dram.Geometry) (repair.Planner, error) {
+// a clamp or a downstream panic. PPR spare budgets default to the
+// technology's provisioning.
+func buildPlanner(spec PlannerSpec, tech memtech.Tech, geo dram.Geometry) (repair.Planner, error) {
 	ways := spec.LLCWays
 	if ways == 0 {
 		ways = 16
@@ -140,16 +187,12 @@ func buildPlanner(spec PlannerSpec, geo dram.Geometry) (repair.Planner, error) {
 		}
 		return repair.NewFreeFaultChecked(m, ways, hash)
 	case "ppr":
-		bpg := spec.BanksPerGroup
-		if bpg == 0 {
-			bpg = geo.Banks / 4
-			if bpg < 1 {
-				bpg = 1
-			}
+		bpg, spares := tech.PPRBudget(geo)
+		if spec.BanksPerGroup != 0 {
+			bpg = spec.BanksPerGroup
 		}
-		spares := spec.SparesPerGroup
-		if spares == 0 {
-			spares = 1
+		if spec.SparesPerGroup != 0 {
+			spares = spec.SparesPerGroup
 		}
 		return repair.NewPPRChecked(geo, bpg, spares)
 	case "page-retire":
@@ -163,12 +206,16 @@ func buildPlanner(spec PlannerSpec, geo dram.Geometry) (repair.Planner, error) {
 
 // PerfUnitConfig is one lowered (workload, prefetch degree) simulation
 // cell: the base system configuration plus the lock variants to measure
-// against its unlocked baseline.
+// against its unlocked baseline. Tech and Energy carry the resolved
+// technology name and its operation-energy table for the relative-power
+// presentation.
 type PerfUnitConfig struct {
 	Workload       trace.Workload
 	PrefetchDegree int
 	Base           perf.SystemConfig
 	Locks          []LockSpec
+	Tech           string
+	Energy         power.OpEnergies
 }
 
 // Lowered is a scenario compiled onto the simulators' own configuration
@@ -186,22 +233,26 @@ type Lowered struct {
 // bit-for-bit the configuration the legacy experiment code built.
 func (sc *Scenario) Lower() (*Lowered, error) {
 	sc.Normalize()
+	tech, err := sc.resolveTech()
+	if err != nil {
+		return nil, err
+	}
 	out := &Lowered{}
 	switch sc.Kind {
 	case KindStatic:
 		return out, nil
 	case KindCoverage:
-		return out, sc.lowerCoverage(out)
+		return out, sc.lowerCoverage(out, tech)
 	case KindReliability:
-		return out, sc.lowerReliability(out)
+		return out, sc.lowerReliability(out, tech)
 	case KindPerf:
-		return out, sc.lowerPerf(out)
+		return out, sc.lowerPerf(out, tech)
 	default:
 		return nil, fmt.Errorf("scenario %s: unknown kind %q", sc.Name, sc.Kind)
 	}
 }
 
-func (sc *Scenario) lowerCoverage(out *Lowered) error {
+func (sc *Scenario) lowerCoverage(out *Lowered, tech memtech.Tech) error {
 	if sc.Coverage == nil || len(sc.Coverage.Studies) == 0 {
 		return fmt.Errorf("scenario %s: coverage scenario needs at least one study", sc.Name)
 	}
@@ -214,7 +265,7 @@ func (sc *Scenario) lowerCoverage(out *Lowered) error {
 		if err != nil {
 			return fmt.Errorf("scenario %s: study %d: %w", sc.Name, i, err)
 		}
-		model, err := faultConfig(geo, mergeFault(sc.Fault, st.Fault))
+		model, err := faultConfig(tech, geo, mergeFault(sc.Fault, st.Fault))
 		if err != nil {
 			return fmt.Errorf("scenario %s: study %d: %w", sc.Name, i, err)
 		}
@@ -225,7 +276,7 @@ func (sc *Scenario) lowerCoverage(out *Lowered) error {
 		cfg.MaxNodes = st.MaxNodes
 		cfg.WayLimits = append([]int(nil), st.WayLimits...)
 		for _, ps := range st.Planners {
-			p, err := buildPlanner(ps, geo)
+			p, err := buildPlanner(ps, tech, geo)
 			if err != nil {
 				return fmt.Errorf("scenario %s: study %d: %w", sc.Name, i, err)
 			}
@@ -239,7 +290,7 @@ func (sc *Scenario) lowerCoverage(out *Lowered) error {
 	return nil
 }
 
-func (sc *Scenario) lowerReliability(out *Lowered) error {
+func (sc *Scenario) lowerReliability(out *Lowered, tech memtech.Tech) error {
 	if sc.Reliability == nil || len(sc.Reliability.Cells) == 0 {
 		return fmt.Errorf("scenario %s: reliability scenario needs at least one cell", sc.Name)
 	}
@@ -249,7 +300,7 @@ func (sc *Scenario) lowerReliability(out *Lowered) error {
 	}
 	base := mergeFault(sc.Fault, sc.Reliability.Fault)
 	for i, cell := range sc.Reliability.Cells {
-		model, err := faultConfig(geo, mergeFault(base, cell.Fault))
+		model, err := faultConfig(tech, geo, mergeFault(base, cell.Fault))
 		if err != nil {
 			return fmt.Errorf("scenario %s: cell %d (%s): %w", sc.Name, i, cell.Label, err)
 		}
@@ -265,7 +316,7 @@ func (sc *Scenario) lowerReliability(out *Lowered) error {
 		cfg.Policy = policy
 		cfg.WayLimit = cell.WayLimit
 		if cell.Planner != nil {
-			p, err := buildPlanner(*cell.Planner, geo)
+			p, err := buildPlanner(*cell.Planner, tech, geo)
 			if err != nil {
 				return fmt.Errorf("scenario %s: cell %d (%s): %w", sc.Name, i, cell.Label, err)
 			}
@@ -290,7 +341,7 @@ func (sc *Scenario) lowerReliability(out *Lowered) error {
 	return nil
 }
 
-func (sc *Scenario) lowerPerf(out *Lowered) error {
+func (sc *Scenario) lowerPerf(out *Lowered, tech memtech.Tech) error {
 	if sc.Perf == nil || len(sc.Perf.Locks) == 0 {
 		return fmt.Errorf("scenario %s: perf scenario needs at least one lock configuration", sc.Name)
 	}
@@ -312,6 +363,8 @@ func (sc *Scenario) lowerPerf(out *Lowered) error {
 	for _, w := range workloads {
 		for _, deg := range sc.Perf.PrefetchDegrees {
 			cfg := perf.DefaultSystemConfig()
+			cfg.Mem.Geometry = tech.PerfGeometry()
+			cfg.Mem.Timing = tech.Timing
 			cfg.TargetInstructions = sc.Budget.Instructions
 			cfg.Seed = *sc.Seed
 			cfg.Core.PrefetchDegree = deg
@@ -331,6 +384,8 @@ func (sc *Scenario) lowerPerf(out *Lowered) error {
 				PrefetchDegree: deg,
 				Base:           cfg,
 				Locks:          append([]LockSpec(nil), sc.Perf.Locks...),
+				Tech:           tech.Name,
+				Energy:         tech.Energy,
 			})
 		}
 	}

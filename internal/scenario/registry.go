@@ -195,6 +195,19 @@ var registry = []Entry{
 			},
 		}}
 	}),
+	sim("ddr4", KindPerf, "weighted speedup and relative power on DDR4-2400 (bank-group timing)", func() *Scenario {
+		return &Scenario{
+			Technology: "ddr4-2400",
+			Perf: &PerfSpec{
+				Workloads: []string{"SP", "LULESH"},
+				Locks: []LockSpec{
+					{Label: "no-repair"},
+					{Label: "1-way", Ways: 1},
+					{Label: "4-way", Ways: 4},
+				},
+			},
+		}
+	}),
 	sim("bench", KindCoverage, "quick coverage study timed sequential vs parallel", func() *Scenario {
 		return &Scenario{Coverage: &CoverageSpec{Studies: []CoverageStudy{{
 			Label:     "coverage-quick",

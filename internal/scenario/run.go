@@ -26,12 +26,18 @@ type Exec struct {
 type PerfUnit struct {
 	Workload       string
 	PrefetchDegree int
-	Locks          []LockSpec
+	// Tech names the memory technology the unit ran on.
+	Tech  string
+	Locks []LockSpec
 	// Speedups[i] and Results[i] correspond to Locks[i]; Speedups[0] is
 	// the unlocked baseline.
 	Speedups []float64
 	Results  []*perf.Result
 	Alone    []float64
+	// RelPower[i] is DRAM dynamic power under Locks[i] as a percentage of
+	// the unlocked baseline (RelPower[0] is 100 by construction), charged
+	// with the technology's energy table.
+	RelPower []float64
 }
 
 // Result is a scenario's outcome: one entry per study, cell, or perf unit,
@@ -109,9 +115,11 @@ func runPerf(ctx context.Context, units []PerfUnitConfig, ex Exec) ([]PerfUnit, 
 		res := PerfUnit{
 			Workload:       u.Workload.Name,
 			PrefetchDegree: u.PrefetchDegree,
+			Tech:           u.Tech,
 			Locks:          u.Locks,
 			Speedups:       make([]float64, len(u.Locks)),
 			Results:        make([]*perf.Result, len(u.Locks)),
+			RelPower:       make([]float64, len(u.Locks)),
 		}
 		ws, alone, shared, err := perf.WeightedSpeedup(u.Base, u.Workload.Threads, nil)
 		if err != nil {
@@ -119,6 +127,7 @@ func runPerf(ctx context.Context, units []PerfUnitConfig, ex Exec) ([]PerfUnit, 
 			return 0, true
 		}
 		res.Speedups[0], res.Results[0], res.Alone = ws, shared, alone
+		res.RelPower[0] = 100
 		for i, l := range u.Locks[1:] {
 			cfg := u.Base
 			cfg.LockWays = l.Ways
@@ -129,6 +138,8 @@ func runPerf(ctx context.Context, units []PerfUnitConfig, ex Exec) ([]PerfUnit, 
 				return 0, true
 			}
 			res.Speedups[i+1], res.Results[i+1] = ws, shared
+			res.RelPower[i+1] = u.Energy.RelativeDynamicPower(
+				shared.Ops, res.Results[0].Ops, shared.Seconds, res.Results[0].Seconds)
 		}
 		outs[k] = res
 		return 1, true
@@ -188,6 +199,17 @@ func (r *Result) String() string {
 				fmt.Fprintf(&b, " %12.2f", ws)
 			}
 			fmt.Fprintf(&b, "\n")
+		}
+		if len(r.Perf) > 0 && len(r.Perf[0].RelPower) > 0 {
+			fmt.Fprintf(&b, "relative DRAM dynamic power on %s (%% of %s):\n",
+				r.Perf[0].Tech, sc.Perf.Locks[0].Label)
+			for _, u := range r.Perf {
+				fmt.Fprintf(&b, "%-10s %9d", u.Workload, u.PrefetchDegree)
+				for _, p := range u.RelPower {
+					fmt.Fprintf(&b, " %12.1f", p)
+				}
+				fmt.Fprintf(&b, "\n")
+			}
 		}
 	}
 	return b.String()

@@ -20,6 +20,7 @@ import (
 	"fmt"
 
 	"relaxfault/internal/harness"
+	"relaxfault/internal/memtech"
 )
 
 // Schema is the versioned identifier every scenario document must carry.
@@ -55,6 +56,13 @@ type Scenario struct {
 	Seed *uint64 `json:"seed,omitempty"`
 	// Budget sets the Monte Carlo / simulation effort.
 	Budget Budget `json:"budget"`
+	// Technology names the memory technology (internal/memtech: channel
+	// timing, operation energies, default FIT table, PPR spare
+	// provisioning) the scenario lowers onto. Empty means "the technology
+	// owning the geometry" (ddr3-8gib → ddr3-1600), which keeps legacy
+	// specs byte-stable; setting it without a geometry selects the
+	// technology's default node organisation.
+	Technology string `json:"technology,omitempty"`
 	// Geometry names the evaluated node's DRAM organisation (default
 	// "ddr3-8gib"); studies and cells may override it.
 	Geometry string `json:"geometry,omitempty"`
@@ -245,6 +253,14 @@ func (sc *Scenario) Normalize() {
 	}
 	if sc.Budget.Instructions == 0 {
 		sc.Budget.Instructions = def.Instructions
+	}
+	if sc.Geometry == "" && sc.Technology != "" {
+		// A scenario naming only a technology evaluates that technology's
+		// default node. Unknown names are left for Lower to reject with the
+		// full registry listing.
+		if tech, err := memtech.ByName(sc.Technology); err == nil {
+			sc.Geometry = tech.DefaultGeometry
+		}
 	}
 	if sc.Geometry == "" {
 		sc.Geometry = GeometryDefault
