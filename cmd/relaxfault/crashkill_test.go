@@ -1,0 +1,390 @@
+// Integration tests for the crash-safety contract of the journaled
+// checkpoint pipeline: a campaign SIGKILLed mid-run resumes to byte-identical
+// output, SIGTERM seals the journal gracefully, and `relaxfault verify`
+// detects digest corruption. These build and drive the real binary as a
+// subprocess, so they are skipped under -short (CI runs them in a dedicated
+// robustness job).
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"relaxfault/internal/journal"
+)
+
+// killScenario sizes a reliability campaign long enough (~64 chunks, a few
+// seconds at -parallel 2) that a signal reliably lands mid-run, with enough
+// faults (10x FIT) that chunk digests depend on the sampled histories.
+const killScenario = `{
+  "schema": "relaxfault-scenario/v1",
+  "name": "crashkill",
+  "kind": "reliability",
+  "budget": {"nodes": 16384, "replicas": 16},
+  "fault": {"fit_scale": 10},
+  "reliability": {"cells": [{"label": "no-repair", "way_limit": 0}]}
+}
+`
+
+// smokeScenario is the 3-chunk variant for the verify-subcommand tests.
+const smokeScenario = `{
+  "schema": "relaxfault-scenario/v1",
+  "name": "smoke",
+  "kind": "reliability",
+  "budget": {"nodes": 9000, "replicas": 1},
+  "fault": {"fit_scale": 10},
+  "reliability": {"cells": [{"label": "no-repair", "way_limit": 0}]}
+}
+`
+
+var (
+	buildOnce sync.Once
+	buildPath string
+	buildErr  error
+)
+
+// binary builds ./cmd/relaxfault once per test run and returns its path.
+func binary(t *testing.T) string {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("subprocess integration test; skipped in -short")
+	}
+	buildOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "relaxfault-bin")
+		if err != nil {
+			buildErr = err
+			return
+		}
+		buildPath = filepath.Join(dir, "relaxfault")
+		cmd := exec.Command("go", "build", "-o", buildPath, ".")
+		if out, err := cmd.CombinedOutput(); err != nil {
+			buildErr = fmt.Errorf("go build: %v\n%s", err, out)
+		}
+	})
+	if buildErr != nil {
+		t.Fatal(buildErr)
+	}
+	return buildPath
+}
+
+// runBin runs the binary to completion and returns (stdout, stderr, exit code).
+func runBin(t *testing.T, args ...string) (string, string, int) {
+	t.Helper()
+	cmd := exec.Command(binary(t), args...)
+	var out, errb bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &out, &errb
+	err := cmd.Run()
+	code := 0
+	if err != nil {
+		ee, ok := err.(*exec.ExitError)
+		if !ok {
+			t.Fatalf("run %v: %v", args, err)
+		}
+		code = ee.ExitCode()
+	}
+	return out.String(), errb.String(), code
+}
+
+// campaignArgs are the flags every journaled subprocess campaign shares. The
+// low flush interval makes the checkpoint lag the journal by at most ~50ms,
+// so a kill lands between a journaled chunk and its snapshot — exactly the
+// window the cross-check exists for.
+func campaignArgs(scPath, dir string) []string {
+	return []string{
+		"-scenario", scPath,
+		"-checkpoint", filepath.Join(dir, "cp.json"),
+		"-journal", filepath.Join(dir, "cp.journal"),
+		"-flush-interval", "50ms",
+		"-parallel", "2",
+		"-progress", "0",
+	}
+}
+
+func writeScenario(t *testing.T, dir, body string) string {
+	t.Helper()
+	path := filepath.Join(dir, "sc.json")
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// chunkRecords counts the chunk records currently readable in the journal.
+func chunkRecords(path string) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0
+	}
+	return strings.Count(string(data), `"type":"chunk"`)
+}
+
+// lastRecord decodes the journal's final line.
+func lastRecord(t *testing.T, path string) journal.Record {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	var env struct {
+		Rec journal.Record `json:"rec"`
+	}
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &env); err != nil {
+		t.Fatalf("decode journal tail %q: %v", lines[len(lines)-1], err)
+	}
+	return env.Rec
+}
+
+// startAndSignal starts a journaled campaign, waits until minChunks chunk
+// records are durably journaled and the checkpoint file exists, then delivers
+// sig. It fails the test if the campaign finishes before the signal lands.
+func startAndSignal(t *testing.T, dir, scPath string, minChunks int, sig syscall.Signal) (stdout, stderr string, code int) {
+	t.Helper()
+	cmd := exec.Command(binary(t), campaignArgs(scPath, dir)...)
+	var out, errb bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &out, &errb
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+
+	jPath := filepath.Join(dir, "cp.journal")
+	cpPath := filepath.Join(dir, "cp.json")
+	deadline := time.After(60 * time.Second)
+	for {
+		if chunkRecords(jPath) >= minChunks {
+			if _, err := os.Stat(cpPath); err == nil {
+				break
+			}
+		}
+		select {
+		case err := <-done:
+			t.Fatalf("campaign finished before the signal could land (sizing bug): err=%v stderr=%s", err, errb.String())
+		case <-deadline:
+			cmd.Process.Kill()
+			t.Fatalf("no checkpointed chunks after 60s; journal has %d chunk records", chunkRecords(jPath))
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	if err := cmd.Process.Signal(sig); err != nil {
+		t.Fatal(err)
+	}
+	err := <-done
+	code = 0
+	if err != nil {
+		ee, ok := err.(*exec.ExitError)
+		if !ok {
+			t.Fatal(err)
+		}
+		code = ee.ExitCode()
+	}
+	return out.String(), errb.String(), code
+}
+
+// TestCrashKillResumeByteIdentity is the headline robustness contract:
+// SIGKILL a journaled campaign mid-run (no chance to flush, seal, or clean
+// up), corrupt the journal tail the way a torn write would, and the resumed
+// run must (a) pass the journal/checkpoint cross-check, (b) produce stdout
+// byte-identical to an uninterrupted run, and (c) converge to a byte-identical
+// final checkpoint whose journal then verifies end to end.
+func TestCrashKillResumeByteIdentity(t *testing.T) {
+	bin := binary(t)
+	_ = bin
+
+	// Uninterrupted reference run.
+	refDir := t.TempDir()
+	scRef := writeScenario(t, refDir, killScenario)
+	refOut, refErr, code := runBin(t, campaignArgs(scRef, refDir)...)
+	if code != 0 {
+		t.Fatalf("reference run exit %d\n%s", code, refErr)
+	}
+	if rec := lastRecord(t, filepath.Join(refDir, "cp.journal")); rec.Type != journal.TypeSeal || rec.Status != journal.StatusComplete {
+		t.Fatalf("reference journal tail = %+v, want complete seal", rec)
+	}
+
+	// Killed run: SIGKILL once at least 3 chunks are journaled and a
+	// snapshot exists.
+	dir := t.TempDir()
+	scPath := writeScenario(t, dir, killScenario)
+	kOut, _, code := startAndSignal(t, dir, scPath, 3, syscall.SIGKILL)
+	if code != -1 {
+		t.Fatalf("SIGKILLed run exited with code %d, want signal death", code)
+	}
+	if kOut != "" {
+		t.Fatalf("killed run produced stdout %q before finishing", kOut)
+	}
+
+	// Simulate the torn write a crash can leave behind: a partial line with
+	// no newline, no sum. Resume must truncate it and carry on.
+	jPath := filepath.Join(dir, "cp.journal")
+	f, err := os.OpenFile(jPath, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"rec":{"type":"chunk","seq":9`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	// Resume: cross-check, recompute the rest, byte-identical output.
+	resumeArgs := append(campaignArgs(scPath, dir), "-resume")
+	rOut, rErr, code := runBin(t, resumeArgs...)
+	if code != 0 {
+		t.Fatalf("resume exit %d\n%s", code, rErr)
+	}
+	if !strings.Contains(rErr, "journal cross-check:") {
+		t.Fatalf("resume did not cross-check the snapshot:\n%s", rErr)
+	}
+	if rOut != refOut {
+		t.Fatalf("resumed stdout differs from uninterrupted run:\n--- resumed ---\n%s--- reference ---\n%s", rOut, refOut)
+	}
+
+	// The recovered campaign must converge to the same checkpoint bytes.
+	refCP, err := os.ReadFile(filepath.Join(refDir, "cp.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotCP, err := os.ReadFile(filepath.Join(dir, "cp.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(refCP, gotCP) {
+		t.Fatalf("final checkpoint differs from uninterrupted run (%d vs %d bytes)", len(gotCP), len(refCP))
+	}
+
+	// The resumed journal: resume record present, sealed complete, and the
+	// whole thing replays clean through the verify subcommand.
+	jData, err := os.ReadFile(jPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(jData), `"type":"resume"`) {
+		t.Fatal("resumed journal has no resume record")
+	}
+	if rec := lastRecord(t, jPath); rec.Type != journal.TypeSeal || rec.Status != journal.StatusComplete {
+		t.Fatalf("resumed journal tail = %+v, want complete seal", rec)
+	}
+	vOut, vErr, code := runBin(t, "verify", "-journal", jPath, "-progress", "0")
+	if code != 0 {
+		t.Fatalf("verify exit %d\nstdout: %s\nstderr: %s", code, vOut, vErr)
+	}
+	if !strings.Contains(vOut, "0 mismatched, 0 unknown (complete)") {
+		t.Fatalf("verify report: %s", vOut)
+	}
+}
+
+// TestSIGTERMSealsInterrupted checks the graceful-termination path: SIGTERM
+// stops at the next chunk boundary, flushes the checkpoint, seals the journal
+// "interrupted", and exits 143 — and the sealed-interrupted journal accepts a
+// resume that finishes the campaign.
+func TestSIGTERMSealsInterrupted(t *testing.T) {
+	dir := t.TempDir()
+	scPath := writeScenario(t, dir, killScenario)
+	_, stderr, code := startAndSignal(t, dir, scPath, 1, syscall.SIGTERM)
+	if code != 143 {
+		t.Fatalf("SIGTERM exit %d, want 143\n%s", code, stderr)
+	}
+	if !strings.Contains(stderr, "terminated") {
+		t.Fatalf("stderr does not report termination:\n%s", stderr)
+	}
+	jPath := filepath.Join(dir, "cp.journal")
+	rec := lastRecord(t, jPath)
+	if rec.Type != journal.TypeSeal || rec.Status != journal.StatusInterrupted {
+		t.Fatalf("journal tail after SIGTERM = %+v, want interrupted seal", rec)
+	}
+
+	resumeArgs := append(campaignArgs(scPath, dir), "-resume")
+	_, rErr, code := runBin(t, resumeArgs...)
+	if code != 0 {
+		t.Fatalf("resume after SIGTERM exit %d\n%s", code, rErr)
+	}
+	if rec := lastRecord(t, jPath); rec.Type != journal.TypeSeal || rec.Status != journal.StatusComplete {
+		t.Fatalf("journal tail after resume = %+v, want complete seal", rec)
+	}
+}
+
+// TestVerifySubcommand exercises the verify CLI against one small sealed
+// campaign: clean journal → exit 0; corrupted chunk digest → exit 3 with the
+// mismatch named; torn tail → warned, valid prefix verified.
+func TestVerifySubcommand(t *testing.T) {
+	dir := t.TempDir()
+	scPath := writeScenario(t, dir, smokeScenario)
+	jPath := filepath.Join(dir, "cp.journal")
+	_, stderr, code := runBin(t, campaignArgs(scPath, dir)...)
+	if code != 0 {
+		t.Fatalf("campaign exit %d\n%s", code, stderr)
+	}
+
+	t.Run("clean", func(t *testing.T) {
+		out, _, code := runBin(t, "verify", "-journal", jPath, "-progress", "0")
+		if code != 0 || !strings.Contains(out, "3 verified, 0 mismatched") {
+			t.Fatalf("exit %d, report: %s", code, out)
+		}
+	})
+
+	t.Run("corrupt-digest", func(t *testing.T) {
+		// The per-line sums mean a raw byte edit reads as a torn tail, not a
+		// bad digest; a validly-framed lie needs the journal writer itself.
+		j, err := journal.Load(jPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lie := filepath.Join(dir, "corrupt.journal")
+		w, err := journal.Create(lie)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Append(*j.Open); err != nil {
+			t.Fatal(err)
+		}
+		for i, rec := range j.Chunks {
+			if i == 1 {
+				rec.Digest = "sha256:deadbeef"
+			}
+			if err := w.Append(rec); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.Seal(journal.StatusComplete); err != nil {
+			t.Fatal(err)
+		}
+		w.Close()
+
+		out, stderr, code := runBin(t, "verify", "-journal", lie, "-progress", "0")
+		if code != 3 {
+			t.Fatalf("verify of corrupted journal exit %d, want 3\n%s", code, out)
+		}
+		if !strings.Contains(out, "1 mismatched") || !strings.Contains(stderr, "digest mismatch") {
+			t.Fatalf("mismatch not reported:\nstdout: %s\nstderr: %s", out, stderr)
+		}
+	})
+
+	t.Run("torn-tail", func(t *testing.T) {
+		data, err := os.ReadFile(jPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		torn := filepath.Join(dir, "torn.journal")
+		// Chop into the seal line: the valid prefix (open + chunks) remains.
+		if err := os.WriteFile(torn, data[:len(data)-10], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		out, stderr, code := runBin(t, "verify", "-journal", torn, "-progress", "0")
+		if code != 0 {
+			t.Fatalf("verify of torn journal exit %d\n%s", code, stderr)
+		}
+		if !strings.Contains(stderr, "torn tail") || !strings.Contains(out, "(unsealed)") {
+			t.Fatalf("torn tail not reported:\nstdout: %s\nstderr: %s", out, stderr)
+		}
+	})
+}

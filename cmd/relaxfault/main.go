@@ -4,10 +4,11 @@
 // Usage:
 //
 //	relaxfault [-scale quick|paper] [-seed N] [-parallel N] [-timeout D]
-//	           [-progress D] [-checkpoint FILE [-resume]] [-metrics FILE|-]
-//	           [-events FILE] [-pprof ADDR] <experiment> [...]
+//	           [-progress D] [-checkpoint FILE [-resume] [-journal FILE]]
+//	           [-metrics FILE|-] [-events FILE] [-pprof ADDR] <experiment> [...]
 //	relaxfault -scenario FILE|PRESET
 //	relaxfault sweep -scenario FILE|PRESET -set path=v1,v2 [-set ...]
+//	relaxfault verify -journal FILE
 //	relaxfault list
 //
 // Experiments: tab1 tab2 tab3 tab4 fig2 fig8 fig9 fig10 fig11 fig12 fig13
@@ -24,11 +25,21 @@
 // identical for any worker count — the "bench" experiment measures the
 // speedup and asserts that identity.
 //
-// The run harness makes long campaigns survivable: ^C cancels gracefully at
-// the next work-chunk boundary (a second ^C force-quits), -timeout bounds
-// each experiment, -checkpoint/-resume restart a killed run from its last
-// snapshot with bitwise-identical output, and a requested experiment that
-// fails no longer aborts the rest — failures are collected and summarised.
+// The run harness makes long campaigns survivable: ^C or SIGTERM cancels
+// gracefully at the next work-chunk boundary (a second signal force-quits),
+// -timeout bounds each experiment, -checkpoint/-resume restart a killed run
+// from its last snapshot with bitwise-identical output, and a requested
+// experiment that fails no longer aborts the rest — failures are collected
+// and summarised.
+//
+// -journal FILE keeps an append-only, fsync'd replay journal beside the
+// checkpoint: one digest-bearing record per completed chunk, durably written
+// before the chunk may enter a snapshot. On -resume the snapshot is
+// cross-checked against the journal and a mismatch refuses the resume
+// (-repair-journal quarantines the bad chunks for recomputation instead).
+// "relaxfault verify -journal FILE" later re-executes every journaled chunk
+// from the campaign specs embedded in the journal itself and compares
+// digests — no checkpoint or original command line needed.
 //
 // Telemetry (see OBSERVABILITY.md): -metrics writes a run manifest with the
 // full metrics snapshot, -events streams JSONL progress/skip/run events, and
@@ -37,8 +48,9 @@
 //
 // Exit codes: 0 success; 1 at least one experiment failed; 2 usage error;
 // 3 all experiments completed but some Monte Carlo trials were skipped
-// after panics (partial success — see the skip report on stderr);
-// 130 interrupted.
+// after panics (partial success — see the skip report on stderr), or a
+// journal verification found mismatched or unverifiable chunks;
+// 130 interrupted (SIGINT); 143 terminated (SIGTERM).
 package main
 
 import (
@@ -53,11 +65,13 @@ import (
 	"os/signal"
 	"path/filepath"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"relaxfault/internal/experiments"
 	"relaxfault/internal/harness"
+	"relaxfault/internal/journal"
 	"relaxfault/internal/obs"
 	"relaxfault/internal/scenario"
 )
@@ -78,6 +92,9 @@ func run() int {
 	progress := flag.Duration("progress", 10*time.Second, "progress report interval on stderr (0 = silent)")
 	checkpoint := flag.String("checkpoint", "", "checkpoint snapshot file for the Monte Carlo runs")
 	resume := flag.Bool("resume", false, "resume from the -checkpoint snapshot instead of starting fresh")
+	journalFlag := flag.String("journal", "", "append-only replay journal beside the -checkpoint (also the verify subcommand's input)")
+	repairJournal := flag.Bool("repair-journal", false, "on -resume, quarantine snapshot chunks that fail the journal cross-check (recompute) instead of refusing")
+	flushInterval := flag.Duration("flush-interval", harness.DefaultFlushInterval, "checkpoint snapshot rate limit (lower it so short campaigns persist chunks quickly)")
 	metricsOut := flag.String("metrics", "", `write the run manifest (config, timings, metrics snapshot) to FILE; "-" prints JSON to stdout`)
 	eventsOut := flag.String("events", "", "append machine-readable JSONL progress/skip/run events to FILE")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof, expvar, and Prometheus text metrics on ADDR (e.g. localhost:6060)")
@@ -97,6 +114,9 @@ func run() int {
 		printPresetList()
 		return 0
 	}
+	if len(args) > 0 && args[0] == "verify" {
+		return runVerify(args[1:], *journalFlag, *parallel, *progress)
+	}
 	if len(args) == 0 && *scenarioFlag == "" {
 		usage()
 		return 2
@@ -115,6 +135,14 @@ func run() int {
 	scale.Workers = *parallel
 	if *resume && *checkpoint == "" {
 		fmt.Fprintf(os.Stderr, "-resume requires -checkpoint\n")
+		return 2
+	}
+	if *journalFlag != "" && *checkpoint == "" {
+		fmt.Fprintf(os.Stderr, "-journal requires -checkpoint (chunk records are cut when chunks are checkpointed)\n")
+		return 2
+	}
+	if *repairJournal && (*journalFlag == "" || !*resume) {
+		fmt.Fprintf(os.Stderr, "-repair-journal requires -resume and -journal\n")
 		return 2
 	}
 
@@ -172,16 +200,55 @@ func run() int {
 			return 2
 		}
 	}
+	if mode == modeExperiments && len(args) == 1 && args[0] == "all" {
+		args = allExperiments
+	}
 
-	// First interrupt: cancel the context so in-flight chunks finish and
-	// checkpoint. Second interrupt: force-quit.
+	// Resolve every scenario the run will execute up front: the records are
+	// embedded both in the run manifest and — when a journal is kept — in
+	// the journal's open record, which is what makes "relaxfault verify"
+	// self-contained.
+	var records []harness.ScenarioRecord
+	sweepRecs := make([]*harness.ScenarioRecord, len(sweepPoints))
+	switch mode {
+	case modeScenario:
+		if rec, err := scenarioRecord(baseScenario); err == nil {
+			records = append(records, rec)
+		}
+	case modeSweep:
+		for i, pt := range sweepPoints {
+			if rec, err := scenarioRecord(pt); err == nil {
+				sweepRecs[i] = &rec
+				records = append(records, rec)
+			}
+		}
+	default:
+		for _, name := range args {
+			if scenario.IsPreset(strings.ToLower(name)) {
+				if sc, err := scale.PresetScenario(strings.ToLower(name)); err == nil {
+					if rec, err := scenarioRecord(sc); err == nil {
+						records = append(records, rec)
+					}
+				}
+			}
+		}
+	}
+
+	// First SIGINT/SIGTERM: cancel the context so in-flight chunks finish,
+	// checkpoint, and the journal seals. Second signal: force-quit.
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
+	var gotTerm atomic.Bool
 	sigs := make(chan os.Signal, 2)
 	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
 	go func() {
-		<-sigs
-		fmt.Fprintf(os.Stderr, "relaxfault: interrupt: stopping at the next chunk boundary (interrupt again to force-quit)\n")
+		s := <-sigs
+		if s == syscall.SIGTERM {
+			gotTerm.Store(true)
+			fmt.Fprintf(os.Stderr, "relaxfault: terminated: stopping at the next chunk boundary (signal again to force-quit)\n")
+		} else {
+			fmt.Fprintf(os.Stderr, "relaxfault: interrupt: stopping at the next chunk boundary (interrupt again to force-quit)\n")
+		}
 		cancel()
 		<-sigs
 		fmt.Fprintf(os.Stderr, "relaxfault: killed\n")
@@ -228,6 +295,9 @@ func run() int {
 			fmt.Fprintf(os.Stderr, "relaxfault: %v\n", err)
 			return 1
 		}
+		if *flushInterval != harness.DefaultFlushInterval {
+			store.SetFlushInterval(*flushInterval)
+		}
 		scale.Store = store
 		defer func() {
 			if err := store.Flush(); err != nil {
@@ -236,9 +306,66 @@ func run() int {
 		}()
 	}
 
-	if mode == modeExperiments && len(args) == 1 && args[0] == "all" {
-		args = allExperiments
+	// Journal: open (or resume) before any simulation so every completed
+	// chunk is durably acknowledged before it can reach a snapshot. On
+	// resume the snapshot must first survive the digest cross-check.
+	var jw *journal.Writer
+	crossVerified := 0
+	if *journalFlag != "" {
+		camps := make([]journal.Campaign, len(records))
+		for i, r := range records {
+			camps[i] = journal.Campaign{
+				Name: r.Name, Fingerprint: r.Fingerprint,
+				Technology: r.Technology, TechFingerprint: r.TechFingerprint,
+				Spec: r.Spec,
+			}
+		}
+		if _, statErr := os.Stat(*journalFlag); *resume && statErr == nil {
+			w, loaded, err := journal.Resume(*journalFlag)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "relaxfault: %v\n", err)
+				return 1
+			}
+			res, err := scale.Store.CrossCheck(loaded, *repairJournal, mon)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "relaxfault: %v\n", err)
+				w.Close()
+				return 1
+			}
+			crossVerified = res.Verified
+			fmt.Fprintf(os.Stderr, "relaxfault: journal cross-check: %d chunk(s) verified, %d quarantined, %d foreign section(s)\n",
+				res.Verified, len(res.Quarantined), res.ForeignSections)
+			err = w.Append(journal.Record{
+				Type: journal.TypeResume, Schema: journal.Schema,
+				Seed: *seed, Campaigns: camps,
+			})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "relaxfault: %v\n", err)
+				w.Close()
+				return 1
+			}
+			jw = w
+		} else {
+			w, err := journal.Create(*journalFlag)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "relaxfault: %v\n", err)
+				return 1
+			}
+			err = w.Append(journal.Record{
+				Type: journal.TypeOpen, Schema: journal.Schema,
+				Seed: *seed, Campaigns: camps,
+			})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "relaxfault: %v\n", err)
+				w.Close()
+				return 1
+			}
+			jw = w
+		}
+		defer jw.Close()
+		scale.Store.AttachJournal(jw)
 	}
+
 	runNames := args
 	switch mode {
 	case modeScenario:
@@ -259,7 +386,6 @@ func run() int {
 	// runs; failures are collected and summarised, and only the final exit
 	// code reflects them.
 	var failures []string
-	var records []harness.ScenarioRecord
 	interrupted := false
 	runOne := func(name string, f func(context.Context) error) {
 		if ctx.Err() != nil {
@@ -292,9 +418,6 @@ func run() int {
 
 	switch mode {
 	case modeScenario:
-		if rec, err := scenarioRecord(baseScenario); err == nil {
-			records = append(records, rec)
-		}
 		runOne(baseScenario.Name, func(ctx context.Context) error {
 			return runScenarioPoint(ctx, baseScenario, scale, *timeout)
 		})
@@ -305,11 +428,9 @@ func run() int {
 			pm.Scale = *scaleFlag
 			pm.Seed = *pt.Seed
 			pm.Checkpoint = *checkpoint
-			rec, recErr := scenarioRecord(pt)
-			if recErr == nil {
-				pm.Scenarios = []harness.ScenarioRecord{rec}
+			if rec := sweepRecs[i]; rec != nil {
+				pm.Scenarios = []harness.ScenarioRecord{*rec}
 				pm.Fingerprint = rec.Fingerprint
-				records = append(records, rec)
 			}
 			done0, skip0, fail0 := mon.DoneTrials(), mon.Skipped(), len(failures)
 			runOne(pt.Name, func(ctx context.Context) error {
@@ -332,15 +453,6 @@ func run() int {
 			}
 		}
 	default:
-		for _, name := range args {
-			if scenario.IsPreset(strings.ToLower(name)) {
-				if sc, err := scale.PresetScenario(strings.ToLower(name)); err == nil {
-					if rec, err := scenarioRecord(sc); err == nil {
-						records = append(records, rec)
-					}
-				}
-			}
-		}
 		runner := &runState{scale: scale}
 		for _, name := range args {
 			runOne(name, func(ctx context.Context) error {
@@ -353,15 +465,38 @@ func run() int {
 	}
 	mon.SetLabel("")
 
+	// Seal the journal before the manifest reports on it. "complete"
+	// freezes the campaign; an interrupted or partly-failed run seals
+	// "interrupted" so -resume can reopen it and append more chunks.
+	if jw != nil {
+		// The final checkpoint state must be durable before the seal
+		// asserts anything about the campaign.
+		if err := scale.Store.Flush(); err != nil {
+			fmt.Fprintf(os.Stderr, "relaxfault: %v\n", err)
+		}
+		status := journal.StatusComplete
+		if interrupted || len(failures) > 0 {
+			status = journal.StatusInterrupted
+		}
+		if err := jw.Seal(status); err != nil {
+			fmt.Fprintf(os.Stderr, "relaxfault: sealing journal: %v\n", err)
+			failures = append(failures, fmt.Sprintf("journal seal: %v", err))
+		}
+	}
+
 	code := 0
 	switch {
 	case interrupted:
-		fmt.Fprintf(os.Stderr, "relaxfault: interrupted")
+		verb, sig := "interrupted", 130
+		if gotTerm.Load() {
+			verb, sig = "terminated", 143
+		}
+		fmt.Fprintf(os.Stderr, "relaxfault: %s", verb)
 		if *checkpoint != "" {
 			fmt.Fprintf(os.Stderr, "; partial results checkpointed to %s (restart with -resume)", *checkpoint)
 		}
 		fmt.Fprintf(os.Stderr, "\n")
-		code = 130
+		code = sig
 	case len(failures) > 0:
 		fmt.Fprintf(os.Stderr, "relaxfault: %d/%d experiments failed:\n", len(failures), len(runNames))
 		for _, f := range failures {
@@ -381,6 +516,12 @@ func run() int {
 	manifest.Seed = *seed
 	manifest.Fingerprint = harness.Fingerprint("relaxfault-cli", *scaleFlag, *seed, runNames)
 	manifest.Checkpoint = *checkpoint
+	if jw != nil {
+		manifest.Journal = *journalFlag
+		manifest.JournalSealed = jw.Sealed()
+		manifest.JournalChunks = jw.ChunkRecords()
+		manifest.JournalVerifiedChunks = crossVerified
+	}
 	manifest.Scenarios = records
 	manifest.TrialsDone = mon.DoneTrials()
 	manifest.TrialsSkipped = mon.Skipped()
@@ -400,6 +541,53 @@ func run() int {
 		}
 	}
 	return code
+}
+
+// runVerify implements the verify subcommand: load the journal (recovering
+// nothing — a torn tail is reported, not repaired), re-execute every
+// journaled chunk from the campaign specs embedded in its open record, and
+// compare digests. Exit 0 when everything verifies, 3 when any chunk
+// mismatches or cannot be replayed, 1 on hard errors, 2 on usage errors.
+func runVerify(rest []string, path string, workers int, progress time.Duration) int {
+	if len(rest) > 0 {
+		fmt.Fprintf(os.Stderr, "relaxfault: verify takes no arguments (got %q)\n", rest)
+		return 2
+	}
+	if path == "" {
+		fmt.Fprintf(os.Stderr, "relaxfault: verify requires -journal FILE\n")
+		return 2
+	}
+	j, err := journal.Load(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "relaxfault: %v\n", err)
+		return 1
+	}
+	if j.TornBytes > 0 {
+		fmt.Fprintf(os.Stderr, "relaxfault: verify: %s has a torn tail (%d byte(s), %s); verifying the valid prefix\n",
+			path, j.TornBytes, j.TornReason)
+	}
+	mon := harness.NewMonitor(os.Stderr, progress)
+	stopMon := func() {}
+	if progress > 0 {
+		stopMon = mon.Start()
+	}
+	defer stopMon()
+	rep, err := scenario.VerifyJournal(context.Background(), j, scenario.Exec{Workers: workers, Mon: mon})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "relaxfault: %v\n", err)
+		return 1
+	}
+	fmt.Println(rep)
+	if rep.OK() {
+		return 0
+	}
+	for _, m := range rep.Mismatched {
+		fmt.Fprintf(os.Stderr, "relaxfault: verify: %s\n", m)
+	}
+	for _, k := range rep.Unknown {
+		fmt.Fprintf(os.Stderr, "relaxfault: verify: %s chunk %d: no embedded campaign covers this section\n", k.Section, k.Chunk)
+	}
+	return 3
 }
 
 // repeatedFlag collects every occurrence of a repeatable string flag.
@@ -696,6 +884,7 @@ func usage() {
 usage: relaxfault [flags] <experiment> [...]
        relaxfault -scenario FILE|PRESET
        relaxfault sweep -scenario FILE|PRESET -set path=v1,v2 [-set ...]
+       relaxfault verify -journal FILE
        relaxfault list
 
 flags:
@@ -706,6 +895,16 @@ flags:
   -checkpoint FILE    periodically snapshot Monte Carlo chunks to FILE
   -resume             restart from FILE's last snapshot (same flags + seed
                       reproduce the uninterrupted output exactly)
+  -journal FILE       keep an append-only replay journal beside the
+                      checkpoint: one fsync'd, digest-bearing record per
+                      completed chunk, written before the chunk may enter a
+                      snapshot; on -resume the snapshot is cross-checked
+                      against it and mismatches refuse the resume
+  -repair-journal     with -resume and -journal, quarantine chunks that fail
+                      the cross-check (they are recomputed) instead of
+                      refusing
+  -flush-interval D   checkpoint snapshot rate limit (default 2s); lower it
+                      so short campaigns persist chunks quickly
   -metrics FILE|-     write the run manifest (config fingerprint, timings,
                       metrics snapshot); "-" prints JSON to stdout
   -events FILE        append JSONL progress/skip/run events to FILE
@@ -754,7 +953,13 @@ Scenarios may pin a memory technology ("technology": "ddr3-1600", "ddr4-2400",
 "lpddr4", or "hbm"); timing, energies, FIT table, and PPR provisioning follow,
 and manifests record the resolved name + fingerprint.
 
+The verify subcommand replays a journal end to end: campaign specs embedded
+in the journal's open record are lowered and every journaled chunk is
+re-executed from its RNG fork coordinates, comparing SHA-256 digests. It
+needs only the journal file — no checkpoint or original command line.
+
 exit codes: 0 ok; 1 experiment failure; 2 usage; 3 completed with skipped
-trials (partial success); 130 interrupted.
+trials or journal verification mismatches; 130 interrupted (SIGINT);
+143 terminated (SIGTERM).
 `)
 }

@@ -10,6 +10,8 @@ import (
 	"strconv"
 	"sync"
 	"time"
+
+	"relaxfault/internal/journal"
 )
 
 // Store is a file-backed checkpoint holding the completed work chunks of one
@@ -30,6 +32,9 @@ type Store struct {
 	dirty      bool
 	lastFlush  time.Time
 	flushEvery time.Duration
+	// jw, when attached, receives one digest-bearing chunk record per
+	// PutSpan before the chunk enters the snapshot (journal ⊇ checkpoint).
+	jw *journal.Writer
 }
 
 type sectionData struct {
@@ -90,6 +95,33 @@ func (s *Store) Path() string {
 	return s.path
 }
 
+// SetFlushInterval overrides the Put-triggered snapshot rate limit
+// (DefaultFlushInterval). Tests and short-lived campaigns lower it so the
+// first chunks reach disk quickly. Non-positive durations flush on every
+// Put. Safe on a nil Store.
+func (s *Store) SetFlushInterval(d time.Duration) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.flushEvery = d
+	s.lastFlush = time.Time{} // let the very first Put flush
+	s.mu.Unlock()
+}
+
+// AttachJournal directs a digest-bearing journal chunk record through w for
+// every subsequent PutSpan, establishing the invariant that the journal is
+// a superset of the snapshot: a chunk record is durably journaled before
+// the chunk becomes eligible for a snapshot flush. Safe on a nil Store.
+func (s *Store) AttachJournal(w *journal.Writer) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.jw = w
+	s.mu.Unlock()
+}
+
 // Section returns the checkpoint section named name, creating it if absent.
 // A pre-existing section whose fingerprint does not match is discarded: the
 // configuration changed, so its chunks no longer describe this run. Safe on
@@ -130,6 +162,11 @@ func (s *Store) flushLocked() error {
 		return fmt.Errorf("harness: writing checkpoint: %w", err)
 	}
 	_, werr := tmp.Write(data)
+	// fsync the contents before the rename publishes them: rename-over is
+	// only atomic with respect to bytes that are already durable.
+	if werr == nil {
+		werr = tmp.Sync()
+	}
 	cerr := tmp.Close()
 	if werr != nil || cerr != nil {
 		os.Remove(tmp.Name())
@@ -142,9 +179,24 @@ func (s *Store) flushLocked() error {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("harness: writing checkpoint: %w", err)
 	}
+	// fsync the containing directory so the rename itself (the new
+	// directory entry) survives power loss, not just the file contents.
+	syncDir(dir)
 	s.dirty = false
 	s.lastFlush = time.Now()
 	return nil
+}
+
+// syncDir fsyncs a directory so a just-renamed entry in it survives power
+// loss. Errors are ignored: some platforms and filesystems cannot fsync
+// directories, and the data itself is already durable.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	d.Sync()
+	d.Close()
 }
 
 // maybeFlushLocked writes the snapshot if it is dirty and the rate limit has
@@ -213,14 +265,43 @@ func (c *Checkpoint) PruneAbove(max int) {
 }
 
 // Put stores chunk i's payload (marshalled to JSON) and opportunistically
-// flushes the snapshot under the store's rate limit.
+// flushes the snapshot under the store's rate limit. Put never journals —
+// callers that know the chunk's trial range use PutSpan so the chunk can be
+// replayed and digest-verified later.
 func (c *Checkpoint) Put(i int, payload any) error {
+	return c.put(i, -1, -1, payload)
+}
+
+// PutSpan is Put plus the chunk's RNG fork coordinates: the trial range
+// [trialLo, trialHi) whose per-trial streams are fork(trial) of the run's
+// root seed. When a journal is attached to the store, a chunk record
+// carrying the payload's SHA-256 digest is durably appended *before* the
+// chunk enters the snapshot; if journaling fails the chunk is not
+// checkpointed either (it will be recomputed on resume) so the journal
+// remains a superset of the snapshot.
+func (c *Checkpoint) PutSpan(i, trialLo, trialHi int, payload any) error {
+	return c.put(i, trialLo, trialHi, payload)
+}
+
+func (c *Checkpoint) put(i, trialLo, trialHi int, payload any) error {
 	if c == nil {
 		return nil
 	}
 	raw, err := json.Marshal(payload)
 	if err != nil {
 		return fmt.Errorf("harness: encoding chunk %d: %w", i, err)
+	}
+	c.store.mu.Lock()
+	jw := c.store.jw
+	var fp string
+	if sec := c.store.sections[c.name]; sec != nil {
+		fp = sec.Fingerprint
+	}
+	c.store.mu.Unlock()
+	if jw != nil && trialLo >= 0 {
+		if err := jw.AppendChunk(c.name, fp, i, trialLo, trialHi, journal.Digest(raw)); err != nil {
+			return fmt.Errorf("harness: journaling chunk %d: %w (chunk left unpersisted)", i, err)
+		}
 	}
 	c.store.mu.Lock()
 	defer c.store.mu.Unlock()

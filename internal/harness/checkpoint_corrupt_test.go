@@ -1,0 +1,99 @@
+package harness
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeValidSnapshot produces a well-formed one-section snapshot at path
+// and returns its bytes.
+func writeValidSnapshot(t *testing.T, path string) []byte {
+	t.Helper()
+	s, err := OpenStore(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Section("sec", "fp").Put(0, map[string]int{"v": 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestOpenStoreCorruptionPaths pins the contract for every way a snapshot
+// file can be unusable: resume=true must fail with an error that names the
+// file and the problem (never a silent zero-value resume), and
+// resume=false must cleanly ignore the file.
+func TestOpenStoreCorruptionPaths(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "base.json")
+	valid := writeValidSnapshot(t, base)
+
+	cases := []struct {
+		name    string
+		data    []byte
+		wantErr string
+	}{
+		{"truncated snapshot", valid[:len(valid)/2], "corrupt checkpoint"},
+		{"truncated to one byte", valid[:1], "corrupt checkpoint"},
+		{"invalid JSON", []byte("{not json at all"), "corrupt checkpoint"},
+		{"empty object (version 0)", []byte("{}"), "version 0"},
+		{"future version", []byte(`{"version":99,"sections":{}}`), "version 99"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "cp.json")
+			if err := os.WriteFile(path, tc.data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			_, err := OpenStore(path, true)
+			if err == nil {
+				t.Fatal("resume from an unusable snapshot must fail, not start empty")
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), path) {
+				t.Fatalf("error %q does not name the file", err)
+			}
+
+			// Without resume the bad file is ignored and overwritten by the
+			// first flush.
+			s, err := OpenStore(path, false)
+			if err != nil {
+				t.Fatalf("resume=false must ignore the bad snapshot: %v", err)
+			}
+			if err := s.Section("sec", "fp").Put(0, map[string]int{"v": 2}); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := OpenStore(path, true); err != nil {
+				t.Fatalf("flush did not repair the snapshot: %v", err)
+			}
+		})
+	}
+}
+
+// TestOpenStoreEmptyFile: a zero-length snapshot (e.g. creation raced a
+// kill before any flush) is corrupt under resume, ignored otherwise.
+func TestOpenStoreEmptyFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cp.json")
+	if err := os.WriteFile(path, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenStore(path, true); err == nil {
+		t.Fatal("resume from an empty snapshot must fail")
+	}
+	if _, err := OpenStore(path, false); err != nil {
+		t.Fatalf("resume=false must ignore the empty snapshot: %v", err)
+	}
+}

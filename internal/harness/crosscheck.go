@@ -1,0 +1,122 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"relaxfault/internal/journal"
+	"relaxfault/internal/obs"
+)
+
+// ccm is the cross-check telemetry (journal.* namespace, see
+// OBSERVABILITY.md).
+var ccm = struct {
+	verified    *obs.Counter
+	mismatched  *obs.Counter
+	quarantined *obs.Counter
+}{
+	verified:    obs.Default().Counter("journal.crosscheck.verified"),
+	mismatched:  obs.Default().Counter("journal.crosscheck.mismatched"),
+	quarantined: obs.Default().Counter("journal.crosscheck.quarantined"),
+}
+
+// CrossCheckResult reports what Store.CrossCheck found.
+type CrossCheckResult struct {
+	// Verified counts snapshot chunks whose payload digest matched their
+	// latest journal record.
+	Verified int
+	// Quarantined lists the chunks dropped in repair mode: digest
+	// mismatches and journal-less chunks of journaled sections. They will
+	// be recomputed (and re-journaled) by the resumed run.
+	Quarantined []journal.ChunkKey
+	// ForeignSections counts snapshot sections the journal never mentions
+	// (e.g. an older campaign sharing the store); their chunks are left
+	// alone and unverified.
+	ForeignSections int
+}
+
+// CrossCheck verifies every snapshot chunk of every journaled section
+// against the journal's digests — the resume-time half of the
+// detectable-recoverability contract. A chunk fails when its section
+// appears in the journal but the chunk has no record there (the snapshot
+// claims work the journal never acknowledged) or when its payload's
+// SHA-256 digest differs from the latest journaled digest (the snapshot
+// bytes are not the bytes that were verified durable).
+//
+// With repair=false the first failure aborts the resume with an error
+// naming every bad chunk. With repair=true failing chunks are quarantined:
+// dropped from the snapshot (forcing deterministic recomputation) and
+// reported in the result, with a warning per chunk on mon.
+//
+// Sections absent from the journal entirely are skipped: a shared store
+// may hold sections of unrelated, pre-journal campaigns.
+func (s *Store) CrossCheck(j *journal.Journal, repair bool, mon *Monitor) (CrossCheckResult, error) {
+	var res CrossCheckResult
+	if s == nil || j == nil {
+		return res, nil
+	}
+	latest := j.LatestChunks()
+	journaled := make(map[string]bool)
+	for _, rec := range j.Chunks {
+		journaled[rec.Section] = true
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.sections))
+	for name := range s.sections {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var bad []string
+	for _, name := range names {
+		sec := s.sections[name]
+		if !journaled[name] {
+			res.ForeignSections++
+			continue
+		}
+		idxs := make([]int, 0, len(sec.Chunks))
+		for k := range sec.Chunks {
+			if i, err := strconv.Atoi(k); err == nil {
+				idxs = append(idxs, i)
+			}
+		}
+		sort.Ints(idxs)
+		for _, i := range idxs {
+			raw := sec.Chunks[strconv.Itoa(i)]
+			rec, ok := latest[journal.ChunkKey{Section: name, Chunk: i}]
+			var reason string
+			switch {
+			case !ok:
+				reason = "no journal record"
+			case rec.SectionFP != sec.Fingerprint:
+				reason = fmt.Sprintf("journal section fingerprint %s != snapshot %s", rec.SectionFP, sec.Fingerprint)
+			case rec.Digest != journal.Digest(raw):
+				reason = fmt.Sprintf("digest mismatch: journal %s, snapshot payload %s", rec.Digest, journal.Digest(raw))
+			}
+			if reason == "" {
+				res.Verified++
+				ccm.verified.Inc()
+				continue
+			}
+			ccm.mismatched.Inc()
+			if !repair {
+				bad = append(bad, fmt.Sprintf("%s chunk %d: %s", name, i, reason))
+				continue
+			}
+			delete(sec.Chunks, strconv.Itoa(i))
+			s.dirty = true
+			res.Quarantined = append(res.Quarantined, journal.ChunkKey{Section: name, Chunk: i})
+			ccm.quarantined.Inc()
+			mon.Warnf("journal cross-check: quarantined %s chunk %d (%s); it will be recomputed", name, i, reason)
+		}
+	}
+	if len(bad) > 0 {
+		return res, fmt.Errorf("harness: checkpoint fails journal cross-check (%d chunk(s)); rerun with -repair-journal to quarantine and recompute:\n  %s",
+			len(bad), strings.Join(bad, "\n  "))
+	}
+	return res, nil
+}

@@ -1,0 +1,216 @@
+package harness
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"relaxfault/internal/journal"
+)
+
+// openJournaledStore creates a store + journal pair in dir, attached.
+func openJournaledStore(t *testing.T, dir string) (*Store, *journal.Writer, string, string) {
+	t.Helper()
+	cpPath := filepath.Join(dir, "cp.json")
+	jPath := filepath.Join(dir, "cp.journal")
+	s, err := OpenStore(cpPath, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jw, err := journal.Create(jPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := jw.Append(journal.Record{Type: journal.TypeOpen, Schema: journal.Schema, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	s.AttachJournal(jw)
+	return s, jw, cpPath, jPath
+}
+
+func TestPutSpanJournalsBeforeCheckpoint(t *testing.T) {
+	s, jw, cpPath, jPath := openJournaledStore(t, t.TempDir())
+	cp := s.Section("run-xyz", "xyz")
+	type payload struct{ V int }
+	if err := cp.PutSpan(0, 0, 4096, payload{41}); err != nil {
+		t.Fatalf("PutSpan: %v", err)
+	}
+	if err := cp.PutSpan(1, 4096, 8192, payload{42}); err != nil {
+		t.Fatalf("PutSpan: %v", err)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	jw.Close()
+
+	j, err := journal.Load(jPath)
+	if err != nil {
+		t.Fatalf("Load journal: %v", err)
+	}
+	if j.ChunkRecords != 2 {
+		t.Fatalf("want 2 chunk records, got %d", j.ChunkRecords)
+	}
+	rec := j.Chunks[1]
+	if rec.Section != "run-xyz" || rec.SectionFP != "xyz" || rec.Chunk != 1 ||
+		rec.TrialLo != 4096 || rec.TrialHi != 8192 {
+		t.Fatalf("chunk record wrong: %+v", rec)
+	}
+	want := journal.Digest([]byte(`{"V":42}`))
+	if rec.Digest != want {
+		t.Fatalf("digest = %s, want %s (the exact checkpoint payload bytes)", rec.Digest, want)
+	}
+
+	// Cross-check on a fresh resume passes and counts both chunks.
+	s2, err := OpenStore(cpPath, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s2.CrossCheck(j, false, nil)
+	if err != nil {
+		t.Fatalf("CrossCheck: %v", err)
+	}
+	if res.Verified != 2 || len(res.Quarantined) != 0 {
+		t.Fatalf("want 2 verified, got %+v", res)
+	}
+}
+
+func TestPlainPutDoesNotJournal(t *testing.T) {
+	s, jw, _, jPath := openJournaledStore(t, t.TempDir())
+	cp := s.Section("run-xyz", "xyz")
+	if err := cp.Put(0, map[string]int{"v": 1}); err != nil {
+		t.Fatal(err)
+	}
+	jw.Close()
+	j, err := journal.Load(jPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.ChunkRecords != 0 {
+		t.Fatalf("Put must not journal; got %d chunk records", j.ChunkRecords)
+	}
+}
+
+// tamper rewrites one chunk payload inside the snapshot file on disk.
+func tamper(t *testing.T, cpPath, section, chunk string, payload string) {
+	t.Helper()
+	data, err := os.ReadFile(cpPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f map[string]any
+	if err := json.Unmarshal(data, &f); err != nil {
+		t.Fatal(err)
+	}
+	sec := f["sections"].(map[string]any)[section].(map[string]any)
+	sec["chunks"].(map[string]any)[chunk] = json.RawMessage(payload)
+	out, err := json.Marshal(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(cpPath, out, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCrossCheckDetectsTamperedChunk(t *testing.T) {
+	dir := t.TempDir()
+	s, jw, cpPath, jPath := openJournaledStore(t, dir)
+	cp := s.Section("run-xyz", "xyz")
+	cp.PutSpan(0, 0, 10, map[string]int{"v": 1})
+	cp.PutSpan(1, 10, 20, map[string]int{"v": 2})
+	s.Flush()
+	jw.Close()
+
+	tamper(t, cpPath, "run-xyz", "1", `{"v":999}`)
+
+	j, err := journal.Load(jPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := OpenStore(cpPath, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = s2.CrossCheck(j, false, nil)
+	if err == nil || !strings.Contains(err.Error(), "digest mismatch") {
+		t.Fatalf("tampered chunk not refused: %v", err)
+	}
+
+	// Repair mode quarantines exactly the bad chunk and keeps the good one.
+	s3, err := OpenStore(cpPath, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s3.CrossCheck(j, true, nil)
+	if err != nil {
+		t.Fatalf("repair CrossCheck: %v", err)
+	}
+	if res.Verified != 1 || len(res.Quarantined) != 1 {
+		t.Fatalf("want 1 verified + 1 quarantined, got %+v", res)
+	}
+	if res.Quarantined[0] != (journal.ChunkKey{Section: "run-xyz", Chunk: 1}) {
+		t.Fatalf("wrong chunk quarantined: %+v", res.Quarantined[0])
+	}
+	ck := s3.Section("run-xyz", "xyz")
+	if _, ok := ck.Get(1); ok {
+		t.Fatal("quarantined chunk still present")
+	}
+	if _, ok := ck.Get(0); !ok {
+		t.Fatal("verified chunk was dropped")
+	}
+}
+
+func TestCrossCheckRefusesUnjournaledChunkOfJournaledSection(t *testing.T) {
+	dir := t.TempDir()
+	s, jw, cpPath, jPath := openJournaledStore(t, dir)
+	cp := s.Section("run-xyz", "xyz")
+	cp.PutSpan(0, 0, 10, map[string]int{"v": 1})
+	cp.Put(7, map[string]int{"v": 7}) // checkpointed but never journaled
+	s.Flush()
+	jw.Close()
+
+	j, _ := journal.Load(jPath)
+	s2, _ := OpenStore(cpPath, true)
+	_, err := s2.CrossCheck(j, false, nil)
+	if err == nil || !strings.Contains(err.Error(), "no journal record") {
+		t.Fatalf("unjournaled chunk not refused: %v", err)
+	}
+}
+
+func TestCrossCheckSkipsForeignSections(t *testing.T) {
+	dir := t.TempDir()
+	s, jw, cpPath, jPath := openJournaledStore(t, dir)
+	// One journaled section, one foreign section written pre-journal.
+	s.AttachJournal(nil)
+	s.Section("old-campaign", "old").Put(0, map[string]int{"v": 0})
+	s.AttachJournal(jw)
+	cp := s.Section("run-xyz", "xyz")
+	cp.PutSpan(0, 0, 10, map[string]int{"v": 1})
+	s.Flush()
+	jw.Close()
+
+	j, _ := journal.Load(jPath)
+	s2, _ := OpenStore(cpPath, true)
+	res, err := s2.CrossCheck(j, false, nil)
+	if err != nil {
+		t.Fatalf("foreign section broke cross-check: %v", err)
+	}
+	if res.ForeignSections != 1 || res.Verified != 1 {
+		t.Fatalf("want 1 foreign + 1 verified, got %+v", res)
+	}
+}
+
+func TestJournalFailureKeepsChunkOutOfCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	s, jw, _, _ := openJournaledStore(t, dir)
+	jw.Close() // closed handle: the next append's fsync fails
+	cp := s.Section("run-xyz", "xyz")
+	if err := cp.PutSpan(0, 0, 10, map[string]int{"v": 1}); err == nil {
+		t.Fatal("PutSpan with a broken journal must fail")
+	}
+	if _, ok := cp.Get(0); ok {
+		t.Fatal("chunk entered the checkpoint despite the journal failure (journal ⊇ checkpoint violated)")
+	}
+}

@@ -13,8 +13,10 @@ import (
 )
 
 // ManifestSchema versions the manifest JSON layout; consumers should reject
-// schemas they do not understand rather than guess.
-const ManifestSchema = 1
+// schemas they do not understand rather than guess. Schema 2 added the
+// journal audit fields (journal path, sealed state, chunk-record and
+// verified-chunk counts).
+const ManifestSchema = 2
 
 // Manifest is the machine-readable record of one CLI run: enough to
 // reproduce it (command, seed, fingerprint, version), audit it (wall/CPU
@@ -33,6 +35,14 @@ type Manifest struct {
 	Seed        uint64   `json:"seed"`
 	Fingerprint string   `json:"fingerprint,omitempty"` // config fingerprint(s), joined
 	Checkpoint  string   `json:"checkpoint,omitempty"`
+	// Journal fields (schema 2) let campaign tooling audit a run without
+	// opening the journal: the journal path, whether the run sealed it
+	// cleanly ("complete"), how many chunk records this process appended,
+	// and how many resumed snapshot chunks passed the digest cross-check.
+	Journal               string `json:"journal,omitempty"`
+	JournalSealed         bool   `json:"journal_sealed,omitempty"`
+	JournalChunks         uint64 `json:"journal_chunks,omitempty"`
+	JournalVerifiedChunks int    `json:"journal_verified_chunks,omitempty"`
 	// Scenarios embeds every fully-resolved scenario the run executed, so a
 	// manifest alone reproduces the run without the preset registry or the
 	// original -scenario file.
@@ -108,6 +118,9 @@ func (m *Manifest) WriteFile(path string) error {
 		return fmt.Errorf("harness: write manifest: %w", err)
 	}
 	_, werr := tmp.Write(data)
+	if werr == nil {
+		werr = tmp.Sync()
+	}
 	cerr := tmp.Close()
 	if werr != nil || cerr != nil {
 		os.Remove(tmp.Name())
@@ -120,6 +133,7 @@ func (m *Manifest) WriteFile(path string) error {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("harness: write manifest: %w", err)
 	}
+	syncDir(dir)
 	return nil
 }
 

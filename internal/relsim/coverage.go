@@ -178,9 +178,10 @@ type covChunk struct {
 	Curves  []covCurveChunk `json:"curves"`
 }
 
-// fingerprint identifies the statistical content of the study configuration
-// for checkpoint compatibility.
-func (cfg *CoverageConfig) fingerprint() string {
+// Fingerprint identifies the statistical content of the study configuration
+// for checkpoint compatibility and journal replay. The checkpoint/journal
+// section of a study is "coverage-"+Fingerprint() (see CoverageSection).
+func (cfg *CoverageConfig) Fingerprint() string {
 	names := make([]string, len(cfg.Planners))
 	for i, p := range cfg.Planners {
 		names[i] = p.Name()
@@ -222,8 +223,8 @@ func CoverageStudyCtx(ctx context.Context, cfg CoverageConfig) (*CoverageResult,
 	nChunks := (cfg.MaxNodes + covChunkSize - 1) / covChunkSize
 	root := stats.NewRNG(cfg.Seed)
 
-	fp := cfg.fingerprint()
-	cp := cfg.Checkpoint.Section("coverage-"+fp, fp)
+	fp := cfg.Fingerprint()
+	cp := cfg.Checkpoint.Section(CoverageSection(fp), fp)
 
 	// Shared chunk table. All access to chunks/cutoff/scan state is under
 	// mu; chunk computation itself runs outside the lock.
@@ -296,7 +297,12 @@ func CoverageStudyCtx(ctx context.Context, cfg CoverageConfig) (*CoverageResult,
 		mu.Lock()
 		store(ci, ch)
 		mu.Unlock()
-		if err := cp.Put(ci, ch); err != nil {
+		lo := ci * covChunkSize
+		hi := lo + covChunkSize
+		if hi > cfg.MaxNodes {
+			hi = cfg.MaxNodes
+		}
+		if err := cp.PutSpan(ci, lo, hi, ch); err != nil {
 			cfg.Mon.Warnf("relsim: %v (study continues without this chunk persisted)", err)
 		}
 		return int64(ch.Nodes), true

@@ -223,10 +223,12 @@ func chunkSpan(ci, totalNodes int) int {
 	return hi - lo
 }
 
-// fingerprint identifies the statistical content of a run configuration for
-// checkpoint compatibility. Anything that changes sampled histories or their
-// interpretation must be included; Workers and Mon deliberately are not.
-func (cfg *Config) fingerprint() string {
+// Fingerprint identifies the statistical content of a run configuration for
+// checkpoint compatibility and journal replay. Anything that changes sampled
+// histories or their interpretation must be included; Workers and Mon
+// deliberately are not. The checkpoint/journal section of a run is
+// "run-"+Fingerprint() (see RunSection).
+func (cfg *Config) Fingerprint() string {
 	planner := "none"
 	if cfg.Planner != nil {
 		planner = cfg.Planner.Name()
@@ -261,7 +263,7 @@ func RunCtx(ctx context.Context, cfg Config) (Result, error) {
 
 	// Resume: chunks already present in the checkpoint section are adopted
 	// verbatim; only the remainder is simulated.
-	cp := cfg.Checkpoint.Section("run-"+cfg.fingerprint(), cfg.fingerprint())
+	cp := cfg.Checkpoint.Section(RunSection(cfg.Fingerprint()), cfg.Fingerprint())
 	chunks := make([]*Result, nChunks)
 	var todo []int
 	for ci := 0; ci < nChunks; ci++ {
@@ -304,7 +306,7 @@ func RunCtx(ctx context.Context, cfg Config) (Result, error) {
 		}
 		chunks[ci] = res
 		rm.trialsDone.Add(int64(hi - lo))
-		if err := cp.Put(ci, res); err != nil {
+		if err := cp.PutSpan(ci, lo, hi, res); err != nil {
 			cfg.Mon.Warnf("relsim: %v (run continues without this chunk persisted)", err)
 		}
 		return int64(hi - lo), true

@@ -1,0 +1,165 @@
+package relsim
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"relaxfault/internal/fault"
+	"relaxfault/internal/stats"
+)
+
+// RunSection names the checkpoint/journal section a reliability run with the
+// given configuration fingerprint writes to.
+func RunSection(fingerprint string) string { return "run-" + fingerprint }
+
+// CoverageSection names the checkpoint/journal section a coverage study with
+// the given configuration fingerprint writes to.
+func CoverageSection(fingerprint string) string { return "coverage-" + fingerprint }
+
+// A Replayer deterministically re-executes the chunks of one campaign
+// section. ReplayChunk returns the exact JSON payload bytes the original run
+// handed to the checkpoint for that chunk — the bytes whose SHA-256 digest
+// the journal recorded — so journal verification is a byte-level contract,
+// not a semantic comparison. Implementations are safe for concurrent
+// ReplayChunk calls.
+type Replayer interface {
+	// Section is the checkpoint/journal section name this replayer covers.
+	Section() string
+	// Fingerprint is the configuration fingerprint (the section's expected
+	// fingerprint in both snapshot and journal records).
+	Fingerprint() string
+	// NumChunks is the total chunk count of an uninterrupted campaign.
+	NumChunks() int
+	// ReplayChunk recomputes chunk ci from the run's RNG fork coordinates
+	// and returns its canonical payload bytes plus the trial range
+	// [trialLo, trialHi) the chunk covers.
+	ReplayChunk(ci int) (payload []byte, trialLo, trialHi int, err error)
+}
+
+// runReplayer replays reliability-run chunks (Run / RunCtx).
+type runReplayer struct {
+	cfg        Config
+	model      *fault.Model
+	fp         string
+	totalNodes int
+	sims       sync.Pool // *nodeSim, one per concurrent caller
+}
+
+// NewRunReplayer builds a Replayer for the reliability run described by cfg.
+// Execution attachments (Exec) are ignored; only the statistical
+// configuration matters.
+func NewRunReplayer(cfg Config) (Replayer, error) {
+	if cfg.Replicas <= 0 {
+		cfg.Replicas = 1
+	}
+	cfg.Exec = Exec{}
+	cfg.trialHook = nil
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	model, err := fault.NewModel(cfg.Model)
+	if err != nil {
+		return nil, err
+	}
+	return &runReplayer{
+		cfg:        cfg,
+		model:      model,
+		fp:         cfg.Fingerprint(),
+		totalNodes: cfg.Nodes * cfg.Replicas,
+	}, nil
+}
+
+func (r *runReplayer) Section() string     { return RunSection(r.fp) }
+func (r *runReplayer) Fingerprint() string { return r.fp }
+func (r *runReplayer) NumChunks() int {
+	return (r.totalNodes + chunkSize - 1) / chunkSize
+}
+
+func (r *runReplayer) ReplayChunk(ci int) ([]byte, int, int, error) {
+	if ci < 0 || ci >= r.NumChunks() {
+		return nil, 0, 0, fmt.Errorf("relsim: chunk %d outside [0, %d)", ci, r.NumChunks())
+	}
+	sim, _ := r.sims.Get().(*nodeSim)
+	if sim == nil {
+		var err error
+		sim, err = newNodeSim(r.model, r.cfg)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+	}
+	defer r.sims.Put(sim)
+	root := stats.NewRNG(r.cfg.Seed)
+	lo := ci * chunkSize
+	hi := lo + chunkSize
+	if hi > r.totalNodes {
+		hi = r.totalNodes
+	}
+	// Identical to the chunk body of RunCtx: trial i draws from fork(i),
+	// accumulation order is trial order, and the payload is the marshalled
+	// *Result exactly as PutSpan received it.
+	res := &Result{}
+	for i := lo; i < hi; i++ {
+		runTrial(sim, root, i, res, &r.cfg)
+	}
+	raw, err := json.Marshal(res)
+	if err != nil {
+		return nil, 0, 0, fmt.Errorf("relsim: encoding replayed chunk %d: %w", ci, err)
+	}
+	return raw, lo, hi, nil
+}
+
+// coverageReplayer replays coverage-study chunks (CoverageStudy /
+// CoverageStudyCtx).
+type coverageReplayer struct {
+	cfg       CoverageConfig
+	model     *fault.Model
+	fp        string
+	scratches sync.Pool // *fault.SampleScratch
+}
+
+// NewCoverageReplayer builds a Replayer for the coverage study described by
+// cfg. Execution attachments (Exec) are ignored.
+func NewCoverageReplayer(cfg CoverageConfig) (Replayer, error) {
+	cfg.Exec = Exec{}
+	cfg.trialHook = nil
+	cfg.planHists = nil // replay must not pollute live campaign histograms
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	model, err := fault.NewModel(cfg.Model)
+	if err != nil {
+		return nil, err
+	}
+	return &coverageReplayer{cfg: cfg, model: model, fp: cfg.Fingerprint()}, nil
+}
+
+func (r *coverageReplayer) Section() string     { return CoverageSection(r.fp) }
+func (r *coverageReplayer) Fingerprint() string { return r.fp }
+func (r *coverageReplayer) NumChunks() int {
+	return (r.cfg.MaxNodes + covChunkSize - 1) / covChunkSize
+}
+
+func (r *coverageReplayer) ReplayChunk(ci int) ([]byte, int, int, error) {
+	if ci < 0 || ci >= r.NumChunks() {
+		return nil, 0, 0, fmt.Errorf("relsim: chunk %d outside [0, %d)", ci, r.NumChunks())
+	}
+	sc, _ := r.scratches.Get().(*fault.SampleScratch)
+	if sc == nil {
+		sc = &fault.SampleScratch{}
+	}
+	defer r.scratches.Put(sc)
+	root := stats.NewRNG(r.cfg.Seed)
+	nCurves := len(r.cfg.Planners) * len(r.cfg.WayLimits)
+	ch := r.cfg.coverageChunk(r.model, root, ci, nCurves, sc)
+	raw, err := json.Marshal(ch)
+	if err != nil {
+		return nil, 0, 0, fmt.Errorf("relsim: encoding replayed chunk %d: %w", ci, err)
+	}
+	lo := ci * covChunkSize
+	hi := lo + covChunkSize
+	if hi > r.cfg.MaxNodes {
+		hi = r.cfg.MaxNodes
+	}
+	return raw, lo, hi, nil
+}

@@ -1,0 +1,144 @@
+package relsim
+
+import (
+	"path/filepath"
+	"testing"
+
+	"relaxfault/internal/addrmap"
+	"relaxfault/internal/dram"
+	"relaxfault/internal/harness"
+	"relaxfault/internal/journal"
+	"relaxfault/internal/repair"
+)
+
+// journaledCampaign runs body against a store with an attached journal and
+// returns the loaded journal.
+func journaledCampaign(t *testing.T, body func(store *harness.Store)) *journal.Journal {
+	t.Helper()
+	dir := t.TempDir()
+	store, err := harness.OpenStore(filepath.Join(dir, "cp.json"), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jPath := filepath.Join(dir, "cp.journal")
+	jw, err := journal.Create(jPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := jw.Append(journal.Record{Type: journal.TypeOpen, Schema: journal.Schema}); err != nil {
+		t.Fatal(err)
+	}
+	store.AttachJournal(jw)
+	body(store)
+	if err := jw.Seal(journal.StatusComplete); err != nil {
+		t.Fatal(err)
+	}
+	jw.Close()
+	j, err := journal.Load(jPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j
+}
+
+// TestRunReplayerMatchesJournal is the replay half of the verification
+// contract: every chunk record a reliability run journals must be
+// reproducible by NewRunReplayer byte-for-byte (same digest, same trial
+// range) from the configuration alone.
+func TestRunReplayerMatchesJournal(t *testing.T) {
+	cfg := smallCfg()
+	cfg.Nodes = 9000 // 3 chunks of 4096
+	j := journaledCampaign(t, func(store *harness.Store) {
+		cfg.Checkpoint = store
+		if _, err := Run(cfg); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if j.ChunkRecords != 3 {
+		t.Fatalf("want 3 journaled chunks, got %d", j.ChunkRecords)
+	}
+
+	rep, err := NewRunReplayer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.NumChunks() != 3 || rep.Section() != RunSection(cfg.Fingerprint()) {
+		t.Fatalf("replayer shape wrong: %d chunks, section %s", rep.NumChunks(), rep.Section())
+	}
+	for _, rec := range j.Chunks {
+		if rec.Section != rep.Section() || rec.SectionFP != rep.Fingerprint() {
+			t.Fatalf("journal record names section %s/%s, replayer %s/%s",
+				rec.Section, rec.SectionFP, rep.Section(), rep.Fingerprint())
+		}
+		raw, lo, hi, err := rep.ReplayChunk(rec.Chunk)
+		if err != nil {
+			t.Fatalf("ReplayChunk(%d): %v", rec.Chunk, err)
+		}
+		if lo != rec.TrialLo || hi != rec.TrialHi {
+			t.Fatalf("chunk %d trial range: replay [%d,%d), journal [%d,%d)",
+				rec.Chunk, lo, hi, rec.TrialLo, rec.TrialHi)
+		}
+		if got := journal.Digest(raw); got != rec.Digest {
+			t.Fatalf("chunk %d digest: replay %s, journal %s", rec.Chunk, got, rec.Digest)
+		}
+	}
+
+	// A different seed must NOT reproduce the digests (the test would be
+	// vacuous if digests did not depend on the sampled histories).
+	other := cfg
+	other.Seed++
+	orep, err := NewRunReplayer(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _, _, err := orep.ReplayChunk(j.Chunks[0].Chunk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if journal.Digest(raw) == j.Chunks[0].Digest {
+		t.Fatal("different seed replayed to an identical digest")
+	}
+}
+
+func TestCoverageReplayerMatchesJournal(t *testing.T) {
+	g := dram.Default8GiBNode()
+	m, err := addrmap.New(g, 8192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultCoverageConfig()
+	cfg.Planners = []repair.Planner{repair.NewRelaxFault(m, 16)}
+	cfg.WayLimits = []int{4}
+	cfg.FaultyNodes = 400
+	cfg.MaxNodes = 50000
+	j := journaledCampaign(t, func(store *harness.Store) {
+		cfg.Checkpoint = store
+		if _, err := CoverageStudy(cfg); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if j.ChunkRecords == 0 {
+		t.Fatal("coverage study journaled no chunks")
+	}
+
+	rep, err := NewCoverageReplayer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Section() != CoverageSection(cfg.Fingerprint()) {
+		t.Fatalf("replayer section %s", rep.Section())
+	}
+	for _, rec := range j.Chunks {
+		raw, lo, hi, err := rep.ReplayChunk(rec.Chunk)
+		if err != nil {
+			t.Fatalf("ReplayChunk(%d): %v", rec.Chunk, err)
+		}
+		if lo != rec.TrialLo || hi != rec.TrialHi {
+			t.Fatalf("chunk %d trial range: replay [%d,%d), journal [%d,%d)",
+				rec.Chunk, lo, hi, rec.TrialLo, rec.TrialHi)
+		}
+		if got := journal.Digest(raw); got != rec.Digest {
+			t.Fatalf("chunk %d digest: replay %s, journal %s", rec.Chunk, got, rec.Digest)
+		}
+	}
+}

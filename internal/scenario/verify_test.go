@@ -1,0 +1,173 @@
+package scenario
+
+import (
+	"context"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"relaxfault/internal/harness"
+	"relaxfault/internal/journal"
+)
+
+// verifyScenario is a small, fast reliability campaign with enough faults
+// (10x FIT) that chunk digests actually depend on the sampled histories.
+func verifyScenario(t *testing.T) *Scenario {
+	t.Helper()
+	sc := &Scenario{
+		Name: "verify-test",
+		Kind: KindReliability,
+		Budget: Budget{
+			Nodes:    9000, // 3 chunks of 4096
+			Replicas: 1,
+		},
+		Fault: &FaultSpec{FITScale: 10},
+		Reliability: &ReliabilitySpec{
+			Cells: []ReliabilityCell{{Label: "no-repair", Policy: "replace-after-due"}},
+		},
+	}
+	if err := sc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return sc
+}
+
+// runJournaled executes sc with an attached journal whose open record embeds
+// the campaign (the self-contained form the CLI writes), seals it, and
+// returns the loaded journal.
+func runJournaled(t *testing.T, sc *Scenario) *journal.Journal {
+	t.Helper()
+	dir := t.TempDir()
+	store, err := harness.OpenStore(filepath.Join(dir, "cp.json"), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jPath := filepath.Join(dir, "cp.journal")
+	jw, err := journal.Create(jPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := sc.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, err := sc.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = jw.Append(journal.Record{
+		Type:   journal.TypeOpen,
+		Schema: journal.Schema,
+		Seed:   *sc.Seed,
+		Campaigns: []journal.Campaign{
+			{Name: sc.Name, Fingerprint: fp, Spec: spec},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	store.AttachJournal(jw)
+	if _, err := Run(sc, Exec{Store: store}); err != nil {
+		t.Fatal(err)
+	}
+	if err := jw.Seal(journal.StatusComplete); err != nil {
+		t.Fatal(err)
+	}
+	jw.Close()
+	j, err := journal.Load(jPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j
+}
+
+func TestVerifyJournalEndToEnd(t *testing.T) {
+	sc := verifyScenario(t)
+	j := runJournaled(t, sc)
+	if j.ChunkRecords != 3 {
+		t.Fatalf("campaign journaled %d chunks, want 3", j.ChunkRecords)
+	}
+
+	rep, err := VerifyJournal(context.Background(), j, Exec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() || rep.Verified != 3 || rep.Campaigns != 1 || rep.Sections != 1 {
+		t.Fatalf("clean journal did not verify: %+v", rep)
+	}
+	if rep.Sealed != journal.StatusComplete {
+		t.Fatalf("sealed = %q", rep.Sealed)
+	}
+}
+
+func TestVerifyJournalDetectsCorruptDigest(t *testing.T) {
+	sc := verifyScenario(t)
+	j := runJournaled(t, sc)
+	j.Chunks[1].Digest = "sha256:deadbeef"
+
+	rep, err := VerifyJournal(context.Background(), j, Exec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() || len(rep.Mismatched) != 1 {
+		t.Fatalf("corrupt digest not detected: %+v", rep)
+	}
+	m := rep.Mismatched[0]
+	if m.Key.Chunk != j.Chunks[1].Chunk || !strings.Contains(m.Reason, "digest mismatch") {
+		t.Fatalf("wrong mismatch: %+v", m)
+	}
+	if rep.Verified != 2 {
+		t.Fatalf("untouched chunks must still verify: %+v", rep)
+	}
+}
+
+func TestVerifyJournalFlagsUnknownSections(t *testing.T) {
+	sc := verifyScenario(t)
+	j := runJournaled(t, sc)
+	j.Chunks[0].Section = "run-0000000000000000"
+
+	rep, err := VerifyJournal(context.Background(), j, Exec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() || len(rep.Unknown) != 1 || rep.Verified != 2 {
+		t.Fatalf("foreign section not flagged: %+v", rep)
+	}
+}
+
+func TestVerifyJournalRejectsTamperedSpec(t *testing.T) {
+	sc := verifyScenario(t)
+	j := runJournaled(t, sc)
+	// Change the embedded spec without updating the recorded fingerprint:
+	// verification must refuse to replay rather than validate the wrong
+	// campaign.
+	tampered := strings.Replace(string(j.Open.Campaigns[0].Spec), `"fit_scale":10`, `"fit_scale":5`, 1)
+	if tampered == string(j.Open.Campaigns[0].Spec) {
+		t.Fatal("tamper edit did not apply")
+	}
+	j.Open.Campaigns[0].Spec = []byte(tampered)
+
+	_, err := VerifyJournal(context.Background(), j, Exec{})
+	if err == nil || !strings.Contains(err.Error(), "fingerprint") {
+		t.Fatalf("tampered spec accepted: %v", err)
+	}
+}
+
+func TestVerifyJournalWorkerInvariance(t *testing.T) {
+	sc := verifyScenario(t)
+	j := runJournaled(t, sc)
+	j.Chunks[2].Digest = "sha256:00"
+	var reports []*VerifyReport
+	for _, w := range []int{1, 4} {
+		rep, err := VerifyJournal(context.Background(), j, Exec{Workers: w})
+		if err != nil {
+			t.Fatal(err)
+		}
+		reports = append(reports, rep)
+	}
+	a, b := reports[0], reports[1]
+	if a.Verified != b.Verified || len(a.Mismatched) != len(b.Mismatched) ||
+		a.String() != b.String() {
+		t.Fatalf("worker count changed the report:\n%s\n%s", a, b)
+	}
+}
