@@ -5,7 +5,8 @@
 //
 //	relaxfault [-scale quick|paper] [-seed N] [-parallel N] [-timeout D]
 //	           [-progress D] [-checkpoint FILE [-resume] [-journal FILE]]
-//	           [-metrics FILE|-] [-events FILE] [-pprof ADDR] <experiment> [...]
+//	           [-metrics FILE|-] [-events FILE] [-pprof ADDR] [-trace FILE]
+//	           <experiment> [...]
 //	relaxfault -scenario FILE|PRESET
 //	relaxfault sweep -scenario FILE|PRESET -set path=v1,v2 [-set ...]
 //	relaxfault verify -journal FILE
@@ -43,8 +44,13 @@
 //
 // Telemetry (see OBSERVABILITY.md): -metrics writes a run manifest with the
 // full metrics snapshot, -events streams JSONL progress/skip/run events, and
-// -pprof serves net/http/pprof, expvar, and Prometheus text metrics while
-// the run is live. Flags may appear before or after experiment names.
+// -pprof serves net/http/pprof, expvar, Prometheus text metrics, and a live
+// GET /debug/status JSON snapshot (per-worker current chunk, trials/s, ETA,
+// journal health) while the run is live. -trace FILE records execution spans
+// (chunk/claim/checkpoint/reduce-wait per worker, fsync stalls, sections)
+// and writes a Chrome trace_event JSON loadable in Perfetto, embeds the
+// scheduler-attribution report as the manifest's "trace" block, and prints
+// it as a table. Flags may appear before or after experiment names.
 //
 // Exit codes: 0 success; 1 at least one experiment failed; 2 usage error;
 // 3 all experiments completed but some Monte Carlo trials were skipped
@@ -73,6 +79,7 @@ import (
 	"relaxfault/internal/harness"
 	"relaxfault/internal/journal"
 	"relaxfault/internal/obs"
+	"relaxfault/internal/runtrace"
 	"relaxfault/internal/scenario"
 )
 
@@ -97,7 +104,8 @@ func run() int {
 	flushInterval := flag.Duration("flush-interval", harness.DefaultFlushInterval, "checkpoint snapshot rate limit (lower it so short campaigns persist chunks quickly)")
 	metricsOut := flag.String("metrics", "", `write the run manifest (config, timings, metrics snapshot) to FILE; "-" prints JSON to stdout`)
 	eventsOut := flag.String("events", "", "append machine-readable JSONL progress/skip/run events to FILE")
-	pprofAddr := flag.String("pprof", "", "serve net/http/pprof, expvar, and Prometheus text metrics on ADDR (e.g. localhost:6060)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof, expvar, Prometheus text metrics, and /debug/status on ADDR (e.g. localhost:6060)")
+	traceFlag := flag.String("trace", "", "record execution spans and write a Perfetto-loadable Chrome trace_event JSON to FILE (also embeds the scheduler-attribution report in the manifest)")
 	parallel := flag.Int("parallel", 0, "Monte Carlo worker pool size (0 = all cores); results are identical for any value")
 	scenarioFlag := flag.String("scenario", "", "run a scenario: a preset name or a JSON spec file (see the list subcommand)")
 	var setFlagsRaw repeatedFlag
@@ -255,6 +263,20 @@ func run() int {
 		os.Exit(130)
 	}()
 
+	mon := harness.NewMonitor(os.Stderr, *progress)
+	// The journal writer opens later (after scenario records resolve); the
+	// status handler reads this pointer so /debug/status reports journal
+	// health as soon as the writer exists.
+	var jwLive atomic.Pointer[journal.Writer]
+
+	// tracer is nil (every recording call a no-op) unless -trace was given:
+	// tracing is strictly opt-in so untraced runs pay nothing.
+	var tracer *runtrace.Recorder
+	if *traceFlag != "" {
+		tracer = runtrace.New()
+	}
+	scale.Trace = tracer
+
 	if *pprofAddr != "" {
 		// Importing obs pulls in expvar, whose init registers /debug/vars on
 		// the default mux; net/http/pprof likewise registers /debug/pprof/*.
@@ -263,6 +285,7 @@ func run() int {
 			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 			obs.Default().WriteProm(w)
 		})
+		http.Handle("/debug/status", harness.StatusHandler(mon, jwLive.Load))
 		go func() {
 			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
 				fmt.Fprintf(os.Stderr, "relaxfault: pprof server: %v\n", err)
@@ -270,7 +293,6 @@ func run() int {
 		}()
 	}
 
-	mon := harness.NewMonitor(os.Stderr, *progress)
 	// With -progress 0 the periodic reporter is never launched at all: no
 	// goroutine, no ticker, nothing to stop at exit.
 	stopMon := func() {}
@@ -298,6 +320,7 @@ func run() int {
 		if *flushInterval != harness.DefaultFlushInterval {
 			store.SetFlushInterval(*flushInterval)
 		}
+		store.SetTracer(tracer)
 		scale.Store = store
 		defer func() {
 			if err := store.Flush(); err != nil {
@@ -326,7 +349,9 @@ func run() int {
 				fmt.Fprintf(os.Stderr, "relaxfault: %v\n", err)
 				return 1
 			}
+			ccStart := tracer.Now()
 			res, err := scale.Store.CrossCheck(loaded, *repairJournal, mon)
+			tracer.Span(runtrace.TrackMain, "resume.crosscheck", -1, 0, ccStart)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "relaxfault: %v\n", err)
 				w.Close()
@@ -363,6 +388,8 @@ func run() int {
 			jw = w
 		}
 		defer jw.Close()
+		jw.SetTracer(tracer)
+		jwLive.Store(jw)
 		scale.Store.AttachJournal(jw)
 	}
 
@@ -394,7 +421,9 @@ func run() int {
 		}
 		mon.SetLabel(name)
 		start := time.Now()
+		expStart := tracer.Now()
 		err := f(ctx)
+		tracer.Span(runtrace.TrackMain, "experiment:"+name, -1, 0, expStart)
 		switch {
 		case err == nil:
 			// Timing goes to stderr: stdout carries only the artifacts, so a
@@ -509,6 +538,28 @@ func run() int {
 			fmt.Fprintf(os.Stderr, "  %s\n", s)
 		}
 		code = 3
+	}
+
+	// Trace export: close the campaign span, analyze the schedule, embed the
+	// attribution report in the manifest, publish runtrace.* gauges (before
+	// Finish snapshots the registry), write the Chrome trace_event file, and
+	// print the attribution table. Tracing is observation only — by this
+	// point every artifact is already on stdout, so the table never perturbs
+	// golden comparisons of untraced runs.
+	if tracer.Enabled() {
+		tracer.Record(runtrace.TrackMain, "campaign", -1, 0, 0, tracer.Now())
+		rep := runtrace.Analyze(tracer)
+		rep.Publish(obs.Default())
+		manifest.Trace = rep
+		if err := tracer.WriteChromeFile(*traceFlag); err != nil {
+			fmt.Fprintf(os.Stderr, "relaxfault: writing trace: %v\n", err)
+			if code == 0 {
+				code = 1
+			}
+		} else {
+			fmt.Fprintf(os.Stderr, "relaxfault: trace written to %s (open in https://ui.perfetto.dev or chrome://tracing)\n", *traceFlag)
+		}
+		fmt.Print(rep.String())
 	}
 
 	manifest.Experiments = runNames
@@ -650,7 +701,7 @@ func runScenarioPoint(ctx context.Context, sc *scenario.Scenario, scale experime
 		ctx, cancel = context.WithTimeout(ctx, timeout)
 		defer cancel()
 	}
-	res, err := scenario.RunCtx(ctx, sc, scenario.Exec{Workers: scale.Workers, Mon: scale.Mon, Store: scale.Store})
+	res, err := scenario.RunCtx(ctx, sc, scenario.Exec{Workers: scale.Workers, Mon: scale.Mon, Store: scale.Store, Trace: scale.Trace})
 	if err != nil {
 		return err
 	}
@@ -908,7 +959,15 @@ flags:
   -metrics FILE|-     write the run manifest (config fingerprint, timings,
                       metrics snapshot); "-" prints JSON to stdout
   -events FILE        append JSONL progress/skip/run events to FILE
-  -pprof ADDR         serve /debug/pprof, /debug/vars, and /metrics on ADDR
+  -pprof ADDR         serve /debug/pprof, /debug/vars, /metrics, and a live
+                      /debug/status JSON snapshot (per-worker chunk, trials/s,
+                      ETA, journal health) on ADDR
+  -trace FILE         record execution spans (chunk/claim/checkpoint/reduce-
+                      wait per worker, fsync stalls, sections) and write a
+                      Chrome trace_event JSON to FILE — load it in
+                      https://ui.perfetto.dev; the scheduler-attribution
+                      report lands in the manifest's "trace" block and is
+                      printed as a table
   -parallel N         Monte Carlo worker pool size (default 0 = all cores);
                       any value yields bitwise-identical results
   -scenario F|P       run a scenario JSON file, or a preset by name, through

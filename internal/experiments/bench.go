@@ -8,15 +8,28 @@ import (
 	"strings"
 	"time"
 
+	"relaxfault/internal/harness"
 	"relaxfault/internal/relsim"
+	"relaxfault/internal/runtrace"
 )
+
+// BenchSchema versions the BENCH_coverage.json artifact. v2 added the
+// provenance fields (start, go_version, version) and the scheduler
+// attribution block, so the perf trajectory is diagnosable, not just a
+// single speedup number.
+const BenchSchema = "relaxfault-bench/v2"
 
 // BenchResult is the schema of the BENCH_*.json artifacts: one parallel-
 // engine measurement of a quick coverage study, sequential vs sharded on
 // the same seed, with the bitwise-identity check the engine guarantees.
 type BenchResult struct {
-	Schema string `json:"schema"` // "relaxfault-bench/v1"
+	Schema string `json:"schema"` // BenchSchema
 	Name   string `json:"name"`
+	// Provenance (schema v2): when the measurement started, the toolchain,
+	// and the VCS revision of the binary.
+	Start     string `json:"start"`
+	GoVersion string `json:"go_version"`
+	Version   string `json:"version"`
 	// Host parallelism: speedup is bounded by NumCPU, so a 1-core
 	// container honestly reports ~1x while a 4-core CI runner shows the
 	// multicore scaling.
@@ -40,6 +53,11 @@ type BenchResult struct {
 	// Identical is true when the sequential and parallel result structs
 	// marshal to the same JSON — the engine's determinism contract.
 	Identical bool `json:"identical"`
+
+	// Attribution (schema v2) breaks the parallel run's worker-seconds down
+	// into busy/claim/fsync/reduce-wait/idle percentages, measured by a
+	// recorder attached only to the parallel leg.
+	Attribution *runtrace.Totals `json:"attribution,omitempty"`
 }
 
 // benchCoverageConfig is the quick coverage study the bench experiment
@@ -69,8 +87,11 @@ func BenchCtx(ctx context.Context, s Scale) (BenchResult, error) {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	out := BenchResult{
-		Schema:     "relaxfault-bench/v1",
+		Schema:     BenchSchema,
 		Name:       "coverage-quick",
+		Start:      time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		Version:    harness.BuildVersion(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		NumCPU:     runtime.NumCPU(),
 		Workers:    workers,
@@ -80,27 +101,34 @@ func BenchCtx(ctx context.Context, s Scale) (BenchResult, error) {
 	if err != nil {
 		return out, err
 	}
-	run := func(w int) (*relsim.CoverageResult, float64, error) {
+	run := func(w int, tr *runtrace.Recorder) (*relsim.CoverageResult, float64, error) {
 		cfg := base
 		cfg.Workers = w
 		cfg.Mon = s.Mon
+		cfg.Trace = tr
 		start := time.Now()
 		res, err := relsim.CoverageStudyCtx(ctx, cfg)
 		return res, time.Since(start).Seconds(), err
 	}
 
-	seqRes, seqSec, err := run(1)
+	seqRes, seqSec, err := run(1, nil)
 	if err != nil {
 		return out, err
 	}
 
+	// A fresh recorder on the parallel leg only: the attribution block
+	// explains where the parallel wall time went without perturbing the
+	// sequential baseline.
+	tr := runtrace.New()
 	var before, after runtime.MemStats
 	runtime.ReadMemStats(&before)
-	parRes, parSec, err := run(workers)
+	parRes, parSec, err := run(workers, tr)
 	runtime.ReadMemStats(&after)
 	if err != nil {
 		return out, err
 	}
+	rep := runtrace.Analyze(tr)
+	out.Attribution = &rep.Totals
 
 	seqJSON, err := json.Marshal(seqRes)
 	if err != nil {
@@ -142,5 +170,9 @@ func (r BenchResult) String() string {
 	fmt.Fprintf(&b, "%-26s %.2fx\n", "speedup", r.Speedup)
 	fmt.Fprintf(&b, "%-26s %.1f allocs, %.0f bytes\n", "per-trial allocation", r.AllocsPerTrial, r.BytesPerTrial)
 	fmt.Fprintf(&b, "%-26s %v\n", "results bitwise identical", r.Identical)
+	if a := r.Attribution; a != nil {
+		fmt.Fprintf(&b, "%-26s busy %.1f%% claim %.1f%% fsync %.1f%% reduce %.1f%% idle %.1f%%\n",
+			"parallel attribution", a.BusyPct, a.ClaimPct, a.CheckpointPct, a.ReduceWaitPct, a.IdlePct)
+	}
 	return b.String()
 }

@@ -8,8 +8,15 @@ import (
 	"strings"
 	"time"
 
+	"relaxfault/internal/harness"
+	"relaxfault/internal/runtrace"
 	"relaxfault/internal/scenario"
 )
+
+// BenchDDR4Schema versions the BENCH_ddr4.json artifact. v2 added the
+// provenance fields (start, go_version, version) and the scheduler
+// attribution block of the parallel leg.
+const BenchDDR4Schema = "relaxfault-bench-ddr4/v2"
 
 // DDR4PerfCtx runs the "ddr4" preset — the Figure 15/16 methodology on the
 // DDR4-2400 technology (bank-group tCCD_S/tCCD_L timing, DDR4 energy
@@ -27,8 +34,13 @@ func DDR4Perf(s Scale) (*scenario.Result, error) {
 // perf preset timed with one worker vs the sharded pool, with the
 // determinism check that both produce identical perf units.
 type BenchDDR4Result struct {
-	Schema     string `json:"schema"` // "relaxfault-bench-ddr4/v1"
-	Name       string `json:"name"`
+	Schema string `json:"schema"` // BenchDDR4Schema
+	Name   string `json:"name"`
+	// Provenance (schema v2): when the measurement started, the toolchain,
+	// and the VCS revision of the binary.
+	Start      string `json:"start"`
+	GoVersion  string `json:"go_version"`
+	Version    string `json:"version"`
 	Technology string `json:"technology"`
 	GOMAXPROCS int    `json:"gomaxprocs"`
 	NumCPU     int    `json:"num_cpu"`
@@ -45,6 +57,11 @@ type BenchDDR4Result struct {
 	// Identical is true when both runs' perf units marshal to the same
 	// JSON — the fan-out engine's determinism contract.
 	Identical bool `json:"identical"`
+
+	// Attribution (schema v2) breaks the parallel run's worker-seconds down
+	// into busy/claim/fsync/reduce-wait/idle percentages, measured by a
+	// recorder attached only to the parallel leg.
+	Attribution *runtrace.Totals `json:"attribution,omitempty"`
 }
 
 // BenchDDR4 times the DDR4 perf preset sequentially and parallel.
@@ -59,8 +76,11 @@ func BenchDDR4Ctx(ctx context.Context, s Scale) (BenchDDR4Result, error) {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	out := BenchDDR4Result{
-		Schema:     "relaxfault-bench-ddr4/v1",
+		Schema:     BenchDDR4Schema,
 		Name:       "ddr4",
+		Start:      time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		Version:    harness.BuildVersion(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		NumCPU:     runtime.NumCPU(),
 		Workers:    workers,
@@ -73,19 +93,23 @@ func BenchDDR4Ctx(ctx context.Context, s Scale) (BenchDDR4Result, error) {
 		out.Technology = tech.Name
 	}
 
-	run := func(w int) (*scenario.Result, float64, error) {
+	run := func(w int, tr *runtrace.Recorder) (*scenario.Result, float64, error) {
 		start := time.Now()
-		res, err := scenario.RunCtx(ctx, sc, scenario.Exec{Workers: w, Mon: s.Mon})
+		res, err := scenario.RunCtx(ctx, sc, scenario.Exec{Workers: w, Mon: s.Mon, Trace: tr})
 		return res, time.Since(start).Seconds(), err
 	}
-	seqRes, seqSec, err := run(1)
+	seqRes, seqSec, err := run(1, nil)
 	if err != nil {
 		return out, err
 	}
-	parRes, parSec, err := run(workers)
+	// Attribution recorder on the parallel leg only (see BenchCtx).
+	tr := runtrace.New()
+	parRes, parSec, err := run(workers, tr)
 	if err != nil {
 		return out, err
 	}
+	rep := runtrace.Analyze(tr)
+	out.Attribution = &rep.Totals
 
 	seqJSON, err := json.Marshal(seqRes.Perf)
 	if err != nil {
@@ -118,5 +142,9 @@ func (r BenchDDR4Result) String() string {
 	fmt.Fprintf(&b, "%-26s %.2fs\n", "parallel", r.ParSeconds)
 	fmt.Fprintf(&b, "%-26s %.2fx\n", "speedup", r.Speedup)
 	fmt.Fprintf(&b, "%-26s %v\n", "results bitwise identical", r.Identical)
+	if a := r.Attribution; a != nil {
+		fmt.Fprintf(&b, "%-26s busy %.1f%% claim %.1f%% fsync %.1f%% reduce %.1f%% idle %.1f%%\n",
+			"parallel attribution", a.BusyPct, a.ClaimPct, a.CheckpointPct, a.ReduceWaitPct, a.IdlePct)
+	}
 	return b.String()
 }

@@ -15,6 +15,7 @@ import (
 	"relaxfault/internal/fault"
 	"relaxfault/internal/harness"
 	"relaxfault/internal/relsim"
+	"relaxfault/internal/runtrace"
 	"relaxfault/internal/scenario"
 )
 
@@ -42,14 +43,17 @@ type Scale struct {
 	// Store, if non-nil, checkpoints the Monte Carlo runs so a killed
 	// experiment resumes from its last snapshot (-checkpoint/-resume).
 	Store *harness.Store
+	// Trace, if non-nil, records execution spans from the underlying runs
+	// (-trace). Observation only; never affects results.
+	Trace *runtrace.Recorder
 }
 
 // Exec bundles the scale's execution plumbing (worker cap, monitor,
-// checkpoint store) in the form both relsim.Config and
+// checkpoint store, tracer) in the form both relsim.Config and
 // relsim.CoverageConfig embed, so one code path instruments every kind of
 // Monte Carlo run: `cfg.Exec = s.Exec()`.
 func (s Scale) Exec() relsim.Exec {
-	return relsim.Exec{Workers: s.Workers, Mon: s.Mon, Checkpoint: s.Store}
+	return relsim.Exec{Workers: s.Workers, Mon: s.Mon, Checkpoint: s.Store, Trace: s.Trace}
 }
 
 // PresetScenario resolves the named registry preset at this scale: budget
@@ -79,7 +83,7 @@ func runPreset(ctx context.Context, name string, s Scale) (*scenario.Result, err
 	if err != nil {
 		return nil, err
 	}
-	return scenario.RunCtx(ctx, sc, scenario.Exec{Workers: s.Workers, Mon: s.Mon, Store: s.Store})
+	return scenario.RunCtx(ctx, sc, scenario.Exec{Workers: s.Workers, Mon: s.Mon, Store: s.Store, Trace: s.Trace})
 }
 
 // PaperScale approaches the paper's statistical resolution (minutes of CPU).

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"relaxfault/internal/journal"
+	"relaxfault/internal/runtrace"
 )
 
 // Store is a file-backed checkpoint holding the completed work chunks of one
@@ -35,6 +36,9 @@ type Store struct {
 	// jw, when attached, receives one digest-bearing chunk record per
 	// PutSpan before the chunk enters the snapshot (journal ⊇ checkpoint).
 	jw *journal.Writer
+	// tr, when attached, records each snapshot flush (marshal + write +
+	// fsync + rename + dir fsync) on the checkpoint trace track.
+	tr *runtrace.Recorder
 }
 
 type sectionData struct {
@@ -122,6 +126,17 @@ func (s *Store) AttachJournal(w *journal.Writer) {
 	s.mu.Unlock()
 }
 
+// SetTracer directs a span per snapshot flush to r's checkpoint track (nil
+// detaches). Safe on a nil Store.
+func (s *Store) SetTracer(r *runtrace.Recorder) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.tr = r
+	s.mu.Unlock()
+}
+
 // Section returns the checkpoint section named name, creating it if absent.
 // A pre-existing section whose fingerprint does not match is discarded: the
 // configuration changed, so its chunks no longer describe this run. Safe on
@@ -152,6 +167,8 @@ func (s *Store) Flush() error {
 }
 
 func (s *Store) flushLocked() error {
+	flushStart := s.tr.Now()
+	defer func() { s.tr.Span(runtrace.TrackCheckpoint, "checkpoint.flush", -1, 0, flushStart) }()
 	data, err := json.Marshal(storeFile{Version: storeVersion, Sections: s.sections})
 	if err != nil {
 		return fmt.Errorf("harness: encoding checkpoint: %w", err)

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"relaxfault/internal/obs"
+	"relaxfault/internal/runtrace"
 )
 
 // Engine is the shared parallel execution core of the Monte Carlo
@@ -33,6 +34,9 @@ type Engine struct {
 	Workers int
 	// Mon, if non-nil, receives per-worker progress for the watchdog.
 	Mon *Monitor
+	// Trace, if non-nil, records claim/chunk/reduce-wait spans per worker
+	// (chunk granularity only — the per-trial path is untouched).
+	Trace *runtrace.Recorder
 }
 
 // PoolWorkers resolves a configured worker count: n when positive,
@@ -102,19 +106,28 @@ func (e *Engine) Run(ctx context.Context, nChunks int, work func(worker, chunk i
 
 	var next atomic.Int64
 	var wg sync.WaitGroup
+	// exits[w] is worker w's retirement time on the trace clock, written
+	// before wg.Done and read only after wg.Wait.
+	exits := make([]int64, workers)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			defer func() { exits[w] = e.Trace.Now() }()
 			trialsCtr := workerTrialCounter(w)
+			claimStart := e.Trace.Now()
 			for ctx.Err() == nil {
 				k := int(next.Add(1)) - 1
 				if k >= nChunks {
 					return
 				}
+				e.Trace.Span(w, runtrace.SpanClaim, -1, 0, claimStart)
+				e.Mon.WorkerClaim(w, k)
 				em.busyWorkers.Set(float64(em.busy.Add(1)))
 				t0 := time.Now()
+				chunkStart := e.Trace.Now()
 				trials, cont := work(w, k)
+				e.Trace.Span(w, runtrace.SpanChunk, k, trials, chunkStart)
 				em.chunkSeconds.Since(t0)
 				em.busyWorkers.Set(float64(em.busy.Add(-1)))
 				em.chunksDone.Inc()
@@ -125,9 +138,21 @@ func (e *Engine) Run(ctx context.Context, nChunks int, work func(worker, chunk i
 				if !cont {
 					return
 				}
+				claimStart = e.Trace.Now()
 			}
 		}(w)
 	}
 	wg.Wait()
+	// Retired workers waited here for the pool to drain: the reduce-wait
+	// spans expose straggler exposure per worker. Worker goroutines have
+	// exited, so writing their tracks from here is race-free.
+	if e.Trace.Enabled() {
+		drained := e.Trace.Now()
+		for w := 0; w < workers; w++ {
+			if exits[w] < drained {
+				e.Trace.Record(w, runtrace.SpanReduceWait, -1, 0, exits[w], drained)
+			}
+		}
+	}
 	return ctx.Err()
 }

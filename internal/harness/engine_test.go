@@ -8,6 +8,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"relaxfault/internal/runtrace"
 )
 
 func TestEngineRunsEveryChunkExactlyOnce(t *testing.T) {
@@ -104,6 +106,62 @@ func TestEngineFeedsMonitor(t *testing.T) {
 	}
 	if got := m.DoneTrials(); got != 8 {
 		t.Errorf("monitor counted %d trials, want 8", got)
+	}
+}
+
+// TestEngineTraceAttribution runs a traced engine and checks the analyzed
+// report's accounting invariants: every chunk appears as a span on some
+// worker track, and each worker's five categories partition the wall window
+// (within a small tolerance for the clamping Analyze applies).
+func TestEngineTraceAttribution(t *testing.T) {
+	const chunks, workers = 12, 3
+	tr := runtrace.New()
+	e := Engine{Workers: workers, Trace: tr}
+	if err := e.Run(context.Background(), chunks, func(_, _ int) (int64, bool) {
+		time.Sleep(2 * time.Millisecond)
+		return 5, true
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	rep := runtrace.Analyze(tr)
+	if len(rep.Workers) != workers {
+		t.Fatalf("attribution covers %d workers, want %d", len(rep.Workers), workers)
+	}
+	if rep.WallSeconds <= 0 {
+		t.Fatalf("wall = %v", rep.WallSeconds)
+	}
+	totalChunks, totalTrials := 0, int64(0)
+	for _, w := range rep.Workers {
+		if w.Chunks == 0 {
+			t.Errorf("worker %d recorded no chunk spans", w.Worker)
+		}
+		totalChunks += w.Chunks
+		totalTrials += w.Trials
+		sum := w.BusySeconds + w.ClaimSeconds + w.CheckpointSeconds + w.ReduceWaitSeconds + w.IdleSeconds
+		if diff := sum - rep.WallSeconds; diff > 0.05*rep.WallSeconds || diff < -0.05*rep.WallSeconds {
+			t.Errorf("worker %d categories sum to %vs, wall %vs", w.Worker, sum, rep.WallSeconds)
+		}
+		for _, p := range []float64{w.BusyPct, w.ClaimPct, w.CheckpointPct, w.ReduceWaitPct, w.IdlePct} {
+			if p < 0 || p > 100 {
+				t.Errorf("worker %d percentage %v outside [0,100]", w.Worker, p)
+			}
+		}
+	}
+	if totalChunks != chunks {
+		t.Errorf("chunk spans cover %d chunks, want %d", totalChunks, chunks)
+	}
+	if totalTrials != chunks*5 {
+		t.Errorf("trials = %d, want %d", totalTrials, chunks*5)
+	}
+	if rep.CriticalPathSeconds <= 0 || rep.CriticalPathSeconds > rep.WallSeconds*1.01 {
+		t.Errorf("critical path %vs vs wall %vs", rep.CriticalPathSeconds, rep.WallSeconds)
+	}
+
+	// A nil tracer on the engine is the untraced default: no spans, no cost.
+	e2 := Engine{Workers: 2}
+	if err := e2.Run(context.Background(), 4, func(_, _ int) (int64, bool) { return 1, true }); err != nil {
+		t.Fatal(err)
 	}
 }
 

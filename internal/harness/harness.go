@@ -78,11 +78,17 @@ type Monitor struct {
 
 	// Per-worker progress (all under mu): workerLast[w] is the unix-nano
 	// time worker w last completed a chunk, workerWarned[w] latches its
-	// stall warning until the worker advances again. Registered by
-	// Engine.Run via StartWorkers; empty outside an engine run, in which
-	// case only the run-global watchdog above applies.
+	// stall warning until the worker advances again, workerChunk[w] is the
+	// chunk the worker is currently executing (-1 between chunks), and
+	// workerTrials[w] counts the trials it has completed since the pool
+	// registered at workersStart. Registered by Engine.Run via
+	// StartWorkers; empty outside an engine run, in which case only the
+	// run-global watchdog above applies.
 	workerLast   []int64
 	workerWarned []bool
+	workerChunk  []int
+	workerTrials []int64
+	workersStart time.Time
 
 	// outMu serialises every write to out. Progress lines, skip reports,
 	// and warnings race from the reporter goroutine and all workers; each
@@ -150,8 +156,12 @@ func (m *Monitor) StartWorkers(n int) {
 	m.mu.Lock()
 	m.workerLast = make([]int64, n)
 	m.workerWarned = make([]bool, n)
+	m.workerChunk = make([]int, n)
+	m.workerTrials = make([]int64, n)
+	m.workersStart = time.Unix(0, now)
 	for i := range m.workerLast {
 		m.workerLast[i] = now
+		m.workerChunk[i] = -1
 	}
 	m.mu.Unlock()
 }
@@ -164,6 +174,21 @@ func (m *Monitor) FinishWorkers() {
 	m.mu.Lock()
 	m.workerLast = nil
 	m.workerWarned = nil
+	m.workerChunk = nil
+	m.workerTrials = nil
+	m.mu.Unlock()
+}
+
+// WorkerClaim records that worker w is about to execute chunk k; the live
+// status endpoint reports it as the worker's current chunk until WorkerDone.
+func (m *Monitor) WorkerClaim(w, k int) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	if w >= 0 && w < len(m.workerChunk) {
+		m.workerChunk[w] = k
+	}
 	m.mu.Unlock()
 }
 
@@ -179,6 +204,8 @@ func (m *Monitor) WorkerDone(w int, n int64) {
 	if w >= 0 && w < len(m.workerLast) {
 		m.workerLast[w] = time.Now().UnixNano()
 		m.workerWarned[w] = false
+		m.workerChunk[w] = -1
+		m.workerTrials[w] += n
 	}
 	m.mu.Unlock()
 	m.Done(n)
@@ -406,13 +433,37 @@ func (m *Monitor) report(now time.Time) {
 		m.logf("%s", b.String())
 	}
 	if done > 0 || skipped > 0 {
-		m.Event("progress", map[string]any{
+		// Per-worker liveness: how many workers are inside a chunk right
+		// now, and each worker's trial rate since the pool registered, so
+		// the event stream alone answers "is a worker flat-lining".
+		m.mu.Lock()
+		busyWorkers := 0
+		var workerRates []float64
+		if n := len(m.workerChunk); n > 0 {
+			poolElapsed := now.Sub(m.workersStart).Seconds()
+			workerRates = make([]float64, n)
+			for w := 0; w < n; w++ {
+				if m.workerChunk[w] >= 0 {
+					busyWorkers++
+				}
+				if poolElapsed > 0 {
+					workerRates[w] = float64(m.workerTrials[w]) / poolElapsed
+				}
+			}
+		}
+		m.mu.Unlock()
+		fields := map[string]any{
 			"experiment":     label,
 			"trials_done":    done,
 			"trials_total":   expected,
 			"trials_skipped": skipped,
 			"trials_per_sec": rate,
 			"stalled":        stalled,
-		})
+			"busy_workers":   busyWorkers,
+		}
+		if workerRates != nil {
+			fields["workers_trials_per_sec"] = workerRates
+		}
+		m.Event("progress", fields)
 	}
 }

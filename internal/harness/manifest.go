@@ -10,13 +10,15 @@ import (
 	"time"
 
 	"relaxfault/internal/obs"
+	"relaxfault/internal/runtrace"
 )
 
 // ManifestSchema versions the manifest JSON layout; consumers should reject
 // schemas they do not understand rather than guess. Schema 2 added the
 // journal audit fields (journal path, sealed state, chunk-record and
-// verified-chunk counts).
-const ManifestSchema = 2
+// verified-chunk counts); schema 3 added the scheduler-attribution trace
+// block.
+const ManifestSchema = 3
 
 // Manifest is the machine-readable record of one CLI run: enough to
 // reproduce it (command, seed, fingerprint, version), audit it (wall/CPU
@@ -47,6 +49,10 @@ type Manifest struct {
 	// manifest alone reproduces the run without the preset registry or the
 	// original -scenario file.
 	Scenarios []ScenarioRecord `json:"scenarios,omitempty"`
+	// Trace (schema 3) is the scheduler-attribution report of a traced run:
+	// per-worker busy/claim/fsync/reduce-wait/idle percentages, straggler
+	// chunks, and the critical-path estimate. Present only under -trace.
+	Trace *runtrace.Report `json:"trace,omitempty"`
 
 	Start       time.Time `json:"start"`
 	End         time.Time `json:"end"`
@@ -136,6 +142,11 @@ func (m *Manifest) WriteFile(path string) error {
 	syncDir(dir)
 	return nil
 }
+
+// BuildVersion returns the VCS revision stamped into the binary (12-hex
+// prefix, "+dirty" when the tree was modified); bench artifacts reuse it so
+// perf numbers are attributable to a commit.
+func BuildVersion() string { return buildVersion() }
 
 // buildVersion extracts the VCS revision stamped into the binary (12-hex
 // prefix, "+dirty" when the tree was modified). `go run` and test binaries

@@ -55,6 +55,7 @@ import (
 	"sync"
 
 	"relaxfault/internal/obs"
+	"relaxfault/internal/runtrace"
 )
 
 // Schema is the self-describing format tag carried by every open record.
@@ -181,6 +182,21 @@ type Writer struct {
 	chunks uint64
 	sealed bool
 	err    error
+	// tr, when attached, records each append's write+fsync as a span on
+	// the journal trace track; because appends serialize under mu, the
+	// track directly shows fsync serialization across workers.
+	tr *runtrace.Recorder
+}
+
+// SetTracer directs a span per durable append to r's journal track (nil
+// detaches). Safe on a nil writer.
+func (w *Writer) SetTracer(r *runtrace.Recorder) {
+	if w == nil {
+		return
+	}
+	w.mu.Lock()
+	w.tr = r
+	w.mu.Unlock()
 }
 
 // Create creates (or truncates) the journal at path and returns a writer
@@ -250,6 +266,12 @@ func (w *Writer) Append(rec Record) error {
 		return fmt.Errorf("journal: encode envelope: %w", err)
 	}
 	line = append(line, '\n')
+	traceChunk := -1
+	if rec.Type == TypeChunk {
+		traceChunk = rec.Chunk
+	}
+	ioStart := w.tr.Now()
+	defer func() { w.tr.Span(runtrace.TrackJournal, "journal.append", traceChunk, 0, ioStart) }()
 	if _, err := w.f.Write(line); err != nil {
 		w.err = fmt.Errorf("journal: write: %w", err)
 		jm.writeErrs.Inc()

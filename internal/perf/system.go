@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"relaxfault/internal/runtrace"
 	"relaxfault/internal/trace"
 )
 
@@ -24,6 +25,12 @@ type SystemConfig struct {
 	Seed      uint64
 	// MaxCycles aborts runaway simulations (0 = no limit).
 	MaxCycles int64
+	// Trace, if non-nil, records one "perf.run" span per Run on TraceTrack
+	// (a worker id, or a runtrace synthetic track). Execution-environment
+	// attachment: never part of any configuration fingerprint, never
+	// affects results.
+	Trace      *runtrace.Recorder
+	TraceTrack int
 }
 
 // DefaultSystemConfig mirrors Table 3 with a 2M-instruction budget.
@@ -106,6 +113,7 @@ func (r *Result) TotalIPC() float64 {
 // Run simulates the given threads (one per core) to completion.
 func Run(cfg SystemConfig, threads []trace.ThreadParams) (*Result, error) {
 	t0 := time.Now()
+	traceStart := cfg.Trace.Now()
 	if len(threads) == 0 {
 		return nil, fmt.Errorf("perf: no threads")
 	}
@@ -203,6 +211,7 @@ func Run(cfg SystemConfig, threads []trace.ThreadParams) (*Result, error) {
 	}
 	publishRun(res, cores, ms.Channels())
 	pm.runSeconds.Since(t0)
+	cfg.Trace.Record(cfg.TraceTrack, "perf.run", -1, 0, traceStart, cfg.Trace.Now())
 	return res, nil
 }
 

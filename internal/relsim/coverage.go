@@ -11,6 +11,7 @@ import (
 	"relaxfault/internal/harness"
 	"relaxfault/internal/obs"
 	"relaxfault/internal/repair"
+	"relaxfault/internal/runtrace"
 	"relaxfault/internal/stats"
 )
 
@@ -224,6 +225,7 @@ func CoverageStudyCtx(ctx context.Context, cfg CoverageConfig) (*CoverageResult,
 	root := stats.NewRNG(cfg.Seed)
 
 	fp := cfg.Fingerprint()
+	resumeStart := cfg.Trace.Now()
 	cp := cfg.Checkpoint.Section(CoverageSection(fp), fp)
 
 	// Shared chunk table. All access to chunks/cutoff/scan state is under
@@ -258,7 +260,8 @@ func CoverageStudyCtx(ctx context.Context, cfg CoverageConfig) (*CoverageResult,
 			ub = maxStored
 		}
 	}
-	for _, ci := range cp.Indexes() {
+	resumed := cp.Indexes()
+	for _, ci := range resumed {
 		raw, ok := cp.Get(ci)
 		if !ok || ci >= nChunks {
 			continue
@@ -275,10 +278,13 @@ func CoverageStudyCtx(ctx context.Context, cfg CoverageConfig) (*CoverageResult,
 		}
 		cfg.Mon.AddSkipped(int64(ch.Skipped - len(ch.Skips)))
 	}
+	if len(resumed) > 0 {
+		cfg.Trace.Span(runtrace.TrackMain, "resume.load", -1, 0, resumeStart)
+	}
 
 	// Per-worker sampling scratch; the shared chunk table stays under mu.
 	scratches := make([]*fault.SampleScratch, harness.PoolWorkers(cfg.Workers))
-	eng := harness.Engine{Workers: cfg.Workers, Mon: cfg.Mon}
+	eng := harness.Engine{Workers: cfg.Workers, Mon: cfg.Mon, Trace: cfg.Trace}
 	eng.Run(ctx, nChunks, func(w, ci int) (int64, bool) {
 		mu.Lock()
 		stop := ub >= 0 && ci > ub
@@ -302,9 +308,11 @@ func CoverageStudyCtx(ctx context.Context, cfg CoverageConfig) (*CoverageResult,
 		if hi > cfg.MaxNodes {
 			hi = cfg.MaxNodes
 		}
+		ckptStart := cfg.Trace.Now()
 		if err := cp.PutSpan(ci, lo, hi, ch); err != nil {
 			cfg.Mon.Warnf("relsim: %v (study continues without this chunk persisted)", err)
 		}
+		cfg.Trace.Span(w, runtrace.SpanCheckpoint, ci, 0, ckptStart)
 		return int64(ch.Nodes), true
 	})
 	if err := ctx.Err(); err != nil {
@@ -326,6 +334,7 @@ func CoverageStudyCtx(ctx context.Context, cfg CoverageConfig) (*CoverageResult,
 	if err := cfg.Checkpoint.Flush(); err != nil {
 		cfg.Mon.Warnf("relsim: %v", err)
 	}
+	reduceStart := cfg.Trace.Now()
 	res := &CoverageResult{}
 	for i := 0; i < nCurves; i++ {
 		res.Curves = append(res.Curves, &CoverageCurve{})
@@ -360,6 +369,7 @@ func CoverageStudyCtx(ctx context.Context, cfg CoverageConfig) (*CoverageResult,
 	if res.TotalNodes > 0 {
 		res.FaultyFraction = float64(res.FaultyNodes) / float64(res.TotalNodes)
 	}
+	cfg.Trace.Span(runtrace.TrackMain, "reduce", -1, 0, reduceStart)
 	return res, nil
 }
 

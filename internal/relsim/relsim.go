@@ -24,6 +24,7 @@ import (
 	"relaxfault/internal/fault"
 	"relaxfault/internal/harness"
 	"relaxfault/internal/repair"
+	"relaxfault/internal/runtrace"
 	"relaxfault/internal/stats"
 )
 
@@ -43,6 +44,10 @@ type Exec struct {
 	// used, so unrelated runs can share one store. Checkpoint I/O errors
 	// degrade to warnings; they never abort a run.
 	Checkpoint *harness.Store
+	// Trace, if non-nil, records execution spans (chunk/claim/checkpoint/
+	// reduce-wait per worker plus resume and reduction on the main track).
+	// Tracing observes the run; it never affects results.
+	Trace *runtrace.Recorder
 }
 
 // ReplacementPolicy selects when a faulty DIMM is replaced.
@@ -263,6 +268,7 @@ func RunCtx(ctx context.Context, cfg Config) (Result, error) {
 
 	// Resume: chunks already present in the checkpoint section are adopted
 	// verbatim; only the remainder is simulated.
+	resumeStart := cfg.Trace.Now()
 	cp := cfg.Checkpoint.Section(RunSection(cfg.Fingerprint()), cfg.Fingerprint())
 	chunks := make([]*Result, nChunks)
 	var todo []int
@@ -282,12 +288,15 @@ func RunCtx(ctx context.Context, cfg Config) (Result, error) {
 		}
 		todo = append(todo, ci)
 	}
+	if nChunks > len(todo) {
+		cfg.Trace.Span(runtrace.TrackMain, "resume.load", -1, 0, resumeStart)
+	}
 	cfg.Mon.Expect(int64(len(todo)) * chunkSize)
 
 	// Per-worker simulators (repair state and sampling scratch); chunks[ci]
 	// writes never collide because each chunk index is claimed exactly once.
 	sims := make([]*nodeSim, harness.PoolWorkers(cfg.Workers))
-	eng := harness.Engine{Workers: cfg.Workers, Mon: cfg.Mon}
+	eng := harness.Engine{Workers: cfg.Workers, Mon: cfg.Mon, Trace: cfg.Trace}
 	runErr := eng.Run(ctx, len(todo), func(w, k int) (int64, bool) {
 		sim := sims[w]
 		if sim == nil {
@@ -306,9 +315,11 @@ func RunCtx(ctx context.Context, cfg Config) (Result, error) {
 		}
 		chunks[ci] = res
 		rm.trialsDone.Add(int64(hi - lo))
+		ckptStart := cfg.Trace.Now()
 		if err := cp.PutSpan(ci, lo, hi, res); err != nil {
 			cfg.Mon.Warnf("relsim: %v (run continues without this chunk persisted)", err)
 		}
+		cfg.Trace.Span(w, runtrace.SpanCheckpoint, ci, 0, ckptStart)
 		return int64(hi - lo), true
 	})
 	_ = runErr // identical to ctx.Err(), checked below after the flush
@@ -321,10 +332,12 @@ func RunCtx(ctx context.Context, cfg Config) (Result, error) {
 
 	// Reduce in chunk-index order: float accumulation order is fixed, so
 	// the result is identical for every worker count and for resumed runs.
+	reduceStart := cfg.Trace.Now()
 	var sum Result
 	for _, c := range chunks {
 		sum.add(c)
 	}
+	cfg.Trace.Span(runtrace.TrackMain, "reduce", -1, 0, reduceStart)
 	inv := 1 / float64(cfg.Replicas)
 	sum.FaultyNodes *= inv
 	sum.MultiDeviceFaultDIMMs *= inv

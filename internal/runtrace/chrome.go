@@ -1,0 +1,147 @@
+package runtrace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// Chrome trace_event export: the JSON-object format (traceEvents array plus
+// metadata), loadable in Perfetto (ui.perfetto.dev) and chrome://tracing.
+// One process "relaxfault", one named thread per track; spans become
+// complete ("X") events with microsecond timestamps relative to the
+// recorder's epoch, which is itself recorded under otherData.epoch.
+
+// chromeEvent is one trace_event entry. Dur uses a pointer so metadata
+// events omit it while a zero-length span still serializes dur:0.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Ts   float64        `json:"ts"`
+	Dur  *float64       `json:"dur,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTid maps a track id onto a stable Chrome thread id: main 1,
+// checkpoint 2, journal 3, worker w at 10+w.
+func chromeTid(trackID int) int {
+	switch trackID {
+	case TrackMain:
+		return 1
+	case TrackCheckpoint:
+		return 2
+	case TrackJournal:
+		return 3
+	default:
+		return 10 + trackID
+	}
+}
+
+// trackName labels a track's thread in the trace viewer.
+func trackName(trackID int) string {
+	switch trackID {
+	case TrackMain:
+		return "main"
+	case TrackCheckpoint:
+		return "checkpoint"
+	case TrackJournal:
+		return "journal"
+	default:
+		return fmt.Sprintf("worker %d", trackID)
+	}
+}
+
+// WriteChrome writes the recorded spans as Chrome trace_event JSON. The
+// output is deterministic for a given span set: metadata first (process
+// name, then thread names/sort indexes in track order), then one complete
+// event per span in Spans() order.
+func (r *Recorder) WriteChrome(w io.Writer) error {
+	spans := r.Spans()
+	events := make([]chromeEvent, 0, len(spans)+8)
+	events = append(events, chromeEvent{
+		Name: "process_name", Ph: "M", Pid: 1,
+		Args: map[string]any{"name": "relaxfault"},
+	})
+	seen := make(map[int]bool)
+	for _, s := range spans {
+		if seen[s.Track] {
+			continue
+		}
+		seen[s.Track] = true
+		tid := chromeTid(s.Track)
+		events = append(events,
+			chromeEvent{Name: "thread_name", Ph: "M", Pid: 1, Tid: tid,
+				Args: map[string]any{"name": trackName(s.Track)}},
+			chromeEvent{Name: "thread_sort_index", Ph: "M", Pid: 1, Tid: tid,
+				Args: map[string]any{"sort_index": tid}},
+		)
+	}
+	for _, s := range spans {
+		dur := float64(s.End-s.Start) / 1e3
+		ev := chromeEvent{
+			Name: s.Name, Ph: "X", Pid: 1, Tid: chromeTid(s.Track),
+			Ts: float64(s.Start) / 1e3, Dur: &dur,
+		}
+		if s.Chunk >= 0 || s.Trials > 0 {
+			args := make(map[string]any, 2)
+			if s.Chunk >= 0 {
+				args["chunk"] = s.Chunk
+			}
+			if s.Trials > 0 {
+				args["trials"] = s.Trials
+			}
+			ev.Args = args
+		}
+		events = append(events, ev)
+	}
+
+	bw := bufio.NewWriter(w)
+	epoch := ""
+	if r != nil {
+		epoch = r.epoch.UTC().Format(time.RFC3339Nano)
+	}
+	fmt.Fprintf(bw, "{\"displayTimeUnit\":\"ms\",\"otherData\":{\"epoch\":%q},\"traceEvents\":[", epoch)
+	for i, ev := range events {
+		b, err := json.Marshal(ev)
+		if err != nil {
+			return fmt.Errorf("runtrace: encode event: %w", err)
+		}
+		if i > 0 {
+			bw.WriteString(",\n")
+		} else {
+			bw.WriteString("\n")
+		}
+		bw.Write(b)
+	}
+	bw.WriteString("\n]}\n")
+	return bw.Flush()
+}
+
+// WriteChromeFile writes the Chrome trace atomically (temp file + rename),
+// matching the manifest's crash behaviour.
+func (r *Recorder) WriteChromeFile(path string) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("runtrace: write trace: %w", err)
+	}
+	werr := r.WriteChrome(tmp)
+	cerr := tmp.Close()
+	if werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("runtrace: write trace: %w", werr)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("runtrace: write trace: %w", err)
+	}
+	return nil
+}

@@ -8,16 +8,18 @@ import (
 	"relaxfault/internal/harness"
 	"relaxfault/internal/perf"
 	"relaxfault/internal/relsim"
+	"relaxfault/internal/runtrace"
 )
 
 // Exec carries the execution-environment attachments of a run — worker
-// pool size, monitor, checkpoint store. None of it affects results (the
-// Monte Carlo engine is bitwise independent of worker count), so none of
-// it lives in the Scenario spec.
+// pool size, monitor, checkpoint store, trace recorder. None of it affects
+// results (the Monte Carlo engine is bitwise independent of worker count,
+// and tracing only observes), so none of it lives in the Scenario spec.
 type Exec struct {
 	Workers int
 	Mon     *harness.Monitor
 	Store   *harness.Store
+	Trace   *runtrace.Recorder
 }
 
 // PerfUnit is one (workload, prefetch degree) outcome: the weighted
@@ -72,12 +74,15 @@ func RunCtx(ctx context.Context, sc *Scenario, ex Exec) (*Result, error) {
 		return nil, err
 	}
 	out := &Result{Scenario: sc, Fingerprint: fp}
-	rex := relsim.Exec{Workers: ex.Workers, Mon: ex.Mon, Checkpoint: ex.Store}
+	rex := relsim.Exec{Workers: ex.Workers, Mon: ex.Mon, Checkpoint: ex.Store, Trace: ex.Trace}
 
+	scenarioStart := ex.Trace.Now()
 	for i := range low.Coverage {
 		cfg := low.Coverage[i]
 		cfg.Exec = rex
+		sectionStart := ex.Trace.Now()
 		res, err := relsim.CoverageStudyCtx(ctx, cfg)
+		ex.Trace.Span(runtrace.TrackMain, "section:coverage", i, 0, sectionStart)
 		if err != nil {
 			return nil, fmt.Errorf("scenario %s: study %d: %w", sc.Name, i, err)
 		}
@@ -86,19 +91,24 @@ func RunCtx(ctx context.Context, sc *Scenario, ex Exec) (*Result, error) {
 	for i := range low.Reliability {
 		cfg := low.Reliability[i]
 		cfg.Exec = rex
+		sectionStart := ex.Trace.Now()
 		res, err := relsim.RunCtx(ctx, cfg)
+		ex.Trace.Span(runtrace.TrackMain, "section:reliability", i, 0, sectionStart)
 		if err != nil {
 			return nil, fmt.Errorf("scenario %s: cell %d (%s): %w", sc.Name, i, sc.Reliability.Cells[i].Label, err)
 		}
 		out.Reliability = append(out.Reliability, &res)
 	}
 	if len(low.Perf) > 0 {
+		sectionStart := ex.Trace.Now()
 		units, err := runPerf(ctx, low.Perf, ex)
+		ex.Trace.Span(runtrace.TrackMain, "section:perf", -1, 0, sectionStart)
 		if err != nil {
 			return nil, fmt.Errorf("scenario %s: %w", sc.Name, err)
 		}
 		out.Perf = units
 	}
+	ex.Trace.Span(runtrace.TrackMain, "scenario:"+sc.Name, -1, 0, scenarioStart)
 	return out, nil
 }
 
@@ -109,9 +119,13 @@ func RunCtx(ctx context.Context, sc *Scenario, ex Exec) (*Result, error) {
 func runPerf(ctx context.Context, units []PerfUnitConfig, ex Exec) ([]PerfUnit, error) {
 	outs := make([]PerfUnit, len(units))
 	errs := make([]error, len(units))
-	eng := harness.Engine{Workers: ex.Workers, Mon: ex.Mon}
-	runErr := eng.Run(ctx, len(units), func(_, k int) (int64, bool) {
+	eng := harness.Engine{Workers: ex.Workers, Mon: ex.Mon, Trace: ex.Trace}
+	runErr := eng.Run(ctx, len(units), func(w, k int) (int64, bool) {
 		u := units[k]
+		// Each perf.Run inside this unit records onto the executing
+		// worker's track, nested under the engine's chunk span.
+		u.Base.Trace = ex.Trace
+		u.Base.TraceTrack = w
 		res := PerfUnit{
 			Workload:       u.Workload.Name,
 			PrefetchDegree: u.PrefetchDegree,

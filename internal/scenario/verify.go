@@ -173,7 +173,7 @@ func VerifyJournal(ctx context.Context, j *journal.Journal, ex Exec) (*VerifyRep
 		rep.Unknown = append(rep.Unknown, k)
 		vm.unknown.Inc()
 	}
-	eng := harness.Engine{Workers: ex.Workers, Mon: ex.Mon}
+	eng := harness.Engine{Workers: ex.Workers, Mon: ex.Mon, Trace: ex.Trace}
 	eng.Run(ctx, len(todo), func(_, t int) (int64, bool) {
 		i := todo[t]
 		k := keys[i]
