@@ -107,6 +107,7 @@ func run() int {
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof, expvar, Prometheus text metrics, and /debug/status on ADDR (e.g. localhost:6060)")
 	traceFlag := flag.String("trace", "", "record execution spans and write a Perfetto-loadable Chrome trace_event JSON to FILE (also embeds the scheduler-attribution report in the manifest)")
 	parallel := flag.Int("parallel", 0, "Monte Carlo worker pool size (0 = all cores); results are identical for any value")
+	batchFlag := flag.Int("batch", 0, "Monte Carlo trial-batch size (0 = engine default); results are identical for any value")
 	scenarioFlag := flag.String("scenario", "", "run a scenario: a preset name or a JSON spec file (see the list subcommand)")
 	var setFlagsRaw repeatedFlag
 	flag.Var(&setFlagsRaw, "set", "sweep axis as path=v1[,v2...]; repeatable, used with the sweep subcommand")
@@ -141,6 +142,7 @@ func run() int {
 	}
 	scale.Seed = *seed
 	scale.Workers = *parallel
+	scale.Batch = *batchFlag
 	if *resume && *checkpoint == "" {
 		fmt.Fprintf(os.Stderr, "-resume requires -checkpoint\n")
 		return 2
@@ -701,7 +703,7 @@ func runScenarioPoint(ctx context.Context, sc *scenario.Scenario, scale experime
 		ctx, cancel = context.WithTimeout(ctx, timeout)
 		defer cancel()
 	}
-	res, err := scenario.RunCtx(ctx, sc, scenario.Exec{Workers: scale.Workers, Mon: scale.Mon, Store: scale.Store, Trace: scale.Trace})
+	res, err := scenario.RunCtx(ctx, sc, scenario.Exec{Workers: scale.Workers, Mon: scale.Mon, Store: scale.Store, Trace: scale.Trace, BatchSize: scale.Batch})
 	if err != nil {
 		return err
 	}
@@ -970,6 +972,8 @@ flags:
                       printed as a table
   -parallel N         Monte Carlo worker pool size (default 0 = all cores);
                       any value yields bitwise-identical results
+  -batch N            Monte Carlo trial-batch size (default 0 = engine
+                      default); any value yields bitwise-identical results
   -scenario F|P       run a scenario JSON file, or a preset by name, through
                       the generic runner (spec files carry their own budget
                       and seed; an explicit -seed overrides)

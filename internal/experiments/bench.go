@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
 	"runtime"
+	"sort"
 	"strings"
 	"time"
 
@@ -13,51 +15,64 @@ import (
 	"relaxfault/internal/runtrace"
 )
 
-// BenchSchema versions the BENCH_coverage.json artifact. v2 added the
-// provenance fields (start, go_version, version) and the scheduler
-// attribution block, so the perf trajectory is diagnosable, not just a
-// single speedup number.
-const BenchSchema = "relaxfault-bench/v2"
+// BenchSchema versions the BENCH_coverage.json artifact. v3 replaced the
+// single sequential-vs-parallel pair with a worker-count sweep (legs), so
+// the artifact shows the scaling curve — per-leg speedup, allocation rate,
+// and scheduler attribution — rather than one point on it. v2 added the
+// provenance fields (start, go_version, version) and the attribution block.
+const BenchSchema = "relaxfault-bench/v3"
 
-// BenchResult is the schema of the BENCH_*.json artifacts: one parallel-
-// engine measurement of a quick coverage study, sequential vs sharded on
-// the same seed, with the bitwise-identity check the engine guarantees.
+// BenchLeg is one point of the worker sweep: the same coverage study run at
+// a fixed worker count, timed and checked bitwise against the 1-worker leg.
+type BenchLeg struct {
+	Workers    int     `json:"workers"`
+	Seconds    float64 `json:"seconds"`
+	NsPerTrial float64 `json:"ns_per_trial"`
+	// Speedup is the 1-worker leg's seconds divided by this leg's (1.0 on
+	// the 1-worker leg itself).
+	Speedup float64 `json:"speedup"`
+	// Allocation pressure of this leg (per trial, across all workers).
+	AllocsPerTrial float64 `json:"allocs_per_trial"`
+	BytesPerTrial  float64 `json:"bytes_per_trial"`
+	// Identical is true when this leg's result struct marshals to the same
+	// JSON as the 1-worker leg's — the engine's determinism contract.
+	Identical bool `json:"identical"`
+	// Attribution breaks the leg's worker-seconds down into busy / claim /
+	// fsync / reduce-wait / idle percentages (parallel legs only; the
+	// 1-worker baseline runs without a recorder so it is unperturbed).
+	Attribution *runtrace.Totals `json:"attribution,omitempty"`
+}
+
+// BenchResult is the schema of the BENCH_coverage.json artifact: a quick
+// coverage study swept over worker counts on the same seed, with the
+// bitwise-identity check the engine guarantees applied to every leg.
 type BenchResult struct {
 	Schema string `json:"schema"` // BenchSchema
 	Name   string `json:"name"`
-	// Provenance (schema v2): when the measurement started, the toolchain,
-	// and the VCS revision of the binary.
+	// Provenance: when the measurement started, the toolchain, and the VCS
+	// revision of the binary.
 	Start     string `json:"start"`
 	GoVersion string `json:"go_version"`
 	Version   string `json:"version"`
 	// Host parallelism: speedup is bounded by NumCPU, so a 1-core
 	// container honestly reports ~1x while a 4-core CI runner shows the
-	// multicore scaling.
-	GOMAXPROCS int `json:"gomaxprocs"`
-	NumCPU     int `json:"num_cpu"`
-	// Workers is the -parallel value benchmarked against Workers=1.
-	Workers int   `json:"workers"`
-	Trials  int64 `json:"trials"`
+	// multicore scaling. Multicore (num_cpu >= 4) is the precondition the
+	// CI speedup gate keys on: only a host that can actually run the
+	// 4-worker leg on 4 cores is held to the scaling floor.
+	GOMAXPROCS int  `json:"gomaxprocs"`
+	NumCPU     int  `json:"num_cpu"`
+	Multicore  bool `json:"multicore"`
+	// Workers is the sweep's cap (-parallel value, or all cores when 0);
+	// BatchSize is the resolved trial-batch size every leg ran with.
+	Workers   int   `json:"workers"`
+	BatchSize int   `json:"batch_size"`
+	Trials    int64 `json:"trials"`
 
-	SeqSeconds    float64 `json:"sequential_seconds"`
-	ParSeconds    float64 `json:"parallel_seconds"`
-	SeqNsPerTrial float64 `json:"sequential_ns_per_trial"`
-	ParNsPerTrial float64 `json:"parallel_ns_per_trial"`
-	// Speedup is sequential_seconds / parallel_seconds.
-	Speedup float64 `json:"speedup"`
+	// Legs is the sweep, ascending by worker count, starting at 1.
+	Legs []BenchLeg `json:"legs"`
 
-	// Allocation pressure of the parallel run (per trial, all workers).
-	AllocsPerTrial float64 `json:"allocs_per_trial"`
-	BytesPerTrial  float64 `json:"bytes_per_trial"`
-
-	// Identical is true when the sequential and parallel result structs
-	// marshal to the same JSON — the engine's determinism contract.
+	// Identical is true when every leg's result matched the 1-worker leg.
 	Identical bool `json:"identical"`
-
-	// Attribution (schema v2) breaks the parallel run's worker-seconds down
-	// into busy/claim/fsync/reduce-wait/idle percentages, measured by a
-	// recorder attached only to the parallel leg.
-	Attribution *runtrace.Totals `json:"attribution,omitempty"`
 }
 
 // benchCoverageConfig is the quick coverage study the bench experiment
@@ -72,12 +87,33 @@ func benchCoverageConfig(s Scale) (relsim.CoverageConfig, error) {
 	if err != nil {
 		return relsim.CoverageConfig{}, err
 	}
-	return low.Coverage[0], nil
+	cfg := low.Coverage[0]
+	// Four times the scale's coverage budget: the worker sweep needs enough
+	// chunks (a dozen or so at QuickScale, vs ~3 on the stock budget) that
+	// the 4-worker leg has parallelism to exploit and the speedup floor is
+	// a property of the engine, not of a study too short to shard.
+	cfg.FaultyNodes *= 4
+	return cfg, nil
 }
 
-// Bench times the quick coverage study sequentially (Workers=1) and with
-// the sharded engine (Workers = s.Workers, or all cores when 0), verifies
-// both produce identical results, and reports the timing/alloc figures.
+// benchWorkerSweep is the deduplicated ascending worker counts the legs
+// measure: 1, 2, 4, and the requested cap.
+func benchWorkerSweep(cap int) []int {
+	set := map[int]bool{1: true, 2: true, 4: true}
+	if cap > 0 {
+		set[cap] = true
+	}
+	sweep := make([]int, 0, len(set))
+	for w := range set {
+		sweep = append(sweep, w)
+	}
+	sort.Ints(sweep)
+	return sweep
+}
+
+// Bench sweeps the quick coverage study over worker counts (1, 2, 4, and
+// s.Workers or all cores when 0), verifies every leg produces a result
+// identical to the sequential one, and reports per-leg timing/alloc figures.
 func Bench(s Scale) (BenchResult, error) { return BenchCtx(context.Background(), s) }
 
 // BenchCtx is Bench with cancellation.
@@ -85,6 +121,10 @@ func BenchCtx(ctx context.Context, s Scale) (BenchResult, error) {
 	workers := s.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
+	}
+	batch := s.Batch
+	if batch <= 0 {
+		batch = relsim.DefaultBatchSize
 	}
 	out := BenchResult{
 		Schema:     BenchSchema,
@@ -94,7 +134,9 @@ func BenchCtx(ctx context.Context, s Scale) (BenchResult, error) {
 		Version:    harness.BuildVersion(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		NumCPU:     runtime.NumCPU(),
+		Multicore:  runtime.NumCPU() >= 4,
 		Workers:    workers,
+		BatchSize:  batch,
 	}
 
 	base, err := benchCoverageConfig(s)
@@ -104,6 +146,7 @@ func BenchCtx(ctx context.Context, s Scale) (BenchResult, error) {
 	run := func(w int, tr *runtrace.Recorder) (*relsim.CoverageResult, float64, error) {
 		cfg := base
 		cfg.Workers = w
+		cfg.BatchSize = s.Batch
 		cfg.Mon = s.Mon
 		cfg.Trace = tr
 		start := time.Now()
@@ -111,68 +154,69 @@ func BenchCtx(ctx context.Context, s Scale) (BenchResult, error) {
 		return res, time.Since(start).Seconds(), err
 	}
 
-	seqRes, seqSec, err := run(1, nil)
-	if err != nil {
-		return out, err
-	}
-
-	// A fresh recorder on the parallel leg only: the attribution block
-	// explains where the parallel wall time went without perturbing the
-	// sequential baseline.
-	tr := runtrace.New()
-	var before, after runtime.MemStats
-	runtime.ReadMemStats(&before)
-	parRes, parSec, err := run(workers, tr)
-	runtime.ReadMemStats(&after)
-	if err != nil {
-		return out, err
-	}
-	rep := runtrace.Analyze(tr)
-	out.Attribution = &rep.Totals
-
-	seqJSON, err := json.Marshal(seqRes)
-	if err != nil {
-		return out, err
-	}
-	parJSON, err := json.Marshal(parRes)
-	if err != nil {
-		return out, err
-	}
-	out.Identical = string(seqJSON) == string(parJSON)
-
-	trials := int64(seqRes.TotalNodes)
-	out.Trials = trials
-	out.SeqSeconds = seqSec
-	out.ParSeconds = parSec
-	if trials > 0 {
-		out.SeqNsPerTrial = seqSec * 1e9 / float64(trials)
-		out.ParNsPerTrial = parSec * 1e9 / float64(trials)
-		out.AllocsPerTrial = float64(after.Mallocs-before.Mallocs) / float64(trials)
-		out.BytesPerTrial = float64(after.TotalAlloc-before.TotalAlloc) / float64(trials)
-	}
-	if parSec > 0 {
-		out.Speedup = seqSec / parSec
+	var baseJSON []byte
+	var seqSec float64
+	out.Identical = true
+	for _, w := range benchWorkerSweep(workers) {
+		// A fresh recorder on each parallel leg: the attribution block
+		// explains where that leg's wall time went without perturbing the
+		// sequential baseline.
+		var tr *runtrace.Recorder
+		if w > 1 {
+			tr = runtrace.New()
+		}
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		res, sec, err := run(w, tr)
+		runtime.ReadMemStats(&after)
+		if err != nil {
+			return out, err
+		}
+		leg := BenchLeg{Workers: w, Seconds: sec}
+		if tr != nil {
+			rep := runtrace.Analyze(tr)
+			leg.Attribution = &rep.Totals
+		}
+		legJSON, err := json.Marshal(res)
+		if err != nil {
+			return out, err
+		}
+		if baseJSON == nil {
+			baseJSON, seqSec = legJSON, sec
+			out.Trials = int64(res.TotalNodes)
+		}
+		leg.Identical = bytes.Equal(legJSON, baseJSON)
+		out.Identical = out.Identical && leg.Identical
+		if out.Trials > 0 {
+			leg.NsPerTrial = sec * 1e9 / float64(out.Trials)
+			leg.AllocsPerTrial = float64(after.Mallocs-before.Mallocs) / float64(out.Trials)
+			leg.BytesPerTrial = float64(after.TotalAlloc-before.TotalAlloc) / float64(out.Trials)
+		}
+		if sec > 0 {
+			leg.Speedup = seqSec / sec
+		}
+		out.Legs = append(out.Legs, leg)
 	}
 	if !out.Identical {
-		return out, fmt.Errorf("bench: sequential and %d-worker results differ", workers)
+		return out, fmt.Errorf("bench: worker sweep produced results differing from the sequential leg")
 	}
 	return out, nil
 }
 
-// String prints the measurement as a small report.
+// String prints the sweep as a small report.
 func (r BenchResult) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "Benchmark: quick coverage study, sequential vs -parallel %d\n", r.Workers)
-	fmt.Fprintf(&b, "%-26s %d (GOMAXPROCS %d)\n", "cores", r.NumCPU, r.GOMAXPROCS)
-	fmt.Fprintf(&b, "%-26s %d\n", "trials", r.Trials)
-	fmt.Fprintf(&b, "%-26s %.2fs (%.0f ns/trial)\n", "sequential", r.SeqSeconds, r.SeqNsPerTrial)
-	fmt.Fprintf(&b, "%-26s %.2fs (%.0f ns/trial)\n", "parallel", r.ParSeconds, r.ParNsPerTrial)
-	fmt.Fprintf(&b, "%-26s %.2fx\n", "speedup", r.Speedup)
-	fmt.Fprintf(&b, "%-26s %.1f allocs, %.0f bytes\n", "per-trial allocation", r.AllocsPerTrial, r.BytesPerTrial)
-	fmt.Fprintf(&b, "%-26s %v\n", "results bitwise identical", r.Identical)
-	if a := r.Attribution; a != nil {
-		fmt.Fprintf(&b, "%-26s busy %.1f%% claim %.1f%% fsync %.1f%% reduce %.1f%% idle %.1f%%\n",
-			"parallel attribution", a.BusyPct, a.ClaimPct, a.CheckpointPct, a.ReduceWaitPct, a.IdlePct)
+	fmt.Fprintf(&b, "Benchmark: quick coverage study, worker sweep up to %d\n", r.Workers)
+	fmt.Fprintf(&b, "%-26s %d (GOMAXPROCS %d, multicore %v)\n", "cores", r.NumCPU, r.GOMAXPROCS, r.Multicore)
+	fmt.Fprintf(&b, "%-26s %d (batch %d)\n", "trials", r.Trials, r.BatchSize)
+	for _, l := range r.Legs {
+		fmt.Fprintf(&b, "%-26s %.2fs (%.0f ns/trial)  speedup %.2fx  %.1f allocs/trial\n",
+			fmt.Sprintf("workers %d", l.Workers), l.Seconds, l.NsPerTrial, l.Speedup, l.AllocsPerTrial)
+		if a := l.Attribution; a != nil {
+			fmt.Fprintf(&b, "%-26s busy %.1f%% claim %.1f%% fsync %.1f%% reduce %.1f%% idle %.1f%%\n",
+				"", a.BusyPct, a.ClaimPct, a.CheckpointPct, a.ReduceWaitPct, a.IdlePct)
+		}
 	}
+	fmt.Fprintf(&b, "%-26s %v\n", "results bitwise identical", r.Identical)
 	return b.String()
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -13,10 +14,10 @@ import (
 	"relaxfault/internal/scenario"
 )
 
-// BenchDDR4Schema versions the BENCH_ddr4.json artifact. v2 added the
-// provenance fields (start, go_version, version) and the scheduler
-// attribution block of the parallel leg.
-const BenchDDR4Schema = "relaxfault-bench-ddr4/v2"
+// BenchDDR4Schema versions the BENCH_ddr4.json artifact. v3 replaced the
+// single sequential-vs-parallel pair with the same worker-count sweep as
+// BENCH_coverage.json; v2 added provenance and attribution.
+const BenchDDR4Schema = "relaxfault-bench-ddr4/v3"
 
 // DDR4PerfCtx runs the "ddr4" preset — the Figure 15/16 methodology on the
 // DDR4-2400 technology (bank-group tCCD_S/tCCD_L timing, DDR4 energy
@@ -30,41 +31,51 @@ func DDR4Perf(s Scale) (*scenario.Result, error) {
 	return DDR4PerfCtx(context.Background(), s)
 }
 
+// BenchDDR4Leg is one point of the DDR4 sweep: the perf preset run at a
+// fixed worker count. The perf fan-out shards over (workload, prefetch)
+// units rather than Monte Carlo chunks, so there are no per-trial figures.
+type BenchDDR4Leg struct {
+	Workers int     `json:"workers"`
+	Seconds float64 `json:"seconds"`
+	// Speedup is the 1-worker leg's seconds divided by this leg's.
+	Speedup float64 `json:"speedup"`
+	// Identical is true when this leg's perf units marshal to the same
+	// JSON as the 1-worker leg's.
+	Identical bool `json:"identical"`
+	// Attribution breaks the leg's worker-seconds down (parallel legs only).
+	Attribution *runtrace.Totals `json:"attribution,omitempty"`
+}
+
 // BenchDDR4Result is the schema of the BENCH_ddr4.json artifact: the DDR4
-// perf preset timed with one worker vs the sharded pool, with the
-// determinism check that both produce identical perf units.
+// perf preset swept over worker counts, with the determinism check that
+// every leg produces identical perf units.
 type BenchDDR4Result struct {
 	Schema string `json:"schema"` // BenchDDR4Schema
 	Name   string `json:"name"`
-	// Provenance (schema v2): when the measurement started, the toolchain,
-	// and the VCS revision of the binary.
+	// Provenance: when the measurement started, the toolchain, and the VCS
+	// revision of the binary.
 	Start      string `json:"start"`
 	GoVersion  string `json:"go_version"`
 	Version    string `json:"version"`
 	Technology string `json:"technology"`
 	GOMAXPROCS int    `json:"gomaxprocs"`
 	NumCPU     int    `json:"num_cpu"`
-	// Workers is the -parallel value benchmarked against Workers=1.
+	Multicore  bool   `json:"multicore"`
+	// Workers is the sweep's cap (-parallel value, or all cores when 0).
 	Workers int `json:"workers"`
-	// Units is the number of (workload, prefetch degree) perf cells.
+	// Units is the number of (workload, prefetch degree) perf cells — the
+	// perf fan-out's parallelism bound, independent of worker count.
 	Units int `json:"units"`
 
-	SeqSeconds float64 `json:"sequential_seconds"`
-	ParSeconds float64 `json:"parallel_seconds"`
-	// Speedup is sequential_seconds / parallel_seconds.
-	Speedup float64 `json:"speedup"`
+	// Legs is the sweep, ascending by worker count, starting at 1.
+	Legs []BenchDDR4Leg `json:"legs"`
 
-	// Identical is true when both runs' perf units marshal to the same
-	// JSON — the fan-out engine's determinism contract.
+	// Identical is true when every leg's perf units matched the 1-worker
+	// leg's.
 	Identical bool `json:"identical"`
-
-	// Attribution (schema v2) breaks the parallel run's worker-seconds down
-	// into busy/claim/fsync/reduce-wait/idle percentages, measured by a
-	// recorder attached only to the parallel leg.
-	Attribution *runtrace.Totals `json:"attribution,omitempty"`
 }
 
-// BenchDDR4 times the DDR4 perf preset sequentially and parallel.
+// BenchDDR4 sweeps the DDR4 perf preset over worker counts.
 func BenchDDR4(s Scale) (BenchDDR4Result, error) {
 	return BenchDDR4Ctx(context.Background(), s)
 }
@@ -83,6 +94,7 @@ func BenchDDR4Ctx(ctx context.Context, s Scale) (BenchDDR4Result, error) {
 		Version:    harness.BuildVersion(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		NumCPU:     runtime.NumCPU(),
+		Multicore:  runtime.NumCPU() >= 4,
 		Workers:    workers,
 	}
 	sc, err := s.PresetScenario("ddr4")
@@ -98,53 +110,60 @@ func BenchDDR4Ctx(ctx context.Context, s Scale) (BenchDDR4Result, error) {
 		res, err := scenario.RunCtx(ctx, sc, scenario.Exec{Workers: w, Mon: s.Mon, Trace: tr})
 		return res, time.Since(start).Seconds(), err
 	}
-	seqRes, seqSec, err := run(1, nil)
-	if err != nil {
-		return out, err
-	}
-	// Attribution recorder on the parallel leg only (see BenchCtx).
-	tr := runtrace.New()
-	parRes, parSec, err := run(workers, tr)
-	if err != nil {
-		return out, err
-	}
-	rep := runtrace.Analyze(tr)
-	out.Attribution = &rep.Totals
 
-	seqJSON, err := json.Marshal(seqRes.Perf)
-	if err != nil {
-		return out, err
-	}
-	parJSON, err := json.Marshal(parRes.Perf)
-	if err != nil {
-		return out, err
-	}
-	out.Identical = string(seqJSON) == string(parJSON)
-	out.Units = len(seqRes.Perf)
-	out.SeqSeconds = seqSec
-	out.ParSeconds = parSec
-	if parSec > 0 {
-		out.Speedup = seqSec / parSec
+	var baseJSON []byte
+	var seqSec float64
+	out.Identical = true
+	for _, w := range benchWorkerSweep(workers) {
+		// Attribution recorder on parallel legs only (see BenchCtx).
+		var tr *runtrace.Recorder
+		if w > 1 {
+			tr = runtrace.New()
+		}
+		res, sec, err := run(w, tr)
+		if err != nil {
+			return out, err
+		}
+		leg := BenchDDR4Leg{Workers: w, Seconds: sec}
+		if tr != nil {
+			rep := runtrace.Analyze(tr)
+			leg.Attribution = &rep.Totals
+		}
+		legJSON, err := json.Marshal(res.Perf)
+		if err != nil {
+			return out, err
+		}
+		if baseJSON == nil {
+			baseJSON, seqSec = legJSON, sec
+			out.Units = len(res.Perf)
+		}
+		leg.Identical = bytes.Equal(legJSON, baseJSON)
+		out.Identical = out.Identical && leg.Identical
+		if sec > 0 {
+			leg.Speedup = seqSec / sec
+		}
+		out.Legs = append(out.Legs, leg)
 	}
 	if !out.Identical {
-		return out, fmt.Errorf("bench ddr4: sequential and %d-worker results differ", workers)
+		return out, fmt.Errorf("bench ddr4: worker sweep produced results differing from the sequential leg")
 	}
 	return out, nil
 }
 
-// String prints the measurement as a small report.
+// String prints the sweep as a small report.
 func (r BenchDDR4Result) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "Benchmark: DDR4 perf preset (%s), sequential vs -parallel %d\n", r.Technology, r.Workers)
-	fmt.Fprintf(&b, "%-26s %d (GOMAXPROCS %d)\n", "cores", r.NumCPU, r.GOMAXPROCS)
+	fmt.Fprintf(&b, "Benchmark: DDR4 perf preset (%s), worker sweep up to %d\n", r.Technology, r.Workers)
+	fmt.Fprintf(&b, "%-26s %d (GOMAXPROCS %d, multicore %v)\n", "cores", r.NumCPU, r.GOMAXPROCS, r.Multicore)
 	fmt.Fprintf(&b, "%-26s %d\n", "perf units", r.Units)
-	fmt.Fprintf(&b, "%-26s %.2fs\n", "sequential", r.SeqSeconds)
-	fmt.Fprintf(&b, "%-26s %.2fs\n", "parallel", r.ParSeconds)
-	fmt.Fprintf(&b, "%-26s %.2fx\n", "speedup", r.Speedup)
-	fmt.Fprintf(&b, "%-26s %v\n", "results bitwise identical", r.Identical)
-	if a := r.Attribution; a != nil {
-		fmt.Fprintf(&b, "%-26s busy %.1f%% claim %.1f%% fsync %.1f%% reduce %.1f%% idle %.1f%%\n",
-			"parallel attribution", a.BusyPct, a.ClaimPct, a.CheckpointPct, a.ReduceWaitPct, a.IdlePct)
+	for _, l := range r.Legs {
+		fmt.Fprintf(&b, "%-26s %.2fs  speedup %.2fx\n",
+			fmt.Sprintf("workers %d", l.Workers), l.Seconds, l.Speedup)
+		if a := l.Attribution; a != nil {
+			fmt.Fprintf(&b, "%-26s busy %.1f%% claim %.1f%% fsync %.1f%% reduce %.1f%% idle %.1f%%\n",
+				"", a.BusyPct, a.ClaimPct, a.CheckpointPct, a.ReduceWaitPct, a.IdlePct)
+		}
 	}
+	fmt.Fprintf(&b, "%-26s %v\n", "results bitwise identical", r.Identical)
 	return b.String()
 }

@@ -46,6 +46,9 @@ type Scale struct {
 	// Trace, if non-nil, records execution spans from the underlying runs
 	// (-trace). Observation only; never affects results.
 	Trace *runtrace.Recorder
+	// Batch caps the Monte Carlo trial-batch size (0 = engine default).
+	// Results are bitwise independent of the value, like Workers.
+	Batch int
 }
 
 // Exec bundles the scale's execution plumbing (worker cap, monitor,
@@ -53,7 +56,7 @@ type Scale struct {
 // relsim.CoverageConfig embed, so one code path instruments every kind of
 // Monte Carlo run: `cfg.Exec = s.Exec()`.
 func (s Scale) Exec() relsim.Exec {
-	return relsim.Exec{Workers: s.Workers, Mon: s.Mon, Checkpoint: s.Store, Trace: s.Trace}
+	return relsim.Exec{Workers: s.Workers, Mon: s.Mon, Checkpoint: s.Store, Trace: s.Trace, BatchSize: s.Batch}
 }
 
 // PresetScenario resolves the named registry preset at this scale: budget
@@ -83,7 +86,7 @@ func runPreset(ctx context.Context, name string, s Scale) (*scenario.Result, err
 	if err != nil {
 		return nil, err
 	}
-	return scenario.RunCtx(ctx, sc, scenario.Exec{Workers: s.Workers, Mon: s.Mon, Store: s.Store, Trace: s.Trace})
+	return scenario.RunCtx(ctx, sc, scenario.Exec{Workers: s.Workers, Mon: s.Mon, Store: s.Store, Trace: s.Trace, BatchSize: s.Batch})
 }
 
 // PaperScale approaches the paper's statistical resolution (minutes of CPU).

@@ -83,10 +83,10 @@ func TestGoldenParallelMatchesSequential(t *testing.T) {
 }
 
 // TestBenchQuick exercises the bench experiment end to end at tiny scale: it
-// must verify the sequential/parallel identity itself and report sane timing.
+// must verify the cross-leg identity itself and report a sane sweep.
 func TestBenchQuick(t *testing.T) {
 	if testing.Short() {
-		t.Skip("runs the coverage study twice")
+		t.Skip("runs the coverage study once per sweep leg")
 	}
 	s := tinyScale()
 	s.Workers = 2
@@ -94,14 +94,39 @@ func TestBenchQuick(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	if r.Schema != BenchSchema {
+		t.Errorf("schema = %q, want %q", r.Schema, BenchSchema)
+	}
 	if !r.Identical {
 		t.Error("bench reported non-identical results")
 	}
-	if r.Trials <= 0 || r.SeqSeconds <= 0 || r.ParSeconds <= 0 {
-		t.Errorf("implausible measurement: %+v", r)
-	}
 	if r.Workers != 2 {
 		t.Errorf("workers = %d, want 2", r.Workers)
+	}
+	if r.Trials <= 0 || r.BatchSize <= 0 {
+		t.Errorf("implausible measurement: %+v", r)
+	}
+	// The sweep at cap 2 is {1, 2, 4} deduplicated and ascending.
+	wantLegs := []int{1, 2, 4}
+	if len(r.Legs) != len(wantLegs) {
+		t.Fatalf("got %d legs, want %d: %+v", len(r.Legs), len(wantLegs), r.Legs)
+	}
+	for i, l := range r.Legs {
+		if l.Workers != wantLegs[i] {
+			t.Errorf("leg %d workers = %d, want %d", i, l.Workers, wantLegs[i])
+		}
+		if l.Seconds <= 0 || l.NsPerTrial <= 0 || l.Speedup <= 0 {
+			t.Errorf("leg %d implausible: %+v", i, l)
+		}
+		if !l.Identical {
+			t.Errorf("leg %d (workers %d) not identical to the sequential leg", i, l.Workers)
+		}
+		if (l.Attribution != nil) != (l.Workers > 1) {
+			t.Errorf("leg %d (workers %d): attribution presence wrong", i, l.Workers)
+		}
+	}
+	if sp := r.Legs[0].Speedup; sp != 1 {
+		t.Errorf("1-worker leg speedup = %v, want exactly 1", sp)
 	}
 	for _, want := range []string{"speedup", "bitwise identical"} {
 		if !bytes.Contains([]byte(r.String()), []byte(want)) {

@@ -190,23 +190,57 @@ func (nf *NodeFaults) PermanentCount() int {
 
 // PermanentFaults returns the permanent faults in arrival order.
 func (nf *NodeFaults) PermanentFaults() []*Fault {
-	out := make([]*Fault, 0, len(nf.Faults))
+	return nf.PermanentFaultsInto(nil)
+}
+
+// PermanentFaultsInto appends the permanent faults in arrival order to buf
+// and returns it; hot paths pass a reused buffer so filtering allocates
+// nothing in steady state.
+func (nf *NodeFaults) PermanentFaultsInto(buf []*Fault) []*Fault {
+	buf = buf[:0]
 	for _, f := range nf.Faults {
 		if f.Permanent() {
-			out = append(out, f)
+			buf = append(buf, f)
 		}
 	}
-	return out
+	return buf
 }
 
 // SampleScratch holds the per-call working buffers of SampleNodeScratch.
 // One scratch serves one goroutine; the Monte Carlo workers keep one per
-// worker so the per-node multiplier and weight tables stop being the
-// dominant allocation of fault-free trials. A zero SampleScratch is ready
-// to use.
+// worker so sampling allocates nothing in steady state: the multiplier and
+// weight tables, the Fault objects themselves (including their extent and
+// row-list backings), and the fault-pointer slices are all arena-pooled and
+// reused across calls. A zero SampleScratch is ready to use.
+//
+// Aliasing contract: the NodeFaults returned by SampleNodeScratch — every
+// *Fault, its Extents, and its AcceleratedDIMMs — remains valid only until
+// the next SampleNodeScratch call with the same scratch. Callers that keep
+// fault histories across trials must copy them (or pass a fresh scratch).
 type SampleScratch struct {
 	dimmMult []float64
 	weights  []float64
+	// arena holds the reusable Fault objects; entry i serves the i-th fault
+	// of the current node. Objects are allocated once and reused along with
+	// their extent backings, so steady-state sampling allocates nothing.
+	arena []*Fault
+	// rowBufs[i] is arena slot i's reusable row-list storage (kept here, not
+	// on the Fault, so a slot alternating between list-shaped and
+	// range-shaped modes does not shed its backing).
+	rowBufs [][]int
+	// ptrs backs NodeFaults.Faults; accel backs NodeFaults.AcceleratedDIMMs.
+	ptrs  []*Fault
+	accel []int
+}
+
+// fault returns the i-th reusable Fault of the arena and its row-list
+// buffer, growing the arena on first use of a slot.
+func (sc *SampleScratch) fault(i int) (*Fault, *[]int) {
+	for i >= len(sc.arena) {
+		sc.arena = append(sc.arena, &Fault{})
+		sc.rowBufs = append(sc.rowBufs, nil)
+	}
+	return sc.arena[i], &sc.rowBufs[i]
 }
 
 // grow returns buf resized to n, reusing its backing array when possible.
@@ -242,16 +276,21 @@ func (m *Model) SampleNodeScratch(rng *stats.RNG, sc *SampleScratch) NodeFaults 
 	// DIMM-level acceleration applies to DIMMs in otherwise-normal nodes.
 	sc.dimmMult = grow(sc.dimmMult, nDIMMs)
 	dimmMult := sc.dimmMult
+	accel := sc.accel[:0]
 	lambda := 0.0
 	perDevRate := FITToRate(m.totalFIT) * m.cfg.Hours
 	for d := 0; d < nDIMMs; d++ {
 		mult := nodeMult
 		if !nf.NodeAccelerated && rng.Bool(m.cfg.AccelDIMMFrac) {
 			mult = m.cfg.AccelFactor
-			nf.AcceleratedDIMMs = append(nf.AcceleratedDIMMs, d)
+			accel = append(accel, d)
 		}
 		dimmMult[d] = mult
 		lambda += mult * float64(m.devPerDMM) * perDevRate
+	}
+	sc.accel = accel
+	if len(accel) > 0 {
+		nf.AcceleratedDIMMs = accel
 	}
 	n := rng.Poisson(lambda)
 	if n == 0 {
@@ -272,6 +311,7 @@ func (m *Model) SampleNodeScratch(rng *stats.RNG, sc *SampleScratch) NodeFaults 
 		totalW += w
 	}
 
+	faults := sc.ptrs[:0]
 	for i := 0; i < n; i++ {
 		// Pick the device by weight.
 		target := rng.Float64() * totalW
@@ -288,16 +328,32 @@ func (m *Model) SampleNodeScratch(rng *stats.RNG, sc *SampleScratch) NodeFaults 
 			Rank:    dimm % g.DIMMsPerChan,
 			Device:  devIdx % m.devPerDMM,
 		}
-		f := m.sampleFault(rng, dev)
+		slot, rowBuf := sc.fault(i)
+		f := m.sampleFault(rng, dev, slot, rowBuf)
 		f.AtHours = rng.Float64() * m.cfg.Hours
-		nf.Faults = append(nf.Faults, f)
+		faults = append(faults, f)
 	}
-	sort.Slice(nf.Faults, func(a, b int) bool { return nf.Faults[a].AtHours < nf.Faults[b].AtHours })
+	sc.ptrs = faults
+	// Insertion sort by arrival time: stable, allocation-free, and (arrival
+	// times are distinct continuous draws) identical in output to the
+	// sort.Slice it replaced. Fault counts per node are tiny.
+	for i := 1; i < len(faults); i++ {
+		f := faults[i]
+		j := i - 1
+		for j >= 0 && faults[j].AtHours > f.AtHours {
+			faults[j+1] = faults[j]
+			j--
+		}
+		faults[j+1] = f
+	}
+	nf.Faults = faults
 	return nf
 }
 
-// sampleFault draws the mode, persistence, and extents of one fault.
-func (m *Model) sampleFault(rng *stats.RNG, dev dram.DeviceCoord) *Fault {
+// sampleFault draws the mode, persistence, and extents of one fault into f
+// (a reusable arena object whose extent backing is recycled; rowBuf is the
+// slot's reusable row-list storage).
+func (m *Model) sampleFault(rng *stats.RNG, dev dram.DeviceCoord, f *Fault, rowBuf *[]int) *Fault {
 	target := rng.Float64() * m.totalFIT
 	idx := sort.SearchFloat64s(m.modeCDF, target)
 	if idx >= len(m.modeCDF) {
@@ -305,8 +361,9 @@ func (m *Model) sampleFault(rng *stats.RNG, dev dram.DeviceCoord) *Fault {
 	}
 	mode := Mode(idx / 2)
 	transient := idx%2 == 0
-	f := &Fault{Dev: dev, Mode: mode, Transient: transient}
-	m.sampleExtents(rng, f)
+	ext := f.Extents[:0]
+	*f = Fault{Dev: dev, Mode: mode, Transient: transient}
+	m.sampleExtents(rng, f, ext, rowBuf)
 	if f.Permanent() && rng.Bool(m.cfg.Shape.IntermittentFrac) {
 		f.Intermittent = true
 		f.ActivationsPerHour = logUniform(rng, m.cfg.Shape.ActivationMinPerHour, m.cfg.Shape.ActivationMaxPerHour)
@@ -323,7 +380,10 @@ func logUniform(rng *stats.RNG, lo, hi float64) float64 {
 }
 
 // sampleExtents fills f.Extents according to the mode and shape parameters.
-func (m *Model) sampleExtents(rng *stats.RNG, f *Fault) {
+// ext is the recycled extent buffer ([:0] of the slot's previous backing);
+// rowBuf is the slot's reusable row-list storage, updated in place when a
+// list-shaped extent grows it.
+func (m *Model) sampleExtents(rng *stats.RNG, f *Fault, ext []Extent, rowBuf *[]int) {
 	g := m.cfg.Geometry
 	sp := m.cfg.Shape
 	bank := rng.Intn(g.Banks)
@@ -332,18 +392,18 @@ func (m *Model) sampleExtents(rng *stats.RNG, f *Fault) {
 		row := rng.Intn(g.Rows)
 		if rng.Bool(sp.WordFrac) {
 			blk := rng.Intn(g.ColBlocks())
-			f.Extents = []Extent{{
+			f.Extents = append(ext, Extent{
 				BankLo: bank, BankHi: bank,
 				Rows:  OneRow(row),
 				ColLo: blk * g.ColumnsPerBlk, ColHi: (blk+1)*g.ColumnsPerBlk - 1,
-			}}
+			})
 		} else {
 			col := rng.Intn(g.Columns)
-			f.Extents = []Extent{{
+			f.Extents = append(ext, Extent{
 				BankLo: bank, BankHi: bank,
 				Rows:  OneRow(row),
 				ColLo: col, ColHi: col,
-			}}
+			})
 		}
 
 	case SingleRow:
@@ -352,11 +412,11 @@ func (m *Model) sampleExtents(rng *stats.RNG, f *Fault) {
 		if rng.Bool(sp.TwoRowFrac) && row+1 < g.Rows {
 			rows = RowRange(row, row+1)
 		}
-		f.Extents = []Extent{{
+		f.Extents = append(ext, Extent{
 			BankLo: bank, BankHi: bank,
 			Rows:  rows,
 			ColLo: 0, ColHi: g.Columns - 1,
-		}}
+		})
 
 	case SingleColumn:
 		col := rng.Intn(g.Columns)
@@ -374,20 +434,21 @@ func (m *Model) sampleExtents(rng *stats.RNG, f *Fault) {
 			rows = RowRange(base, top)
 		} else {
 			k := 2 + rng.Intn(maxi(sp.ColFewRowsMax-1, 1))
-			picks := make([]int, 0, k)
+			picks := (*rowBuf)[:0]
 			for j := 0; j < k; j++ {
 				picks = append(picks, base+rng.Intn(top-base+1))
 			}
+			*rowBuf = picks
 			rows = RowList(picks)
 		}
-		f.Extents = []Extent{{
+		f.Extents = append(ext, Extent{
 			BankLo: bank, BankHi: bank,
 			Rows:  rows,
 			ColLo: col, ColHi: col,
-		}}
+		})
 
 	case SingleBank:
-		f.Extents = []Extent{m.sampleBankExtent(rng, bank, bank)}
+		f.Extents = append(ext, m.sampleBankExtent(rng, bank, bank, rowBuf))
 
 	case MultiBank:
 		nb := 2 + rng.Intn(maxi(g.Banks-1, 1))
@@ -397,21 +458,21 @@ func (m *Model) sampleExtents(rng *stats.RNG, f *Fault) {
 		lo := rng.Intn(g.Banks - nb + 1)
 		hi := lo + nb - 1
 		if rng.Bool(sp.MultiBankWholeFrac) {
-			f.Extents = []Extent{{
+			f.Extents = append(ext, Extent{
 				BankLo: lo, BankHi: hi,
 				Rows:  AllRows(),
 				ColLo: 0, ColHi: g.Columns - 1,
-			}}
+			})
 		} else {
-			f.Extents = []Extent{m.sampleBankExtent(rng, lo, hi)}
+			f.Extents = append(ext, m.sampleBankExtent(rng, lo, hi, rowBuf))
 		}
 
 	case MultiRank:
-		f.Extents = []Extent{{
+		f.Extents = append(ext, Extent{
 			BankLo: 0, BankHi: g.Banks - 1,
 			Rows:  AllRows(),
 			ColLo: 0, ColHi: g.Columns - 1,
-		}}
+		})
 		f.MirrorRanks = true
 	}
 }
@@ -419,7 +480,7 @@ func (m *Model) sampleExtents(rng *stats.RNG, f *Fault) {
 // sampleBankExtent draws the in-bank structure of a bank-mode fault:
 // whole-bank, a cluster of rows at random positions, or a cluster of
 // adjacent columns through one or more subarrays.
-func (m *Model) sampleBankExtent(rng *stats.RNG, bankLo, bankHi int) Extent {
+func (m *Model) sampleBankExtent(rng *stats.RNG, bankLo, bankHi int, rowBuf *[]int) Extent {
 	g := m.cfg.Geometry
 	sp := m.cfg.Shape
 	switch {
@@ -435,10 +496,11 @@ func (m *Model) sampleBankExtent(rng *stats.RNG, bankLo, bankHi int) Extent {
 		if k > g.Rows {
 			k = g.Rows
 		}
-		picks := make([]int, 0, k)
+		picks := (*rowBuf)[:0]
 		for j := 0; j < k; j++ {
 			picks = append(picks, rng.Intn(g.Rows))
 		}
+		*rowBuf = picks
 		return Extent{
 			BankLo: bankLo, BankHi: bankHi,
 			Rows:  RowList(picks),

@@ -1,0 +1,122 @@
+package harness
+
+// SpanReducer folds chunk results into an accumulator in strict chunk-index
+// order while accepting completions in any order: the tree-reduction side of
+// the engine's determinism contract. Adjacent completed chunks are merged
+// pairwise into spans as they arrive (ordered concatenation, so no floating-
+// point reassociation ever happens), and a span is folded — element by
+// element, in index order — the moment it becomes contiguous with the fold
+// frontier. The reduction therefore produces bytes identical to the
+// sequential index-ordered reduce for every completion order, while a
+// straggler chunk never blocks bookkeeping of the chunks completed after it
+// and folded chunks release their payloads immediately instead of pinning a
+// whole-campaign results table.
+//
+// Memory bound: pending chunks form maximal runs of completed-but-unfolded
+// indexes; the reducer keeps exactly one span per run. Under the engine's
+// in-order claim cursor with W workers, at most W chunks are in flight, so
+// the completed indexes ahead of the frontier are interrupted by at most W
+// in-flight gaps: the pending-span count never exceeds W (PendingSpans /
+// HighWaterSpans let tests pin that bound).
+//
+// SpanReducer is not safe for concurrent use; callers serialise Complete
+// (the engine's work callbacks already serialise shared-state updates).
+type SpanReducer[T any] struct {
+	fold    func(ci int, v T)
+	next    int // fold frontier: every chunk < next has been folded
+	byLo    map[int]*reduceSpan[T]
+	byHi    map[int]*reduceSpan[T] // keyed by lo+len (one past the span's last index)
+	items   int
+	hwSpans int
+	hwItems int
+}
+
+// reduceSpan is one maximal run of completed, unfolded chunk results.
+type reduceSpan[T any] struct {
+	lo int
+	vs []T
+}
+
+// NewSpanReducer returns a reducer whose fold function is invoked exactly
+// once per chunk index, in strictly increasing index order, starting at 0.
+func NewSpanReducer[T any](fold func(ci int, v T)) *SpanReducer[T] {
+	return &SpanReducer[T]{
+		fold: fold,
+		byLo: make(map[int]*reduceSpan[T]),
+		byHi: make(map[int]*reduceSpan[T]),
+	}
+}
+
+// Complete records chunk ci's result. If ci sits at the fold frontier the
+// value is folded immediately, followed by any buffered span that became
+// contiguous; otherwise the value joins (or bridges) its adjacent pending
+// spans. Completing the same index twice is a caller bug; the reducer's
+// fold-once guarantee only holds for distinct indexes.
+func (r *SpanReducer[T]) Complete(ci int, v T) {
+	if ci == r.next {
+		r.fold(ci, v)
+		r.next++
+		// Drain the span (if any) now adjacent to the frontier.
+		if sp, ok := r.byLo[r.next]; ok {
+			delete(r.byLo, sp.lo)
+			delete(r.byHi, sp.lo+len(sp.vs))
+			for i, sv := range sp.vs {
+				r.fold(sp.lo+i, sv)
+			}
+			r.next = sp.lo + len(sp.vs)
+			r.items -= len(sp.vs)
+		}
+		return
+	}
+	// Buffer: merge with the span ending at ci and/or the span starting at
+	// ci+1 (ordered concatenation keeps fold order exact by construction).
+	left := r.byHi[ci]
+	right := r.byLo[ci+1]
+	switch {
+	case left != nil && right != nil:
+		delete(r.byHi, ci)
+		delete(r.byLo, ci+1)
+		left.vs = append(left.vs, v)
+		left.vs = append(left.vs, right.vs...)
+		r.byHi[left.lo+len(left.vs)] = left
+	case left != nil:
+		delete(r.byHi, ci)
+		left.vs = append(left.vs, v)
+		r.byHi[ci+1] = left
+	case right != nil:
+		delete(r.byLo, ci+1)
+		right.vs = append(right.vs, *new(T)) // grow by one, then shift
+		copy(right.vs[1:], right.vs)
+		right.vs[0] = v
+		right.lo = ci
+		r.byLo[ci] = right
+	default:
+		sp := &reduceSpan[T]{lo: ci, vs: []T{v}}
+		r.byLo[ci] = sp
+		r.byHi[ci+1] = sp
+	}
+	r.items++
+	if n := len(r.byLo); n > r.hwSpans {
+		r.hwSpans = n
+	}
+	if r.items > r.hwItems {
+		r.hwItems = r.items
+	}
+}
+
+// Frontier returns the next index to be folded: every chunk below it has
+// been folded, in order.
+func (r *SpanReducer[T]) Frontier() int { return r.next }
+
+// PendingSpans returns the number of buffered spans (maximal completed-but-
+// unfolded runs).
+func (r *SpanReducer[T]) PendingSpans() int { return len(r.byLo) }
+
+// PendingItems returns the number of buffered chunk results.
+func (r *SpanReducer[T]) PendingItems() int { return r.items }
+
+// HighWaterSpans returns the maximum concurrent buffered-span count seen.
+func (r *SpanReducer[T]) HighWaterSpans() int { return r.hwSpans }
+
+// HighWaterItems returns the maximum concurrent buffered-item count seen.
+func (r *SpanReducer[T]) HighWaterItems() int { return r.hwItems }

@@ -1,0 +1,134 @@
+package harness
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// foldLog drives a SpanReducer and records the exact fold sequence; byte-
+// identity of the parallel reduction reduces to this sequence being the
+// index-ordered reference for every completion order.
+type foldLog struct {
+	order []int
+	vals  []string
+}
+
+func newLogged() (*SpanReducer[string], *foldLog) {
+	log := &foldLog{}
+	r := NewSpanReducer[string](func(ci int, v string) {
+		log.order = append(log.order, ci)
+		log.vals = append(log.vals, v)
+	})
+	return r, log
+}
+
+func checkReference(t *testing.T, log *foldLog, n int, val func(int) string) {
+	t.Helper()
+	if len(log.order) != n {
+		t.Fatalf("folded %d chunks, want %d", len(log.order), n)
+	}
+	for i := 0; i < n; i++ {
+		if log.order[i] != i {
+			t.Fatalf("fold %d got chunk %d, want %d (order %v)", i, log.order[i], i, log.order)
+		}
+		if log.vals[i] != val(i) {
+			t.Fatalf("fold %d got value %q, want %q", i, log.vals[i], val(i))
+		}
+	}
+}
+
+// TestSpanReducerRandomOrders is the reduction's core property: any random
+// completion order folds every chunk exactly once, in strictly increasing
+// index order, with the right value — i.e. the tree reduction is
+// byte-equivalent to the sequential index-ordered reference reduce.
+func TestSpanReducerRandomOrders(t *testing.T) {
+	val := func(ci int) string { return string(rune('a' + ci%26)) }
+	for trial := 0; trial < 200; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		n := 1 + rng.Intn(64)
+		perm := rng.Perm(n)
+		r, log := newLogged()
+		for _, ci := range perm {
+			r.Complete(ci, val(ci))
+		}
+		checkReference(t, log, n, val)
+		if r.Frontier() != n {
+			t.Fatalf("frontier %d after all %d chunks, want %d", r.Frontier(), n, n)
+		}
+		if r.PendingSpans() != 0 || r.PendingItems() != 0 {
+			t.Fatalf("pending %d spans / %d items after full drain", r.PendingSpans(), r.PendingItems())
+		}
+	}
+}
+
+// TestSpanReducerSpanMerging exercises the explicit adjacency cases: append
+// to a left span, prepend to a right span, and bridge two spans into one.
+func TestSpanReducerSpanMerging(t *testing.T) {
+	val := func(ci int) string { return string(rune('A' + ci)) }
+	r, log := newLogged()
+	// Build two disjoint spans [2,3] and [5,6], then bridge with 4, then
+	// release with 1 and 0.
+	for _, ci := range []int{2, 3, 6, 5} {
+		r.Complete(ci, val(ci))
+	}
+	if r.PendingSpans() != 2 || r.PendingItems() != 4 {
+		t.Fatalf("pending %d spans / %d items, want 2 / 4", r.PendingSpans(), r.PendingItems())
+	}
+	r.Complete(4, val(4))
+	if r.PendingSpans() != 1 || r.PendingItems() != 5 {
+		t.Fatalf("after bridge: pending %d spans / %d items, want 1 / 5", r.PendingSpans(), r.PendingItems())
+	}
+	r.Complete(1, val(1)) // prepends to [2..6]? no: 1 is not frontier (next=0), joins span
+	if r.PendingSpans() != 1 || r.PendingItems() != 6 {
+		t.Fatalf("after prepend: pending %d spans / %d items, want 1 / 6", r.PendingSpans(), r.PendingItems())
+	}
+	if len(log.order) != 0 {
+		t.Fatalf("nothing should fold before chunk 0 completes; folded %v", log.order)
+	}
+	r.Complete(0, val(0))
+	checkReference(t, log, 7, val)
+	if r.HighWaterSpans() != 2 {
+		t.Fatalf("high-water spans %d, want 2", r.HighWaterSpans())
+	}
+	if r.HighWaterItems() != 6 {
+		t.Fatalf("high-water items %d, want 6", r.HighWaterItems())
+	}
+}
+
+// TestSpanReducerClaimCursorBound pins the documented memory bound: under
+// claim-cursor schedules (chunks claimed in increasing order by W workers,
+// completed in any interleaving of the at-most-W in-flight chunks), the
+// pending-span high-water mark never exceeds W.
+func TestSpanReducerClaimCursorBound(t *testing.T) {
+	for trial := 0; trial < 300; trial++ {
+		rng := rand.New(rand.NewSource(int64(1000 + trial)))
+		workers := 1 + rng.Intn(8)
+		n := workers + rng.Intn(200)
+		r, log := newLogged()
+
+		// Simulate the engine: a claim cursor hands out indexes in order;
+		// each worker holds one in-flight chunk; a random in-flight chunk
+		// completes at each step.
+		next := 0
+		inflight := make([]int, 0, workers)
+		for len(log.order) < n {
+			for len(inflight) < workers && next < n {
+				inflight = append(inflight, next)
+				next++
+			}
+			k := rng.Intn(len(inflight))
+			ci := inflight[k]
+			inflight = append(inflight[:k], inflight[k+1:]...)
+			r.Complete(ci, "v")
+			if r.PendingSpans() > workers {
+				t.Fatalf("workers=%d n=%d: pending spans %d exceeds worker bound", workers, n, r.PendingSpans())
+			}
+		}
+		if r.HighWaterSpans() > workers {
+			t.Fatalf("workers=%d n=%d: high-water spans %d exceeds worker bound", workers, n, r.HighWaterSpans())
+		}
+		if r.Frontier() != n {
+			t.Fatalf("frontier %d, want %d", r.Frontier(), n)
+		}
+	}
+}

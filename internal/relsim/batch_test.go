@@ -1,0 +1,170 @@
+package relsim
+
+// Batch-boundary tests: the trial-batch size is an execution knob of the
+// batched kernel, so every batch size — including degenerate and misaligned
+// ones — must produce results bitwise identical to the unbatched kernel, and
+// a checkpoint written under one batch size must resume under another.
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+
+	"relaxfault/internal/harness"
+)
+
+// batchEdgeSizes covers the edge geometry: 1 (batching off), 3 (chunk size
+// 4096 and coverage chunk size 2048 are both indivisible by it, so the final
+// batch of every chunk is short), the default, and a batch larger than a
+// whole chunk (clamped to the chunk span).
+var batchEdgeSizes = []int{1, 3, DefaultBatchSize, chunkSize + 1000}
+
+func TestRunBatchSizeInvariance(t *testing.T) {
+	cfg := smallCfg()
+	cfg.Nodes = 10000 // 3 chunks, the last one short
+	want, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, batch := range batchEdgeSizes {
+		for _, workers := range []int{1, 4} {
+			cfg.BatchSize = batch
+			cfg.Workers = workers
+			got, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sameResult(got, want) {
+				t.Errorf("batch=%d workers=%d changed the result:\n%+v\n%+v", batch, workers, got, want)
+			}
+		}
+	}
+}
+
+func TestCoverageBatchSizeInvariance(t *testing.T) {
+	cfg := covCfg(t)
+	want, err := CoverageStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The study stops mid-campaign when the faulty-node target is reached,
+	// so the cutoff chunk's trials cross batch boundaries at every size.
+	for _, batch := range batchEdgeSizes {
+		for _, workers := range []int{1, 4} {
+			cfg.BatchSize = batch
+			cfg.Workers = workers
+			got, err := CoverageStudy(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sameCoverage(got, want) {
+				t.Errorf("batch=%d workers=%d changed the coverage result", batch, workers)
+			}
+		}
+	}
+}
+
+// TestRunResumeAcrossBatchSizes interrupts a run executing with one batch
+// size and resumes it with another (and another worker count): the
+// checkpoint is a chunk-level contract, so the mid-campaign hand-off must
+// still reproduce the uninterrupted result exactly.
+func TestRunResumeAcrossBatchSizes(t *testing.T) {
+	base := smallCfg()
+	base.Nodes = 20000
+	want, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "ck.json")
+	store, err := harness.OpenStore(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	interrupted := base
+	interrupted.Workers = 1
+	interrupted.BatchSize = 3
+	interrupted.Checkpoint = store
+	interrupted.trialHook = func(node int) {
+		if node >= 2*chunkSize {
+			cancel()
+		}
+	}
+	if _, err := RunCtx(ctx, interrupted); !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted run: got %v, want context.Canceled", err)
+	}
+
+	store2, err := harness.OpenStore(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed := base
+	resumed.Workers = 2
+	resumed.BatchSize = chunkSize + 7
+	resumed.Checkpoint = store2
+	var replayed atomic.Int64
+	resumed.trialHook = func(int) { replayed.Add(1) }
+	got, err := Run(resumed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameResult(got, want) {
+		t.Errorf("resume across batch sizes differs from uninterrupted run:\n%+v\n%+v", got, want)
+	}
+	if n := replayed.Load(); n == 0 || n >= int64(base.Nodes) {
+		t.Errorf("resume re-ran %d of %d trials, want a strict nonzero subset", n, base.Nodes)
+	}
+}
+
+// TestCoverageResumeAcrossBatchSizes is the coverage-study counterpart:
+// interrupt mid-batch under one batch size, resume under another.
+func TestCoverageResumeAcrossBatchSizes(t *testing.T) {
+	base := covCfg(t)
+	want, err := CoverageStudy(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "cov.json")
+	store, err := harness.OpenStore(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	interrupted := base
+	interrupted.Workers = 1
+	interrupted.BatchSize = 7
+	interrupted.Checkpoint = store
+	interrupted.trialHook = func(node int) {
+		// Fires mid-batch partway through the second chunk; the in-flight
+		// chunk (and its partial batch) is abandoned, completed chunks
+		// persist.
+		if node >= covChunkSize+100 {
+			cancel()
+		}
+	}
+	if _, err := CoverageStudyCtx(ctx, interrupted); !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted study: got %v, want context.Canceled", err)
+	}
+
+	store2, err := harness.OpenStore(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed := base
+	resumed.Workers = 3
+	resumed.BatchSize = 1
+	resumed.Checkpoint = store2
+	got, err := CoverageStudy(resumed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameCoverage(got, want) {
+		t.Errorf("coverage resume across batch sizes differs from uninterrupted study")
+	}
+}

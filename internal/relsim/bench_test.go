@@ -41,13 +41,13 @@ func BenchmarkCoverageTrial(b *testing.B) {
 	}
 	nCurves := len(cfg.Planners) * len(cfg.WayLimits)
 	cfg.planHists = make([]*obs.Histogram, len(cfg.Planners))
-	root := stats.NewRNG(cfg.Seed)
-	ch := &covChunk{Curves: make([]covCurveChunk, nCurves)}
-	var sc fault.SampleScratch
+	fk := stats.NewRNG(cfg.Seed).Forker()
+	sc := &covScratch{}
+	acc := &covChunk{Curves: make([]covCurveChunk, nCurves)}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		cfg.coverageTrial(model, root, i, ch, &sc)
+		cfg.coverageTrial(model, fk, i, acc, sc)
 	}
 }
 
@@ -69,11 +69,11 @@ func BenchmarkRunTrial(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	root := stats.NewRNG(cfg.Seed)
+	fk := stats.NewRNG(cfg.Seed).Forker()
 	var res Result
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		sim.runNode(root.Fork(uint64(i)), &res)
+		runTrial(sim, fk, i, &res, &cfg)
 	}
 }

@@ -228,31 +228,69 @@ func CoverageStudyCtx(ctx context.Context, cfg CoverageConfig) (*CoverageResult,
 	resumeStart := cfg.Trace.Now()
 	cp := cfg.Checkpoint.Section(CoverageSection(fp), fp)
 
-	// Shared chunk table. All access to chunks/cutoff/scan state is under
-	// mu; chunk computation itself runs outside the lock.
+	// Final accumulators, filled by the span-reducer fold below; chunk
+	// results stream into them in strict index order as spans complete, so
+	// no whole-campaign chunk table exists any more.
+	res := &CoverageResult{}
+	for i := 0; i < nCurves; i++ {
+		res.Curves = append(res.Curves, &CoverageCurve{})
+	}
+	k := 0
+	for _, pl := range cfg.Planners {
+		for _, wl := range cfg.WayLimits {
+			res.Curves[k].Planner = pl.Name()
+			res.Curves[k].WayLimit = wl
+			k++
+		}
+	}
+
+	// Shared reduction and admission state, all under mu; chunk computation
+	// itself runs outside the lock. The fold visits chunks in exactly the
+	// order the old sequential scan did, so the stopping cutoff — the first
+	// chunk where prefix-cumulative faulty reaches the target — is
+	// discovered inside the fold, and chunks folding after it are the
+	// speculative tail: their results are discarded.
 	var mu sync.Mutex
-	chunks := make([]*covChunk, nChunks)
-	cutoff := -1                          // first chunk index where prefix-cumulative faulty >= target
-	ub := -1                              // sound upper bound on cutoff (-1 = unknown)
-	scanned := 0                          // next contiguous chunk index to fold into cumFaulty
-	cumFaulty := 0                        // faulty nodes in chunks [0, scanned)
-	specFaulty := 0                       // faulty nodes over every stored chunk, contiguous or not
-	maxStored := -1                       // highest stored chunk index
-	store := func(ci int, ch *covChunk) { // called with mu held
-		chunks[ci] = ch
+	cutoff := -1   // first chunk index where prefix-cumulative faulty >= target
+	cumFaulty := 0 // faulty nodes in folded chunks [0, frontier) up to the cutoff
+	red := harness.NewSpanReducer[*covChunk](func(ci int, ch *covChunk) {
+		if cutoff >= 0 {
+			return // beyond the cutoff: speculative, discarded
+		}
+		res.TotalNodes += ch.Nodes
+		res.FaultyNodes += ch.Faulty
+		res.SkippedTrials += ch.Skipped
+		for _, s := range ch.Skips {
+			if len(res.Skips) < harness.MaxSkipRecords {
+				res.Skips = append(res.Skips, s)
+			}
+		}
+		for c, cc := range ch.Curves {
+			curve := res.Curves[c]
+			curve.faultyNodes += ch.Faulty
+			curve.repairable += cc.Repairable
+			for _, b := range cc.Caps {
+				curve.caps.Add(b)
+			}
+		}
+		cumFaulty += ch.Faulty
+		if cumFaulty >= cfg.FaultyNodes {
+			cutoff = ci
+		}
+	})
+	ub := -1                                 // sound upper bound on cutoff (-1 = unknown)
+	specFaulty := 0                          // faulty nodes over every completed chunk, contiguous or not
+	maxStored := -1                          // highest completed chunk index
+	have := make([]bool, nChunks)            // chunks already completed (resume dedup)
+	complete := func(ci int, ch *covChunk) { // called with mu held
+		have[ci] = true
 		specFaulty += ch.Faulty
 		if ci > maxStored {
 			maxStored = ci
 		}
-		for scanned < nChunks && chunks[scanned] != nil {
-			cumFaulty += chunks[scanned].Faulty
-			if cutoff < 0 && cumFaulty >= cfg.FaultyNodes {
-				cutoff = scanned
-			}
-			scanned++
-		}
-		// The prefix [0, maxStored] contains every stored chunk, so once
-		// the stored chunks alone meet the target the true cutoff cannot
+		red.Complete(ci, ch)
+		// The prefix [0, maxStored] contains every completed chunk, so once
+		// the completed chunks alone meet the target the true cutoff cannot
 		// lie beyond maxStored; workers stop claiming past the bound.
 		if cutoff >= 0 {
 			ub = cutoff
@@ -271,7 +309,9 @@ func CoverageStudyCtx(ctx context.Context, cfg CoverageConfig) (*CoverageResult,
 			continue // recompute undecodable or mismatched chunks
 		}
 		mu.Lock()
-		store(ci, &ch)
+		if !have[ci] {
+			complete(ci, &ch)
+		}
 		mu.Unlock()
 		for _, s := range ch.Skips {
 			cfg.Mon.RecordSkip(s)
@@ -282,27 +322,81 @@ func CoverageStudyCtx(ctx context.Context, cfg CoverageConfig) (*CoverageResult,
 		cfg.Trace.Span(runtrace.TrackMain, "resume.load", -1, 0, resumeStart)
 	}
 
-	// Per-worker sampling scratch; the shared chunk table stays under mu.
-	scratches := make([]*fault.SampleScratch, harness.PoolWorkers(cfg.Workers))
+	// Claim-admission gate. Before the cutoff is known, workers may only
+	// start chunks within a window ahead of the fold frontier: a faulty-rate
+	// estimate of where the cutoff will land, padded by 25% plus one chunk
+	// per worker. Without the gate, fast workers race arbitrarily far past
+	// the eventual cutoff computing chunks the fold then discards — the
+	// pathology that made parallel coverage studies slower than sequential
+	// ones. Blocked workers wake whenever a chunk folds (the estimate only
+	// improves) or the context is cancelled. The gate cannot deadlock: the
+	// worker holding the lowest in-flight chunk index always satisfies
+	// ci <= frontier + workers + slack, because every lower chunk has
+	// already folded.
+	workers := harness.PoolWorkers(cfg.Workers)
+	const gateSlack = 2
+	cond := sync.NewCond(&mu)
+	cancelled := false
+	stopWatch := context.AfterFunc(ctx, func() {
+		mu.Lock()
+		cancelled = true
+		mu.Unlock()
+		cond.Broadcast()
+	})
+	defer stopWatch()
+	admitLimit := func() int { // called with mu held
+		lim := red.Frontier() + workers + gateSlack
+		if cumFaulty > 0 {
+			est := int(float64(red.Frontier()) * float64(cfg.FaultyNodes) / float64(cumFaulty))
+			est += est/4 + workers + gateSlack
+			if est > lim {
+				lim = est
+			}
+		}
+		return lim
+	}
+
+	// Per-worker trial scratch (sampling, planning, and batch accumulators
+	// all pooled); the reducer and gate state stay under mu.
+	batch := cfg.batch()
+	forker := root.Forker()
+	scratches := make([]*covScratch, workers)
 	eng := harness.Engine{Workers: cfg.Workers, Mon: cfg.Mon, Trace: cfg.Trace}
 	eng.Run(ctx, nChunks, func(w, ci int) (int64, bool) {
 		mu.Lock()
-		stop := ub >= 0 && ci > ub
-		have := chunks[ci] != nil
-		mu.Unlock()
-		if stop {
-			return 0, false
+		for {
+			if cancelled {
+				mu.Unlock()
+				return 0, false
+			}
+			if ub >= 0 {
+				if ci > ub {
+					mu.Unlock()
+					return 0, false
+				}
+				break // within the proven bound: always admitted
+			}
+			if ci <= admitLimit() {
+				break
+			}
+			rm.covGateWaits.Inc()
+			cond.Wait()
 		}
-		if have {
+		done := have[ci]
+		mu.Unlock()
+		if done {
 			return 0, true
 		}
 		if scratches[w] == nil {
-			scratches[w] = &fault.SampleScratch{}
+			scratches[w] = &covScratch{}
 		}
-		ch := cfg.coverageChunk(model, root, ci, nCurves, scratches[w])
+		ch := cfg.coverageChunk(model, forker, ci, nCurves, batch, scratches[w])
 		mu.Lock()
-		store(ci, ch)
+		if !have[ci] {
+			complete(ci, ch)
+		}
 		mu.Unlock()
+		cond.Broadcast()
 		lo := ci * covChunkSize
 		hi := lo + covChunkSize
 		if hi > cfg.MaxNodes {
@@ -328,43 +422,16 @@ func CoverageStudyCtx(ctx context.Context, cfg CoverageConfig) (*CoverageResult,
 	if end < 0 {
 		end = nChunks - 1 // MaxNodes exhausted before the target was met
 	}
-	// The result aggregates exactly chunks [0, end]; drop the speculative
-	// tail so the final snapshot is byte-identical for any worker count.
+	// The result aggregated exactly chunks [0, end] (the fold discarded the
+	// speculative tail); drop that tail from the checkpoint too so the
+	// final snapshot is byte-identical for any worker count.
 	cp.PruneAbove(end)
 	if err := cfg.Checkpoint.Flush(); err != nil {
 		cfg.Mon.Warnf("relsim: %v", err)
 	}
 	reduceStart := cfg.Trace.Now()
-	res := &CoverageResult{}
-	for i := 0; i < nCurves; i++ {
-		res.Curves = append(res.Curves, &CoverageCurve{})
-	}
-	ci := 0
-	for _, pl := range cfg.Planners {
-		for _, wl := range cfg.WayLimits {
-			res.Curves[ci].Planner = pl.Name()
-			res.Curves[ci].WayLimit = wl
-			ci++
-		}
-	}
-	for i := 0; i <= end; i++ {
-		ch := chunks[i]
-		res.TotalNodes += ch.Nodes
-		res.FaultyNodes += ch.Faulty
-		res.SkippedTrials += ch.Skipped
-		for _, s := range ch.Skips {
-			if len(res.Skips) < harness.MaxSkipRecords {
-				res.Skips = append(res.Skips, s)
-			}
-		}
-		for c, cc := range ch.Curves {
-			curve := res.Curves[c]
-			curve.faultyNodes += ch.Faulty
-			curve.repairable += cc.Repairable
-			for _, b := range cc.Caps {
-				curve.caps.Add(b)
-			}
-		}
+	if f := red.Frontier(); f <= end {
+		return nil, fmt.Errorf("relsim: internal error: reduced %d of %d chunks", f, end+1)
 	}
 	if res.TotalNodes > 0 {
 		res.FaultyFraction = float64(res.FaultyNodes) / float64(res.TotalNodes)
@@ -373,18 +440,45 @@ func CoverageStudyCtx(ctx context.Context, cfg CoverageConfig) (*CoverageResult,
 	return res, nil
 }
 
-// coverageChunk samples and plans one chunk of node indexes. Each node is
-// panic-isolated with one retry, exactly like Run's trials.
-func (cfg *CoverageConfig) coverageChunk(model *fault.Model, root *stats.RNG, ci, nCurves int, sc *fault.SampleScratch) *covChunk {
+// covScratch is one worker's reusable coverage-trial state: fault-sampling
+// buffers, the per-trial substream RNG, the permanent-fault filter buffer,
+// one recycled Plan per planner, the per-trial curve outcomes (panic
+// isolation), and the per-batch accumulator the trials flush into. Every
+// buffer is reused across trials and batches, so a steady-state coverage
+// trial with reusable planners allocates nothing.
+type covScratch struct {
+	sample fault.SampleScratch
+	rng    stats.RNG
+	perm   []*fault.Fault
+	plans  []*repair.Plan
+	trial  []covCurveChunk
+	faulty int
+	batch  covChunk
+}
+
+// coverageChunk samples and plans one chunk of node indexes through the
+// batched trial kernel: trials run in batches of at most batch nodes, each
+// batch accumulating into pooled scratch that is flushed into the chunk at
+// the batch boundary. Flush order is trial order within the batch and batch
+// order within the chunk, so chunk contents are independent of the batch
+// size. Each node is panic-isolated with one retry, exactly like Run's
+// trials.
+func (cfg *CoverageConfig) coverageChunk(model *fault.Model, fk stats.Forker, ci, nCurves, batch int, sc *covScratch) *covChunk {
 	lo := ci * covChunkSize
 	hi := lo + covChunkSize
 	if hi > cfg.MaxNodes {
 		hi = cfg.MaxNodes
 	}
+	if batch < 1 {
+		batch = 1
+	}
 	ch := &covChunk{Curves: make([]covCurveChunk, nCurves)}
-	for i := lo; i < hi; i++ {
-		ch.Nodes++
-		cfg.coverageTrial(model, root, i, ch, sc)
+	for blo := lo; blo < hi; blo += batch {
+		bhi := blo + batch
+		if bhi > hi {
+			bhi = hi
+		}
+		cfg.coverageBatch(model, fk, blo, bhi, ch, sc)
 	}
 	// Sort capacity samples so the chunk payload (and any diff of two
 	// checkpoints) is independent of planner-internal map iteration.
@@ -396,47 +490,47 @@ func (cfg *CoverageConfig) coverageChunk(model *fault.Model, root *stats.RNG, ci
 	return ch
 }
 
-// coverageTrial samples node i and records each curve's outcome into ch,
-// with panic isolation and one retry.
-func (cfg *CoverageConfig) coverageTrial(model *fault.Model, root *stats.RNG, node int, ch *covChunk, sc *fault.SampleScratch) {
+// coverageBatch runs the trials [lo, hi) into the pooled batch accumulator,
+// then flushes it into ch in trial order.
+func (cfg *CoverageConfig) coverageBatch(model *fault.Model, fk stats.Forker, lo, hi int, ch *covChunk, sc *covScratch) {
+	b := &sc.batch
+	b.Nodes, b.Faulty, b.Skipped = 0, 0, 0
+	b.Skips = b.Skips[:0]
+	if len(b.Curves) != len(ch.Curves) {
+		b.Curves = make([]covCurveChunk, len(ch.Curves))
+	}
+	for c := range b.Curves {
+		b.Curves[c].Repairable = 0
+		b.Curves[c].Caps = b.Curves[c].Caps[:0]
+	}
+	for i := lo; i < hi; i++ {
+		b.Nodes++
+		cfg.coverageTrial(model, fk, i, b, sc)
+	}
+	ch.Nodes += b.Nodes
+	ch.Faulty += b.Faulty
+	ch.Skipped += b.Skipped
+	for _, s := range b.Skips {
+		if len(ch.Skips) < harness.MaxSkipRecords {
+			ch.Skips = append(ch.Skips, s)
+		}
+	}
+	for c := range b.Curves {
+		ch.Curves[c].Repairable += b.Curves[c].Repairable
+		ch.Curves[c].Caps = append(ch.Curves[c].Caps, b.Curves[c].Caps...)
+	}
+}
+
+// coverageTrial samples node `node` and records each curve's outcome into
+// the batch accumulator b, with panic isolation and one retry.
+func (cfg *CoverageConfig) coverageTrial(model *fault.Model, fk stats.Forker, node int, b *covChunk, sc *covScratch) {
 	for attempt := 0; ; attempt++ {
-		scratch := covChunk{Curves: make([]covCurveChunk, len(ch.Curves))}
-		err := func() (err error) {
-			defer func() {
-				if r := recover(); r != nil {
-					err = fmt.Errorf("trial panic: %v", r)
-				}
-			}()
-			if cfg.trialHook != nil {
-				cfg.trialHook(node)
-			}
-			nf := model.SampleNodeScratch(root.Fork(uint64(node)), sc)
-			perm := nf.PermanentFaults()
-			if len(perm) == 0 {
-				return nil
-			}
-			scratch.Faulty = 1
-			ci := 0
-			for pi, pl := range cfg.Planners {
-				plan := pl.PlanNode(perm)
-				if pi < len(cfg.planHists) && cfg.planHists[pi] != nil {
-					cfg.planHists[pi].Observe(float64(plan.Bytes))
-				}
-				for _, wl := range cfg.WayLimits {
-					if plan.RepairableUnder(wl) {
-						scratch.Curves[ci].Repairable = 1
-						scratch.Curves[ci].Caps = append(scratch.Curves[ci].Caps, float64(plan.Bytes))
-					}
-					ci++
-				}
-			}
-			return nil
-		}()
+		err := cfg.tryCoverageTrial(model, fk, node, sc)
 		if err == nil {
-			ch.Faulty += scratch.Faulty
-			for c := range scratch.Curves {
-				ch.Curves[c].Repairable += scratch.Curves[c].Repairable
-				ch.Curves[c].Caps = append(ch.Curves[c].Caps, scratch.Curves[c].Caps...)
+			b.Faulty += sc.faulty
+			for c := range sc.trial {
+				b.Curves[c].Repairable += sc.trial[c].Repairable
+				b.Curves[c].Caps = append(b.Curves[c].Caps, sc.trial[c].Caps...)
 			}
 			return
 		}
@@ -445,12 +539,64 @@ func (cfg *CoverageConfig) coverageTrial(model *fault.Model, root *stats.RNG, no
 			continue
 		}
 		rm.trialsSkipped.Inc()
-		ch.Skipped++
+		b.Skipped++
 		skip := harness.Skip{Trial: node, Seed: cfg.Seed, Err: err.Error()}
-		if len(ch.Skips) < harness.MaxSkipRecords {
-			ch.Skips = append(ch.Skips, skip)
+		if len(b.Skips) < harness.MaxSkipRecords {
+			b.Skips = append(b.Skips, skip)
 		}
 		cfg.Mon.RecordSkip(skip)
 		return
 	}
+}
+
+// tryCoverageTrial runs one panic-isolated trial attempt into sc.trial and
+// sc.faulty. The node's RNG stream is derived in place via Forker.Substream
+// (bit-identical to root.Fork(node)), sampling and permanent-fault filtering
+// reuse sc's buffers, and reusable planners plan into recycled Plans.
+func (cfg *CoverageConfig) tryCoverageTrial(model *fault.Model, fk stats.Forker, node int, sc *covScratch) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("trial panic: %v", r)
+		}
+	}()
+	nCurves := len(cfg.Planners) * len(cfg.WayLimits)
+	if len(sc.trial) != nCurves {
+		sc.trial = make([]covCurveChunk, nCurves)
+	}
+	for c := range sc.trial {
+		sc.trial[c].Repairable = 0
+		sc.trial[c].Caps = sc.trial[c].Caps[:0]
+	}
+	sc.faulty = 0
+	if cfg.trialHook != nil {
+		cfg.trialHook(node)
+	}
+	fk.Substream(uint64(node), &sc.rng)
+	nf := model.SampleNodeScratch(&sc.rng, &sc.sample)
+	sc.perm = nf.PermanentFaultsInto(sc.perm)
+	if len(sc.perm) == 0 {
+		return nil
+	}
+	sc.faulty = 1
+	if len(sc.plans) != len(cfg.Planners) {
+		sc.plans = make([]*repair.Plan, len(cfg.Planners))
+		for i := range sc.plans {
+			sc.plans[i] = &repair.Plan{}
+		}
+	}
+	k := 0
+	for pi, pl := range cfg.Planners {
+		plan := repair.PlanInto(pl, sc.plans[pi], sc.perm)
+		if pi < len(cfg.planHists) && cfg.planHists[pi] != nil {
+			cfg.planHists[pi].Observe(float64(plan.Bytes))
+		}
+		for _, wl := range cfg.WayLimits {
+			if plan.RepairableUnder(wl) {
+				sc.trial[k].Repairable = 1
+				sc.trial[k].Caps = append(sc.trial[k].Caps, float64(plan.Bytes))
+			}
+			k++
+		}
+	}
+	return nil
 }

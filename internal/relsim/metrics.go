@@ -31,8 +31,9 @@ var rm = struct {
 	sdcs         *obs.FloatCounter
 	replacements *obs.FloatCounter
 
-	covNodes  *obs.Counter // nodes sampled by coverage studies
-	covFaulty *obs.Counter // of those, nodes with permanent faults
+	covNodes     *obs.Counter // nodes sampled by coverage studies
+	covFaulty    *obs.Counter // of those, nodes with permanent faults
+	covGateWaits *obs.Counter // claim-admission gate waits (speculation throttle)
 }{
 	trialsDone:    obs.Default().Counter("relsim.trials_done"),
 	trialsResumed: obs.Default().Counter("relsim.trials_resumed"),
@@ -49,8 +50,9 @@ var rm = struct {
 	sdcs:         obs.Default().FloatCounter("relsim.sdc"),
 	replacements: obs.Default().FloatCounter("relsim.replacements"),
 
-	covNodes:  obs.Default().Counter("relsim.coverage.nodes_sampled"),
-	covFaulty: obs.Default().Counter("relsim.coverage.faulty_nodes"),
+	covNodes:     obs.Default().Counter("relsim.coverage.nodes_sampled"),
+	covFaulty:    obs.Default().Counter("relsim.coverage.faulty_nodes"),
+	covGateWaits: obs.Default().Counter("relsim.coverage.gate_waits"),
 }
 
 func init() {

@@ -1,0 +1,8 @@
+//go:build !race
+
+package relsim
+
+// raceEnabled reports whether the binary was built with the race detector.
+// The zero-alloc kernel tests skip under it: race instrumentation inserts
+// its own allocations, so steady-state counts are only meaningful without.
+const raceEnabled = false

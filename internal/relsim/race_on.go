@@ -1,0 +1,7 @@
+//go:build race
+
+package relsim
+
+// raceEnabled reports whether the binary was built with the race detector.
+// See race_off.go.
+const raceEnabled = true

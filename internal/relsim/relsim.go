@@ -20,6 +20,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"sync"
 
 	"relaxfault/internal/fault"
 	"relaxfault/internal/harness"
@@ -48,6 +49,26 @@ type Exec struct {
 	// reduce-wait per worker plus resume and reduction on the main track).
 	// Tracing observes the run; it never affects results.
 	Trace *runtrace.Recorder
+	// BatchSize is the trial-batch granularity of the batched kernel: within
+	// a chunk, trials run in batches of this many, and the batch is the unit
+	// of RNG substream re-derivation and scratch reuse. Like every Exec
+	// field it is an execution knob only — results are byte-identical for
+	// every batch size — so it is deliberately excluded from fingerprints.
+	// 0 selects DefaultBatchSize; 1 degenerates to the unbatched kernel.
+	BatchSize int
+}
+
+// DefaultBatchSize is the trial-batch size used when Exec.BatchSize is 0:
+// large enough to amortise per-batch bookkeeping to noise, small enough that
+// per-batch scratch stays cache-resident.
+const DefaultBatchSize = 512
+
+// batch resolves the effective trial-batch size.
+func (e *Exec) batch() int {
+	if e.BatchSize <= 0 {
+		return DefaultBatchSize
+	}
+	return e.BatchSize
 }
 
 // ReplacementPolicy selects when a faulty DIMM is replaced.
@@ -266,17 +287,27 @@ func RunCtx(ctx context.Context, cfg Config) (Result, error) {
 	nChunks := (totalNodes + chunkSize - 1) / chunkSize
 	root := stats.NewRNG(cfg.Seed)
 
+	// Tree reduction: chunk results fold into sum in strict chunk-index
+	// order (so float accumulation order is fixed and the result identical
+	// for every worker count), but completions are accepted in any order —
+	// adjacent completed chunks merge into pending spans that fold the
+	// moment they touch the frontier. A straggler chunk pins at most the
+	// spans behind the in-flight window (≤ worker count), not a
+	// whole-campaign results table.
+	var sum Result
+	red := harness.NewSpanReducer[*Result](func(_ int, c *Result) { sum.add(c) })
+	var redMu sync.Mutex
+
 	// Resume: chunks already present in the checkpoint section are adopted
 	// verbatim; only the remainder is simulated.
 	resumeStart := cfg.Trace.Now()
 	cp := cfg.Checkpoint.Section(RunSection(cfg.Fingerprint()), cfg.Fingerprint())
-	chunks := make([]*Result, nChunks)
 	var todo []int
 	for ci := 0; ci < nChunks; ci++ {
 		if raw, ok := cp.Get(ci); ok {
 			var r Result
 			if err := json.Unmarshal(raw, &r); err == nil {
-				chunks[ci] = &r
+				red.Complete(ci, &r)
 				rm.trialsResumed.Add(int64(chunkSpan(ci, totalNodes)))
 				for _, s := range r.Skips {
 					cfg.Mon.RecordSkip(s)
@@ -293,8 +324,10 @@ func RunCtx(ctx context.Context, cfg Config) (Result, error) {
 	}
 	cfg.Mon.Expect(int64(len(todo)) * chunkSize)
 
-	// Per-worker simulators (repair state and sampling scratch); chunks[ci]
-	// writes never collide because each chunk index is claimed exactly once.
+	// Per-worker simulators (repair state and sampling scratch); the span
+	// reducer is the only shared mutable state and is serialised by redMu.
+	batch := cfg.batch()
+	forker := root.Forker()
 	sims := make([]*nodeSim, harness.PoolWorkers(cfg.Workers))
 	eng := harness.Engine{Workers: cfg.Workers, Mon: cfg.Mon, Trace: cfg.Trace}
 	runErr := eng.Run(ctx, len(todo), func(w, k int) (int64, bool) {
@@ -310,16 +343,16 @@ func RunCtx(ctx context.Context, cfg Config) (Result, error) {
 			hi = totalNodes
 		}
 		res := &Result{}
-		for i := lo; i < hi; i++ {
-			runTrial(sim, root, i, res, &cfg)
-		}
-		chunks[ci] = res
+		sim.runChunk(forker, lo, hi, batch, res, &cfg)
 		rm.trialsDone.Add(int64(hi - lo))
 		ckptStart := cfg.Trace.Now()
 		if err := cp.PutSpan(ci, lo, hi, res); err != nil {
 			cfg.Mon.Warnf("relsim: %v (run continues without this chunk persisted)", err)
 		}
 		cfg.Trace.Span(w, runtrace.SpanCheckpoint, ci, 0, ckptStart)
+		redMu.Lock()
+		red.Complete(ci, res)
+		redMu.Unlock()
 		return int64(hi - lo), true
 	})
 	_ = runErr // identical to ctx.Err(), checked below after the flush
@@ -330,12 +363,11 @@ func RunCtx(ctx context.Context, cfg Config) (Result, error) {
 		return Result{}, err
 	}
 
-	// Reduce in chunk-index order: float accumulation order is fixed, so
-	// the result is identical for every worker count and for resumed runs.
+	// The reducer folded every chunk in index order as it completed; all
+	// that remains is scaling to per-system averages.
 	reduceStart := cfg.Trace.Now()
-	var sum Result
-	for _, c := range chunks {
-		sum.add(c)
+	if red.Frontier() != nChunks {
+		return Result{}, fmt.Errorf("relsim: internal error: reduced %d of %d chunks", red.Frontier(), nChunks)
 	}
 	cfg.Trace.Span(runtrace.TrackMain, "reduce", -1, 0, reduceStart)
 	inv := 1 / float64(cfg.Replicas)
@@ -351,28 +383,44 @@ func RunCtx(ctx context.Context, cfg Config) (Result, error) {
 	return sum, nil
 }
 
+// runChunk is the batched trial kernel: trials [lo, hi) run in batches of at
+// most batch trials, and each batch re-arms the root Forker and reuses the
+// simulator's substream RNG and trial scratch across its trials. Per-trial
+// results still accumulate into res one trial at a time, in index order —
+// batching restructures the kernel, never the float accumulation order — so
+// the chunk's bytes are identical for every batch size.
+func (s *nodeSim) runChunk(fk stats.Forker, lo, hi, batch int, res *Result, cfg *Config) {
+	if batch < 1 {
+		batch = 1
+	}
+	for blo := lo; blo < hi; blo += batch {
+		bhi := blo + batch
+		if bhi > hi {
+			bhi = hi
+		}
+		s.runBatch(fk, blo, bhi, res, cfg)
+	}
+}
+
+// runBatch runs the trials of one batch through the reusable trial kernel.
+func (s *nodeSim) runBatch(fk stats.Forker, lo, hi int, res *Result, cfg *Config) {
+	for i := lo; i < hi; i++ {
+		runTrial(s, fk, i, res, cfg)
+	}
+}
+
 // runTrial simulates one node with panic isolation: a panicking trial is
 // retried once from the identical RNG stream (transient failures recover;
 // deterministic ones repeat), and on the second failure the trial is dropped
 // and recorded with its reproduction coordinates. Trial state accumulates
-// into a scratch Result so a mid-trial panic cannot corrupt res.
-func runTrial(sim *nodeSim, root *stats.RNG, node int, res *Result, cfg *Config) {
+// into the simulator's scratch Result so a mid-trial panic cannot corrupt
+// res; the scratch and the substream RNG are reused, so a steady-state trial
+// allocates nothing here.
+func runTrial(sim *nodeSim, fk stats.Forker, node int, res *Result, cfg *Config) {
 	for attempt := 0; ; attempt++ {
-		var scratch Result
-		err := func() (err error) {
-			defer func() {
-				if r := recover(); r != nil {
-					err = fmt.Errorf("trial panic: %v", r)
-				}
-			}()
-			if cfg.trialHook != nil {
-				cfg.trialHook(node)
-			}
-			sim.runNode(root.Fork(uint64(node)), &scratch)
-			return nil
-		}()
+		err := sim.tryTrial(fk, node, cfg)
 		if err == nil {
-			res.add(&scratch)
+			res.add(&sim.trialRes)
 			return
 		}
 		if attempt == 0 {
@@ -388,6 +436,24 @@ func runTrial(sim *nodeSim, root *stats.RNG, node int, res *Result, cfg *Config)
 		cfg.Mon.RecordSkip(skip)
 		return
 	}
+}
+
+// tryTrial runs one panic-isolated trial attempt into s.trialRes. The node's
+// RNG stream is derived in place via Forker.Substream — bit-identical to
+// root.Fork(node) without the per-trial allocation.
+func (s *nodeSim) tryTrial(fk stats.Forker, node int, cfg *Config) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("trial panic: %v", r)
+		}
+	}()
+	s.trialRes = Result{}
+	if cfg.trialHook != nil {
+		cfg.trialHook(node)
+	}
+	fk.Substream(uint64(node), &s.trialRNG)
+	s.runNode(&s.trialRNG, &s.trialRes)
+	return nil
 }
 
 // ReplayNode re-executes the single trial `node` of the run described by
@@ -435,6 +501,11 @@ type nodeSim struct {
 	state repair.NodeState   // reused across trials (Reset per node)
 
 	sampleSc fault.SampleScratch
+	// trialRNG is the per-trial substream (seeded in place per trial) and
+	// trialRes the panic-isolation scratch; both live here so steady-state
+	// trials allocate nothing.
+	trialRNG stats.RNG
+	trialRes Result
 	// Per-trial working state, cleared at the start of each faulty trial
 	// (fault-free trials never touch it): devSeen is a flat
 	// [dimm*devPerDIMM+device] bit of which devices faulted, devCount the

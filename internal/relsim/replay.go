@@ -96,12 +96,11 @@ func (r *runReplayer) ReplayChunk(ci int) ([]byte, int, int, error) {
 		hi = r.totalNodes
 	}
 	// Identical to the chunk body of RunCtx: trial i draws from fork(i),
-	// accumulation order is trial order, and the payload is the marshalled
-	// *Result exactly as PutSpan received it.
+	// accumulation order is trial order (batch size never changes bytes),
+	// and the payload is the marshalled *Result exactly as PutSpan
+	// received it.
 	res := &Result{}
-	for i := lo; i < hi; i++ {
-		runTrial(sim, root, i, res, &r.cfg)
-	}
+	sim.runChunk(root.Forker(), lo, hi, r.cfg.batch(), res, &r.cfg)
 	raw, err := json.Marshal(res)
 	if err != nil {
 		return nil, 0, 0, fmt.Errorf("relsim: encoding replayed chunk %d: %w", ci, err)
@@ -115,7 +114,7 @@ type coverageReplayer struct {
 	cfg       CoverageConfig
 	model     *fault.Model
 	fp        string
-	scratches sync.Pool // *fault.SampleScratch
+	scratches sync.Pool // *covScratch
 }
 
 // NewCoverageReplayer builds a Replayer for the coverage study described by
@@ -144,14 +143,14 @@ func (r *coverageReplayer) ReplayChunk(ci int) ([]byte, int, int, error) {
 	if ci < 0 || ci >= r.NumChunks() {
 		return nil, 0, 0, fmt.Errorf("relsim: chunk %d outside [0, %d)", ci, r.NumChunks())
 	}
-	sc, _ := r.scratches.Get().(*fault.SampleScratch)
+	sc, _ := r.scratches.Get().(*covScratch)
 	if sc == nil {
-		sc = &fault.SampleScratch{}
+		sc = &covScratch{}
 	}
 	defer r.scratches.Put(sc)
 	root := stats.NewRNG(r.cfg.Seed)
 	nCurves := len(r.cfg.Planners) * len(r.cfg.WayLimits)
-	ch := r.cfg.coverageChunk(r.model, root, ci, nCurves, sc)
+	ch := r.cfg.coverageChunk(r.model, root.Forker(), ci, nCurves, r.cfg.batch(), sc)
 	raw, err := json.Marshal(ch)
 	if err != nil {
 		return nil, 0, 0, fmt.Errorf("relsim: encoding replayed chunk %d: %w", ci, err)

@@ -135,16 +135,17 @@ func (p *pprPlanner) NewState() NodeState {
 // TryRepair implements Incremental for PPR.
 func (p *pprPlanner) TryRepair(st NodeState, f *fault.Fault, _ int) bool {
 	s := st.(*pprState)
-	need, ok := p.sparesNeeded(f)
-	if !ok {
+	sc := p.scratch()
+	defer p.scratchPool.Put(sc)
+	if !p.sparesNeeded(f, sc) {
 		return false
 	}
-	for key, n := range need {
+	for key, n := range sc.need {
 		if s.used[key]+n > p.sparesPerGroup {
 			return false
 		}
 	}
-	for key, n := range need {
+	for key, n := range sc.need {
 		s.used[key] += n
 	}
 	return true

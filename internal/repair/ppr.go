@@ -1,6 +1,8 @@
 package repair
 
 import (
+	"sync"
+
 	"relaxfault/internal/dram"
 	"relaxfault/internal/fault"
 )
@@ -15,6 +17,28 @@ type pprPlanner struct {
 	geo            dram.Geometry
 	banksPerGroup  int
 	sparesPerGroup int
+	// scratchPool recycles planning working state; the planner itself is
+	// shared by every simulation worker.
+	scratchPool sync.Pool
+}
+
+// pprScratch is the reusable working state of one PlanNodeInto/TryRepair
+// call: the per-node fused-spares tally, the candidate fault's demand, and
+// its target ranks. Maps are cleared, not reallocated, so steady-state
+// planning allocates nothing.
+type pprScratch struct {
+	used  map[pprGroupKey]int
+	need  map[pprGroupKey]int
+	ranks []int
+}
+
+func (p *pprPlanner) scratch() *pprScratch {
+	if sc, ok := p.scratchPool.Get().(*pprScratch); ok {
+		clear(sc.used)
+		clear(sc.need)
+		return sc
+	}
+	return &pprScratch{used: make(map[pprGroupKey]int), need: make(map[pprGroupKey]int)}
 }
 
 // NewPPR returns a PPR planner. For the evaluated 8-bank DDR3-like devices
@@ -55,22 +79,27 @@ type pprGroupKey struct {
 // mappable when every extent covers at most one row per affected bank and
 // the needed spares are still unused.
 func (p *pprPlanner) PlanNode(faults []*fault.Fault) *Plan {
-	plan := &Plan{
-		Engine:      p.Name(),
-		AllMappable: true,
-		PerFault:    make([]FaultPlan, len(faults)),
-	}
-	used := make(map[pprGroupKey]int)
+	plan := &Plan{}
+	p.PlanNodeInto(plan, faults)
+	return plan
+}
+
+// PlanNodeInto implements ReusablePlanner: identical results to PlanNode,
+// planning into a caller-owned Plan whose buffers are recycled.
+func (p *pprPlanner) PlanNodeInto(plan *Plan, faults []*fault.Fault) {
+	plan.reset(p.Name(), len(faults), false)
+	sc := p.scratch()
+	defer p.scratchPool.Put(sc)
 	for i, f := range faults {
 		fp := &plan.PerFault[i]
-		need, ok := p.sparesNeeded(f)
+		ok := p.sparesNeeded(f, sc)
 		if !ok {
 			plan.AllMappable = false
 			continue
 		}
 		// Check availability of every group before fusing any.
-		for key, n := range need {
-			if used[key]+n > p.sparesPerGroup {
+		for key, n := range sc.need {
+			if sc.used[key]+n > p.sparesPerGroup {
 				ok = false
 				break
 			}
@@ -79,32 +108,33 @@ func (p *pprPlanner) PlanNode(faults []*fault.Fault) *Plan {
 			plan.AllMappable = false
 			continue
 		}
-		for key, n := range need {
-			used[key] += n
+		for key, n := range sc.need {
+			sc.used[key] += n
 			fp.SpareRows += n
 		}
 		fp.Mappable = true
 	}
-	return plan
 }
 
-// sparesNeeded returns the spare rows per (device, bank group) the fault
-// requires, or ok=false when the fault is not row-shaped.
-func (p *pprPlanner) sparesNeeded(f *fault.Fault) (map[pprGroupKey]int, bool) {
-	need := make(map[pprGroupKey]int)
-	ranks := []int{f.Dev.Rank}
+// sparesNeeded fills sc.need with the spare rows per (device, bank group)
+// the fault requires, returning false when the fault is not row-shaped.
+func (p *pprPlanner) sparesNeeded(f *fault.Fault, sc *pprScratch) bool {
+	clear(sc.need)
+	need := sc.need
+	ranks := append(sc.ranks[:0], f.Dev.Rank)
 	if f.MirrorRanks {
 		ranks = ranks[:0]
 		for r := 0; r < p.geo.DIMMsPerChan; r++ {
 			ranks = append(ranks, r)
 		}
 	}
+	sc.ranks = ranks
 	for _, e := range f.Extents {
 		rows := e.Rows.Count(p.geo.Rows)
 		if rows > p.sparesPerGroup*p.banksPerGroup {
 			// Even the most favourable packing cannot cover this many
 			// rows per bank; reject early (also catches All-rows).
-			return nil, false
+			return false
 		}
 		for _, rank := range ranks {
 			for b := e.BankLo; b <= e.BankHi; b++ {
@@ -113,10 +143,10 @@ func (p *pprPlanner) sparesNeeded(f *fault.Fault) (map[pprGroupKey]int, bool) {
 				key := pprGroupKey{dev: dev, group: b / p.banksPerGroup}
 				need[key] += rows
 				if need[key] > p.sparesPerGroup {
-					return nil, false
+					return false
 				}
 			}
 		}
 	}
-	return need, true
+	return true
 }

@@ -125,6 +125,56 @@ type Planner interface {
 	PlanNode(faults []*fault.Fault) *Plan
 }
 
+// ReusablePlanner is implemented by planners that can plan into a
+// caller-owned Plan, recycling its PerFault and Sets backings. The batched
+// Monte Carlo kernels keep one Plan per (worker, planner) so steady-state
+// planning allocates nothing.
+type ReusablePlanner interface {
+	Planner
+	// PlanNodeInto computes the same result PlanNode would, overwriting
+	// plan in place. The plan's buffers are reused; its previous contents
+	// are invalid afterwards.
+	PlanNodeInto(plan *Plan, faults []*fault.Fault)
+}
+
+// PlanInto plans into plan when the planner supports buffer reuse and plan
+// is non-nil, falling back to a fresh PlanNode otherwise. It returns the
+// plan holding the result.
+func PlanInto(p Planner, plan *Plan, faults []*fault.Fault) *Plan {
+	if rp, ok := p.(ReusablePlanner); ok && plan != nil {
+		rp.PlanNodeInto(plan, faults)
+		return plan
+	}
+	return p.PlanNode(faults)
+}
+
+// reset rewinds a reused Plan for n faults, keeping each PerFault slot's
+// Sets backing so repeated planning does not reallocate line lists.
+func (p *Plan) reset(engine string, n int, llc bool) {
+	p.Engine = engine
+	p.AllMappable = true
+	p.TotalLines = 0
+	p.Bytes = 0
+	p.MaxWaysPerSet = 0
+	p.llcPlan = llc
+	if cap(p.PerFault) < n {
+		grown := make([]FaultPlan, n)
+		// Carry the recycled Sets backings into the grown slice.
+		for i, fp := range p.PerFault {
+			grown[i].Sets = fp.Sets
+		}
+		p.PerFault = grown
+	}
+	p.PerFault = p.PerFault[:n]
+	for i := range p.PerFault {
+		sets := p.PerFault[i].Sets
+		if sets != nil {
+			sets = sets[:0]
+		}
+		p.PerFault[i] = FaultPlan{Sets: sets}
+	}
+}
+
 // lineKey identifies one repair cacheline uniquely across the node.
 type lineKey struct {
 	set int32
@@ -158,6 +208,7 @@ type planScratch struct {
 	seen    lineSet
 	load    []int32 // dense per-set line count, cleared via touched
 	touched []int32
+	ranks   []int // target ranks of the fault under enumeration
 }
 
 func (p *llcPlanner) scratch() *planScratch {
@@ -274,13 +325,16 @@ func (p *llcPlanner) Name() string { return p.name }
 // location at once; RelaxFault lines are per device, and the key includes
 // the device, so lines shared between faults on the same device dedup too).
 func (p *llcPlanner) PlanNode(faults []*fault.Fault) *Plan {
+	plan := &Plan{}
+	p.PlanNodeInto(plan, faults)
+	return plan
+}
+
+// PlanNodeInto implements ReusablePlanner: identical results to PlanNode,
+// planning into a caller-owned Plan whose buffers are recycled.
+func (p *llcPlanner) PlanNodeInto(plan *Plan, faults []*fault.Fault) {
 	g := p.mapper.Geometry()
-	plan := &Plan{
-		Engine:      p.name,
-		AllMappable: true,
-		PerFault:    make([]FaultPlan, len(faults)),
-		llcPlan:     true,
-	}
+	plan.reset(p.name, len(faults), true)
 	sc := p.scratch()
 	defer p.release(sc)
 	seen := &sc.seen
@@ -289,13 +343,14 @@ func (p *llcPlanner) PlanNode(faults []*fault.Fault) *Plan {
 		fp := &plan.PerFault[i]
 		fp.Mappable = true
 		// Which ranks does the fault apply to?
-		ranks := []int{f.Dev.Rank}
+		ranks := append(sc.ranks[:0], f.Dev.Rank)
 		if f.MirrorRanks {
 			ranks = ranks[:0]
 			for r := 0; r < g.DIMMsPerChan; r++ {
 				ranks = append(ranks, r)
 			}
 		}
+		sc.ranks = ranks
 		// Fast reject: analytic line count beyond the whole LLC.
 		var analytic int64
 		for _, e := range f.Extents {
@@ -329,5 +384,4 @@ func (p *llcPlanner) PlanNode(faults []*fault.Fault) *Plan {
 		plan.TotalLines += fp.Lines
 	}
 	plan.Bytes = plan.TotalLines * int64(g.LineBytes)
-	return plan
 }

@@ -273,3 +273,42 @@ func TestCounter(t *testing.T) {
 		t.Errorf("counter %d", c.Value())
 	}
 }
+
+// TestForkerMatchesFork pins the amortised substream derivation to Fork: the
+// batched trial kernels rely on Forker.Substream reproducing Fork's streams
+// bit for bit, so checkpointed campaigns stay byte-identical.
+func TestForkerMatchesFork(t *testing.T) {
+	for _, seed := range []uint64{0, 1, 7, 0xdeadbeef} {
+		root := NewRNG(seed)
+		fk := root.Forker()
+		var child RNG
+		for _, stream := range []uint64{0, 1, 2, 4095, 1 << 40, ^uint64(0)} {
+			want := root.Fork(stream)
+			fk.Substream(stream, &child)
+			if child != *want {
+				t.Fatalf("seed %d stream %d: Substream state %+v != Fork state %+v", seed, stream, child, *want)
+			}
+			// The streams must also draw identically.
+			for i := 0; i < 4; i++ {
+				a, b := child.Uint64(), want.Uint64()
+				if a != b {
+					t.Fatalf("seed %d stream %d draw %d: %d != %d", seed, stream, i, a, b)
+				}
+			}
+		}
+	}
+}
+
+// TestSubstreamAllocs pins the zero-allocation contract of the hot-path
+// substream reseeding.
+func TestSubstreamAllocs(t *testing.T) {
+	fk := NewRNG(7).Forker()
+	var child RNG
+	n := testing.AllocsPerRun(100, func() {
+		fk.Substream(42, &child)
+		_ = child.Uint64()
+	})
+	if n != 0 {
+		t.Fatalf("Substream allocates %.1f times per call, want 0", n)
+	}
+}
