@@ -119,6 +119,10 @@ func run() int {
 			seedSet = true
 		}
 	})
+	if *batchFlag < 0 {
+		fmt.Fprintf(os.Stderr, "-batch must be non-negative, got %d (0 selects the engine default)\n", *batchFlag)
+		return 2
+	}
 	if len(args) == 1 && args[0] == "list" {
 		printPresetList()
 		return 0
@@ -728,11 +732,21 @@ func sweepManifestPath(metricsOut, checkpoint string, i int) string {
 	return fmt.Sprintf("%s.sweep%02d%s", strings.TrimSuffix(base, ext), i, ext)
 }
 
-// printPresetList prints the scenario registry (the list subcommand).
+// printPresetList prints the scenario registry (the list subcommand),
+// including each preset's fingerprint and estimator configuration so runs
+// are attributable from the listing alone.
 func printPresetList() {
-	fmt.Printf("%-10s %-12s %s\n", "name", "kind", "description")
+	fmt.Printf("%-10s %-12s %-16s %-34s %s\n", "name", "kind", "fingerprint", "statistics", "description")
 	for _, e := range scenario.Presets() {
-		fmt.Printf("%-10s %-12s %s\n", e.Name, e.Kind, e.Description)
+		fp := ""
+		stats := ""
+		if sc, err := scenario.Preset(e.Name); err == nil {
+			if f, err := sc.Fingerprint(); err == nil {
+				fp = f
+			}
+			stats = sc.Statistics.Summary()
+		}
+		fmt.Printf("%-10s %-12s %-16s %-34s %s\n", e.Name, e.Kind, fp, stats, e.Description)
 	}
 }
 
@@ -1009,8 +1023,14 @@ extensions beyond the paper:
   ddr4      weighted speedup + relative power on DDR4-2400 (bank-group timing)
   prefetch  sensitivity of the performance conclusions to a stream prefetcher
   bench     time a quick coverage study and the DDR4 perf preset sequential vs
-            -parallel N; verifies identical results and writes
-            BENCH_coverage.json and BENCH_ddr4.json
+            -parallel N; verifies identical results, measures the rare-event
+            estimator payoff (importance sampling vs naive at matched CI
+            width), and writes BENCH_coverage.json and BENCH_ddr4.json
+
+  rare-due and strat-due (run via -scenario) estimate DUE rates on a rare-
+  event fault model with importance sampling (+ sequential CI stopping) and
+  stratified-by-fault-mode sampling; a scenario's "statistics" block selects
+  the estimator, and manifests record the achieved half-widths.
 
 Scenarios may pin a memory technology ("technology": "ddr3-1600", "ddr4-2400",
 "lpddr4", or "hbm"); timing, energies, FIT table, and PPR provisioning follow,

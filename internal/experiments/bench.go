@@ -15,12 +15,14 @@ import (
 	"relaxfault/internal/runtrace"
 )
 
-// BenchSchema versions the BENCH_coverage.json artifact. v3 replaced the
+// BenchSchema versions the BENCH_coverage.json artifact. v4 added the
+// estimator block: a matched-CI comparison of the naive and importance
+// sampling estimators on the rare-due preset's fault model. v3 replaced the
 // single sequential-vs-parallel pair with a worker-count sweep (legs), so
 // the artifact shows the scaling curve — per-leg speedup, allocation rate,
 // and scheduler attribution — rather than one point on it. v2 added the
 // provenance fields (start, go_version, version) and the attribution block.
-const BenchSchema = "relaxfault-bench/v3"
+const BenchSchema = "relaxfault-bench/v4"
 
 // BenchLeg is one point of the worker sweep: the same coverage study run at
 // a fixed worker count, timed and checked bitwise against the 1-worker leg.
@@ -73,6 +75,38 @@ type BenchResult struct {
 
 	// Identical is true when every leg's result matched the 1-worker leg.
 	Identical bool `json:"identical"`
+
+	// Estimator is the rare-event estimator comparison (see BenchEstimator).
+	Estimator *BenchEstimator `json:"estimator,omitempty"`
+}
+
+// BenchEstimator is the matched-CI comparison of the naive and importance
+// sampling estimators on the rare-due preset's fault model (0.2x FIT, no
+// dynamic acceleration — a node DUE is a ~1.4e-6-per-trial event). The
+// importance leg runs the preset's budget; the naive leg runs 64x as many
+// trials and still reports a wider CI, so the trials naive would need to
+// match the importance half-width are extrapolated with the 1/sqrt(n)
+// half-width law.
+type BenchEstimator struct {
+	Preset string `json:"preset"`
+	// Naive leg: trial count, per-system DUE estimate, 95% half-width.
+	NaiveTrials    int64   `json:"naive_trials"`
+	NaiveDUE       float64 `json:"naive_due"`
+	NaiveHalfWidth float64 `json:"naive_half_width"`
+	// Importance leg at the preset's boost.
+	Boost       float64 `json:"boost"`
+	ISTrials    int64   `json:"is_trials"`
+	ISDUE       float64 `json:"is_due"`
+	ISHalfWidth float64 `json:"is_half_width"`
+	ESS         float64 `json:"ess"`
+	// NaiveRequiredTrials = naive_trials * (naive_half_width/is_half_width)^2:
+	// the naive budget extrapolated to the importance leg's CI width.
+	NaiveRequiredTrials int64 `json:"naive_required_trials"`
+	// Reduction = naive_required_trials / is_trials (the >= 10x claim).
+	Reduction float64 `json:"reduction"`
+	// Agree is true when the two DUE estimates lie within each other's
+	// combined 95% half-widths.
+	Agree bool `json:"agree"`
 }
 
 // benchCoverageConfig is the quick coverage study the bench experiment
@@ -200,6 +234,67 @@ func BenchCtx(ctx context.Context, s Scale) (BenchResult, error) {
 	if !out.Identical {
 		return out, fmt.Errorf("bench: worker sweep produced results differing from the sequential leg")
 	}
+	est, err := benchEstimatorCtx(ctx, s)
+	if err != nil {
+		return out, err
+	}
+	out.Estimator = est
+	return out, nil
+}
+
+// benchEstimatorCtx measures the rare-event payoff of the estimator layer:
+// the importance leg runs the rare-due preset at full budget (no stopping,
+// so the achieved half-width is the comparison target) and the naive leg
+// runs 64x the trials on the same fault model.
+func benchEstimatorCtx(ctx context.Context, s Scale) (*BenchEstimator, error) {
+	sc, err := s.PresetScenario("rare-due")
+	if err != nil {
+		return nil, err
+	}
+	low, err := sc.Lower()
+	if err != nil {
+		return nil, err
+	}
+	base := low.Reliability[0]
+	base.Exec = s.Exec()
+	// The sweep legs already own the checkpoint sections; the estimator
+	// comparison is a measurement, not a resumable campaign.
+	base.Checkpoint = nil
+
+	out := &BenchEstimator{Preset: "rare-due", Boost: base.Stats.Boost}
+
+	is := base
+	is.Stats = &relsim.StatsConfig{Estimator: relsim.EstimatorImportance, Boost: base.Stats.Boost}
+	isRes, err := relsim.RunCtx(ctx, is)
+	if err != nil {
+		return nil, err
+	}
+	out.ISTrials = isRes.Estimator.Trials
+	out.ISDUE = isRes.DUEs
+	out.ISHalfWidth = isRes.Estimator.DUEHalfWidth
+	out.ESS = isRes.Estimator.ESS
+
+	naive := base
+	naive.Replicas *= 64
+	naive.Stats = &relsim.StatsConfig{Estimator: relsim.EstimatorNaive}
+	nvRes, err := relsim.RunCtx(ctx, naive)
+	if err != nil {
+		return nil, err
+	}
+	out.NaiveTrials = nvRes.Estimator.Trials
+	out.NaiveDUE = nvRes.DUEs
+	out.NaiveHalfWidth = nvRes.Estimator.DUEHalfWidth
+
+	if out.ISHalfWidth > 0 {
+		ratio := out.NaiveHalfWidth / out.ISHalfWidth
+		out.NaiveRequiredTrials = int64(float64(out.NaiveTrials) * ratio * ratio)
+		out.Reduction = float64(out.NaiveRequiredTrials) / float64(out.ISTrials)
+	}
+	diff := out.ISDUE - out.NaiveDUE
+	if diff < 0 {
+		diff = -diff
+	}
+	out.Agree = diff <= out.ISHalfWidth+out.NaiveHalfWidth
 	return out, nil
 }
 
@@ -218,5 +313,14 @@ func (r BenchResult) String() string {
 		}
 	}
 	fmt.Fprintf(&b, "%-26s %v\n", "results bitwise identical", r.Identical)
+	if e := r.Estimator; e != nil {
+		fmt.Fprintf(&b, "Estimator payoff on %s (rare DUEs, matched CI width):\n", e.Preset)
+		fmt.Fprintf(&b, "%-26s DUE %.4f +- %.4f in %d trials\n",
+			"naive", e.NaiveDUE, e.NaiveHalfWidth, e.NaiveTrials)
+		fmt.Fprintf(&b, "%-26s DUE %.4f +- %.4f in %d trials (ESS %.0f)\n",
+			fmt.Sprintf("importance (boost %g)", e.Boost), e.ISDUE, e.ISHalfWidth, e.ISTrials, e.ESS)
+		fmt.Fprintf(&b, "%-26s %d trials -> %.0fx fewer with importance sampling (agree: %v)\n",
+			"naive needs", e.NaiveRequiredTrials, e.Reduction, e.Agree)
+	}
 	return b.String()
 }

@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"testing"
+
+	"relaxfault/internal/relsim"
+)
+
+// TestEstimatorAgreement is the differential acceptance check for the
+// estimator layer: on real reliability presets, importance sampling and
+// stratified sampling must land within the combined 95% confidence
+// intervals of the naive estimator for both DUE and SDC rates. The seed is
+// pinned, so this is a deterministic regression test, not a flaky
+// statistical one.
+func TestEstimatorAgreement(t *testing.T) {
+	if testing.Short() {
+		t.Skip("estimator agreement runs full Monte Carlo legs")
+	}
+	s := Scale{FaultyNodes: 500, Nodes: 16384, Replicas: 1, Instructions: 40_000, Seed: 7}
+	presets := []string{"fig9", "fig12", "fig14"}
+	alts := []*relsim.StatsConfig{
+		{Estimator: relsim.EstimatorImportance, Boost: 8},
+		{Estimator: relsim.EstimatorStratified},
+	}
+	for _, name := range presets {
+		sc, err := s.PresetScenario(name)
+		if err != nil {
+			t.Fatalf("preset %s: %v", name, err)
+		}
+		low, err := sc.Lower()
+		if err != nil {
+			t.Fatalf("lower %s: %v", name, err)
+		}
+		cells := low.Reliability
+		if len(cells) > 3 {
+			cells = cells[:3]
+		}
+		for i, base := range cells {
+			base.Exec = s.Exec()
+			base.Stats = &relsim.StatsConfig{Estimator: relsim.EstimatorNaive}
+			naive, err := relsim.RunCtx(context.Background(), base)
+			if err != nil {
+				t.Fatalf("%s cell %d naive: %v", name, i, err)
+			}
+			for _, alt := range alts {
+				cfg := base
+				cfg.Stats = alt
+				t.Run(fmt.Sprintf("%s/cell%d/%s", name, i, alt.Estimator), func(t *testing.T) {
+					res, err := relsim.RunCtx(context.Background(), cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					checkAgree(t, "DUE", res.DUEs, res.Estimator.DUEHalfWidth,
+						naive.DUEs, naive.Estimator.DUEHalfWidth)
+					checkAgree(t, "SDC", res.SDCs, res.Estimator.SDCHalfWidth,
+						naive.SDCs, naive.Estimator.SDCHalfWidth)
+				})
+			}
+		}
+	}
+}
+
+// checkAgree asserts |a-b| <= hwA+hwB. When both half-widths are zero the
+// point estimates must match exactly (typically both zero: no events seen
+// by either estimator).
+func checkAgree(t *testing.T, what string, a, hwA, b, hwB float64) {
+	t.Helper()
+	diff := math.Abs(a - b)
+	if hwA == 0 && hwB == 0 {
+		if diff != 0 {
+			t.Errorf("%s: zero half-widths but estimates differ: %g vs naive %g", what, a, b)
+		}
+		return
+	}
+	if diff > hwA+hwB {
+		t.Errorf("%s: %g +- %g disagrees with naive %g +- %g (diff %g > %g)",
+			what, a, hwA, b, hwB, diff, hwA+hwB)
+	}
+}

@@ -262,6 +262,31 @@ func (m *Model) SampleNode(rng *stats.RNG) NodeFaults {
 // allocates fresh ones). The sampled history — and the RNG stream consumed —
 // is bit-identical to SampleNode's; only the scratch allocations differ.
 func (m *Model) SampleNodeScratch(rng *stats.RNG, sc *SampleScratch) NodeFaults {
+	nf, _ := m.sampleNode(rng, sc, 1)
+	return nf
+}
+
+// SampleNodeBiased draws one node's fault history with the fault-arrival
+// rate multiplied by boost (importance sampling on the Poisson arrival
+// process: multi-fault nodes are oversampled) and returns the history along
+// with the log likelihood ratio log(P_target / P_proposal) of the sampled
+// arrival count — the trial's reweighting factor. Boost 1 consumes an RNG
+// stream bit-identical to SampleNodeScratch and returns log-ratio 0.
+func (m *Model) SampleNodeBiased(rng *stats.RNG, sc *SampleScratch, boost float64) (NodeFaults, float64) {
+	return m.sampleNode(rng, sc, boost)
+}
+
+// maxISLogWeight bounds the per-trial importance weight of the boosted
+// sampler: the effective boost is capped at 1 + maxISLogWeight/λ so no
+// weight exceeds e^maxISLogWeight (≈7.4), keeping the reweighted
+// estimator's variance finite for every node class.
+const maxISLogWeight = 2.0
+
+// sampleNode is the shared arrival-process kernel behind the unbiased and
+// boosted samplers: only the Poisson mean differs (lambda vs lambda times
+// the weight-capped effective boost); given the arrival count, the
+// per-fault details are drawn identically.
+func (m *Model) sampleNode(rng *stats.RNG, sc *SampleScratch, boost float64) (NodeFaults, float64) {
 	if sc == nil {
 		sc = &SampleScratch{}
 	}
@@ -292,9 +317,26 @@ func (m *Model) SampleNodeScratch(rng *stats.RNG, sc *SampleScratch) NodeFaults 
 	if len(accel) > 0 {
 		nf.AcceleratedDIMMs = accel
 	}
-	n := rng.Poisson(lambda)
+	// Weight-bounded boosting: cap the effective boost so the zero-count
+	// weight e^{λ(b−1)} never exceeds e^maxISLogWeight. Nodes whose arrival
+	// rate is already large (the accelerated 0.1%) are thereby barely
+	// boosted — they need no oversampling, and boosting them uncapped gives
+	// the likelihood-ratio weights unbounded variance (the estimator then
+	// systematically underestimates in any finite sample).
+	b := boost
+	if b > 1 && lambda > 0 {
+		if bCap := 1 + maxISLogWeight/lambda; b > bCap {
+			b = bCap
+		}
+	}
+	mean := lambda
+	if b != 1 {
+		mean = lambda * b
+	}
+	n := rng.Poisson(mean)
+	logLR := stats.PoissonLogLR(lambda, b, n)
 	if n == 0 {
-		return nf
+		return nf, logLR
 	}
 
 	// Materialise per-device lognormal weights only for nodes that have
@@ -347,7 +389,147 @@ func (m *Model) SampleNodeScratch(rng *stats.RNG, sc *SampleScratch) NodeFaults 
 		faults[j+1] = f
 	}
 	nf.Faults = faults
-	return nf
+	return nf, logLR
+}
+
+// NumStrata returns the number of (mode, persistence) fault classes the
+// stratified sampler can condition on: 2*NumModes, indexed like modeCDF
+// (2*mode for transient, 2*mode+1 for permanent).
+func (m *Model) NumStrata() int { return 2 * int(NumModes) }
+
+// StratumProb returns the probability that a single fault draw lands in
+// class s (its FIT share of the total rate). Classes with zero configured
+// rate have probability 0 and must not be conditioned on.
+func (m *Model) StratumProb(s int) float64 {
+	if s < 0 || s >= len(m.modeCDF) {
+		return 0
+	}
+	p := m.modeCDF[s]
+	if s > 0 {
+		p -= m.modeCDF[s-1]
+	}
+	return p / m.totalFIT
+}
+
+// SampleNodeStratified draws one node's fault history conditioned on the
+// stratum (N ≥ 1, first-arrival draw in class s): the Poisson count is
+// redrawn from its positive tail and the first fault's (mode, persistence)
+// class is forced to s, with everything else — acceleration, device pick,
+// extents, arrival times — drawn as usual. The returned weight is the
+// stratum probability P(N ≥ 1)·P(class s) = (1 − e^{−λ})·p_s; the caller
+// divides by its allocation fraction across strata. The complementary
+// "no faults" stratum contributes zero to every tallied metric and is never
+// simulated, which is where the variance reduction comes from.
+func (m *Model) SampleNodeStratified(rng *stats.RNG, sc *SampleScratch, s int) (NodeFaults, float64) {
+	if sc == nil {
+		sc = &SampleScratch{}
+	}
+	ps := m.StratumProb(s)
+	g := m.cfg.Geometry
+	nDIMMs := g.DIMMs()
+	nf := NodeFaults{}
+	nodeMult := m.adjustedMult
+	if rng.Bool(m.cfg.AccelNodeFrac) {
+		nf.NodeAccelerated = true
+		nodeMult = m.cfg.AccelFactor
+	}
+	sc.dimmMult = grow(sc.dimmMult, nDIMMs)
+	dimmMult := sc.dimmMult
+	accel := sc.accel[:0]
+	lambda := 0.0
+	perDevRate := FITToRate(m.totalFIT) * m.cfg.Hours
+	for d := 0; d < nDIMMs; d++ {
+		mult := nodeMult
+		if !nf.NodeAccelerated && rng.Bool(m.cfg.AccelDIMMFrac) {
+			mult = m.cfg.AccelFactor
+			accel = append(accel, d)
+		}
+		dimmMult[d] = mult
+		lambda += mult * float64(m.devPerDMM) * perDevRate
+	}
+	sc.accel = accel
+	if len(accel) > 0 {
+		nf.AcceleratedDIMMs = accel
+	}
+	weight := -math.Expm1(-lambda) * ps // (1 − e^{−λ}) · p_s
+	n := poissonAtLeast1(rng, lambda)
+
+	sc.weights = grow(sc.weights, nDIMMs*m.devPerDMM)
+	weights := sc.weights
+	var totalW float64
+	for i := range weights {
+		w := rng.Lognormal(1, m.cfg.VarianceFrac) * dimmMult[i/m.devPerDMM]
+		weights[i] = w
+		totalW += w
+	}
+
+	faults := sc.ptrs[:0]
+	for i := 0; i < n; i++ {
+		target := rng.Float64() * totalW
+		devIdx := 0
+		for acc := 0.0; devIdx < len(weights)-1; devIdx++ {
+			acc += weights[devIdx]
+			if target < acc {
+				break
+			}
+		}
+		dimm := devIdx / m.devPerDMM
+		dev := dram.DeviceCoord{
+			Channel: dimm / g.DIMMsPerChan,
+			Rank:    dimm % g.DIMMsPerChan,
+			Device:  devIdx % m.devPerDMM,
+		}
+		slot, rowBuf := sc.fault(i)
+		var f *Fault
+		if i == 0 {
+			f = m.sampleFaultClass(rng, dev, slot, rowBuf, s)
+		} else {
+			f = m.sampleFault(rng, dev, slot, rowBuf)
+		}
+		f.AtHours = rng.Float64() * m.cfg.Hours
+		faults = append(faults, f)
+	}
+	sc.ptrs = faults
+	for i := 1; i < len(faults); i++ {
+		f := faults[i]
+		j := i - 1
+		for j >= 0 && faults[j].AtHours > f.AtHours {
+			faults[j+1] = faults[j]
+			j--
+		}
+		faults[j+1] = f
+	}
+	nf.Faults = faults
+	return nf, weight
+}
+
+// poissonAtLeast1 draws from Poisson(mean) conditioned on a positive count.
+// Small means use exact sequential inversion of the zero-truncated CDF (the
+// rejection loop would spin 1/(1−e^{−mean}) expected iterations); large
+// means reject the (astronomically rare) zeros.
+func poissonAtLeast1(rng *stats.RNG, mean float64) int {
+	if mean <= 0 {
+		// Conditioning on an impossible event; the caller's stratum weight
+		// (1 − e^{−mean}) is 0, so the returned history never contributes.
+		return 1
+	}
+	if mean < 30 {
+		u := rng.Float64() * -math.Expm1(-mean) // U(0, 1 − e^{−mean})
+		t := mean * math.Exp(-mean)             // P(N = 1)
+		cum := t
+		k := 1
+		for u >= cum && k < 1<<20 {
+			k++
+			t *= mean / float64(k)
+			cum += t
+		}
+		return k
+	}
+	for {
+		if n := rng.Poisson(mean); n > 0 {
+			return n
+		}
+	}
 }
 
 // sampleFault draws the mode, persistence, and extents of one fault into f
@@ -359,6 +541,13 @@ func (m *Model) sampleFault(rng *stats.RNG, dev dram.DeviceCoord, f *Fault, rowB
 	if idx >= len(m.modeCDF) {
 		idx = len(m.modeCDF) - 1
 	}
+	return m.sampleFaultClass(rng, dev, f, rowBuf, idx)
+}
+
+// sampleFaultClass is sampleFault with the (mode, persistence) class forced
+// to idx (modeCDF indexing) instead of drawn — the stratified sampler's
+// entry point for the conditioned first fault.
+func (m *Model) sampleFaultClass(rng *stats.RNG, dev dram.DeviceCoord, f *Fault, rowBuf *[]int, idx int) *Fault {
 	mode := Mode(idx / 2)
 	transient := idx%2 == 0
 	ext := f.Extents[:0]

@@ -1,5 +1,7 @@
 package harness
 
+import "fmt"
+
 // SpanReducer folds chunk results into an accumulator in strict chunk-index
 // order while accepting completions in any order: the tree-reduction side of
 // the engine's determinism contract. Adjacent completed chunks are merged
@@ -24,6 +26,7 @@ package harness
 type SpanReducer[T any] struct {
 	fold    func(ci int, v T)
 	next    int // fold frontier: every chunk < next has been folded
+	limit   int // exclusive upper bound on chunk indexes (0 = unbounded)
 	byLo    map[int]*reduceSpan[T]
 	byHi    map[int]*reduceSpan[T] // keyed by lo+len (one past the span's last index)
 	items   int
@@ -47,12 +50,27 @@ func NewSpanReducer[T any](fold func(ci int, v T)) *SpanReducer[T] {
 	}
 }
 
+// SetLimit bounds the accepted chunk indexes to [0, n); Complete rejects
+// anything outside. Zero (the default) leaves the upper bound unchecked.
+func (r *SpanReducer[T]) SetLimit(n int) { r.limit = n }
+
 // Complete records chunk ci's result. If ci sits at the fold frontier the
 // value is folded immediately, followed by any buffered span that became
 // contiguous; otherwise the value joins (or bridges) its adjacent pending
-// spans. Completing the same index twice is a caller bug; the reducer's
-// fold-once guarantee only holds for distinct indexes.
-func (r *SpanReducer[T]) Complete(ci int, v T) {
+// spans. A double completion (an index already folded or already pending)
+// or an out-of-range index is rejected with an error before any state
+// changes — the fold-once guarantee survives caller bugs instead of
+// silently corrupting the reduction.
+func (r *SpanReducer[T]) Complete(ci int, v T) error {
+	if ci < 0 {
+		return fmt.Errorf("harness: SpanReducer: negative chunk index %d", ci)
+	}
+	if r.limit > 0 && ci >= r.limit {
+		return fmt.Errorf("harness: SpanReducer: chunk index %d out of range [0, %d)", ci, r.limit)
+	}
+	if ci < r.next {
+		return fmt.Errorf("harness: SpanReducer: chunk %d completed twice (already folded; frontier %d)", ci, r.next)
+	}
 	if ci == r.next {
 		r.fold(ci, v)
 		r.next++
@@ -66,7 +84,15 @@ func (r *SpanReducer[T]) Complete(ci int, v T) {
 			r.next = sp.lo + len(sp.vs)
 			r.items -= len(sp.vs)
 		}
-		return
+		return nil
+	}
+	// Double completion of a buffered index: ci already lies inside one of
+	// the pending spans. The span count is bounded by the worker count, so
+	// the scan is cheap.
+	for _, sp := range r.byLo {
+		if ci >= sp.lo && ci < sp.lo+len(sp.vs) {
+			return fmt.Errorf("harness: SpanReducer: chunk %d completed twice (pending span [%d, %d))", ci, sp.lo, sp.lo+len(sp.vs))
+		}
 	}
 	// Buffer: merge with the span ending at ci and/or the span starting at
 	// ci+1 (ordered concatenation keeps fold order exact by construction).
@@ -102,6 +128,7 @@ func (r *SpanReducer[T]) Complete(ci int, v T) {
 	if r.items > r.hwItems {
 		r.hwItems = r.items
 	}
+	return nil
 }
 
 // Frontier returns the next index to be folded: every chunk below it has

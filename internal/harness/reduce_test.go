@@ -132,3 +132,68 @@ func TestSpanReducerClaimCursorBound(t *testing.T) {
 		}
 	}
 }
+
+// TestSpanReducerDoubleCompletion: re-completing a chunk — whether already
+// folded or still pending in a span — must be rejected with an error and
+// leave the reduction state untouched.
+func TestSpanReducerDoubleCompletion(t *testing.T) {
+	val := func(ci int) string { return string(rune('a' + ci)) }
+	r, log := newLogged()
+	for _, ci := range []int{0, 1, 4, 5, 3} { // folded [0,1]; pending span [3,5]
+		if err := r.Complete(ci, val(ci)); err != nil {
+			t.Fatalf("Complete(%d): unexpected error %v", ci, err)
+		}
+	}
+	// Already folded (below the frontier).
+	if err := r.Complete(0, "dup"); err == nil {
+		t.Fatal("re-completing folded chunk 0: want error, got nil")
+	}
+	if err := r.Complete(1, "dup"); err == nil {
+		t.Fatal("re-completing folded chunk 1: want error, got nil")
+	}
+	// Pending: start, middle, and end of the buffered span [3,5].
+	for _, ci := range []int{3, 4, 5} {
+		if err := r.Complete(ci, "dup"); err == nil {
+			t.Fatalf("re-completing pending chunk %d: want error, got nil", ci)
+		}
+	}
+	if r.PendingSpans() != 1 || r.PendingItems() != 3 {
+		t.Fatalf("rejected completions mutated state: %d spans / %d items, want 1 / 3",
+			r.PendingSpans(), r.PendingItems())
+	}
+	// The reduction still finishes correctly after the rejected calls.
+	if err := r.Complete(2, val(2)); err != nil {
+		t.Fatalf("Complete(2): %v", err)
+	}
+	checkReference(t, log, 6, val)
+	if r.Frontier() != 6 {
+		t.Fatalf("frontier %d, want 6", r.Frontier())
+	}
+}
+
+// TestSpanReducerOutOfRange: negative indexes are always rejected; indexes at
+// or above the configured limit are rejected once SetLimit is applied.
+func TestSpanReducerOutOfRange(t *testing.T) {
+	r, log := newLogged()
+	if err := r.Complete(-1, "x"); err == nil {
+		t.Fatal("Complete(-1): want error, got nil")
+	}
+	r.SetLimit(4)
+	if err := r.Complete(4, "x"); err == nil {
+		t.Fatal("Complete(4) with limit 4: want error, got nil")
+	}
+	if err := r.Complete(100, "x"); err == nil {
+		t.Fatal("Complete(100) with limit 4: want error, got nil")
+	}
+	if len(log.order) != 0 || r.PendingSpans() != 0 {
+		t.Fatalf("rejected completions mutated state: folded %v, %d spans", log.order, r.PendingSpans())
+	}
+	for ci := 0; ci < 4; ci++ {
+		if err := r.Complete(ci, string(rune('a'+ci))); err != nil {
+			t.Fatalf("Complete(%d): %v", ci, err)
+		}
+	}
+	if r.Frontier() != 4 {
+		t.Fatalf("frontier %d, want 4", r.Frontier())
+	}
+}

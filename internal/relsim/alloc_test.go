@@ -91,13 +91,13 @@ func TestRunTrialAllocs(t *testing.T) {
 		t.Fatal(err)
 	}
 	fk := stats.NewRNG(cfg.Seed).Forker()
-	var res Result
+	var res runPayload
 	for i := 0; i < allocWarmNodes; i++ {
 		runTrial(sim, fk, i, &res, &cfg)
 	}
 	node := 0
 	allocs := testing.AllocsPerRun(allocWarmNodes, func() {
-		res = Result{}
+		res = runPayload{}
 		runTrial(sim, fk, node, &res, &cfg)
 		node = (node + 1) % allocWarmNodes
 	})

@@ -70,7 +70,7 @@ func BenchmarkRunTrial(b *testing.B) {
 		b.Fatal(err)
 	}
 	fk := stats.NewRNG(cfg.Seed).Forker()
-	var res Result
+	var res runPayload
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -29,12 +29,21 @@ type CoverageConfig struct {
 	FaultyNodes int
 	MaxNodes    int
 	Seed        uint64
+	// Stats selects the estimator driving node sampling. nil (or a zero
+	// value) keeps the naive pipeline byte for byte. Sequential stopping
+	// (TargetCI) is a reliability-run feature; coverage studies already
+	// stop on their faulty-node target and reject it.
+	Stats *StatsConfig
 	// Exec attaches the worker pool, monitor, and checkpoint store.
 	Exec
 
 	// trialHook, when set (tests only), runs at the start of every node
 	// attempt with the global node index.
 	trialHook func(node int)
+
+	// est is the instantiated estimator (nil = naive); built from Stats
+	// once the fault model exists.
+	est estimator
 
 	// planHists caches the per-planner plan-capacity histograms so the
 	// per-node hot path records without a registry lookup.
@@ -62,14 +71,23 @@ type CoverageCurve struct {
 	faultyNodes int
 	repairable  int
 	caps        stats.Quantiler // bytes needed, one sample per repairable node
+	// Importance-weighted tallies (zero on the naive pipeline): when an
+	// estimator reweights node sampling, coverage ratios come from these
+	// so the estimate stays unbiased under the physical fault process.
+	wFaulty     float64
+	wRepairable float64
 }
 
 // FaultyNodes returns the number of faulty nodes observed.
 func (c *CoverageCurve) FaultyNodes() int { return c.faultyNodes }
 
 // Coverage returns the asymptotic coverage: repairable nodes (under the way
-// limit, any capacity) over faulty nodes.
+// limit, any capacity) over faulty nodes. On estimator-driven studies both
+// tallies are importance-weighted.
 func (c *CoverageCurve) Coverage() float64 {
+	if c.wFaulty > 0 {
+		return c.wRepairable / c.wFaulty
+	}
 	if c.faultyNodes == 0 {
 		return 0
 	}
@@ -112,8 +130,13 @@ type CoverageResult struct {
 	FaultyNodes int
 	TotalNodes  int
 	// FaultyFraction is faulty nodes over all sampled nodes (the paper
-	// reports 12% at 1x FIT and 71% at 10x over 6 years).
+	// reports 12% at 1x FIT and 71% at 10x over 6 years). On
+	// estimator-driven studies it is the importance-weighted ratio.
 	FaultyFraction float64
+	// WFaultyNodes and WTotalNodes are the importance-weighted tallies
+	// behind FaultyFraction; zero on the naive pipeline.
+	WFaultyNodes float64 `json:",omitempty"`
+	WTotalNodes  float64 `json:",omitempty"`
 	// SkippedTrials counts sampled nodes abandoned after a panic and one
 	// failed retry; they contribute to TotalNodes but to no curve.
 	SkippedTrials int
@@ -153,6 +176,20 @@ func (cfg *CoverageConfig) Validate() error {
 	if cfg.FaultyNodes <= 0 || cfg.MaxNodes <= 0 {
 		return fmt.Errorf("relsim: FaultyNodes and MaxNodes must be positive")
 	}
+	if cfg.BatchSize < 0 {
+		return fmt.Errorf("relsim: BatchSize must be non-negative, got %d", cfg.BatchSize)
+	}
+	if err := cfg.Stats.validate(); err != nil {
+		return err
+	}
+	if cfg.Stats.active() {
+		if cfg.Stats.TargetCI > 0 {
+			return fmt.Errorf("relsim: TargetCI sequential stopping applies to reliability runs; coverage studies stop on FaultyNodes")
+		}
+		if cfg.Stats.MaxTrials > 0 {
+			return fmt.Errorf("relsim: MaxTrials does not apply to coverage studies; use MaxNodes")
+		}
+	}
 	if err := cfg.Model.Geometry.Validate(); err != nil {
 		return fmt.Errorf("relsim: %w", err)
 	}
@@ -168,6 +205,10 @@ const covChunkSize = 2048
 type covCurveChunk struct {
 	Repairable int       `json:"repairable"`
 	Caps       []float64 `json:"caps,omitempty"`
+	// WRepairable is the importance-weighted repairable tally; zero (and
+	// omitted from the payload) on the naive pipeline, so naive chunk
+	// bytes are unchanged.
+	WRepairable float64 `json:"w_repairable,omitempty"`
 }
 
 // covChunk is the persisted result of one node-index chunk.
@@ -177,6 +218,10 @@ type covChunk struct {
 	Skipped int             `json:"skipped,omitempty"`
 	Skips   []harness.Skip  `json:"skips,omitempty"`
 	Curves  []covCurveChunk `json:"curves"`
+	// WNodes and WFaulty are the importance-weighted node and faulty-node
+	// tallies; zero (and omitted) on the naive pipeline.
+	WNodes  float64 `json:"w_nodes,omitempty"`
+	WFaulty float64 `json:"w_faulty,omitempty"`
 }
 
 // Fingerprint identifies the statistical content of the study configuration
@@ -187,8 +232,14 @@ func (cfg *CoverageConfig) Fingerprint() string {
 	for i, p := range cfg.Planners {
 		names[i] = p.Name()
 	}
-	return harness.Fingerprint("relsim.CoverageStudy", cfg.Model, names,
-		cfg.WayLimits, cfg.FaultyNodes, cfg.MaxNodes, cfg.Seed, covChunkSize)
+	args := []any{"relsim.CoverageStudy", cfg.Model, names,
+		cfg.WayLimits, cfg.FaultyNodes, cfg.MaxNodes, cfg.Seed, covChunkSize}
+	// Included only when active, so pre-estimator configurations keep
+	// their exact fingerprints (see Config.Fingerprint).
+	if cfg.Stats.active() {
+		args = append(args, "stats", *cfg.Stats)
+	}
+	return harness.Fingerprint(args...)
 }
 
 // CoverageStudy runs the Monte Carlo coverage experiment.
@@ -213,6 +264,10 @@ func CoverageStudyCtx(ctx context.Context, cfg CoverageConfig) (*CoverageResult,
 		return nil, err
 	}
 	model, err := fault.NewModel(cfg.Model)
+	if err != nil {
+		return nil, err
+	}
+	cfg.est, err = cfg.Stats.newEstimator(model)
 	if err != nil {
 		return nil, err
 	}
@@ -259,6 +314,8 @@ func CoverageStudyCtx(ctx context.Context, cfg CoverageConfig) (*CoverageResult,
 		}
 		res.TotalNodes += ch.Nodes
 		res.FaultyNodes += ch.Faulty
+		res.WTotalNodes += ch.WNodes
+		res.WFaultyNodes += ch.WFaulty
 		res.SkippedTrials += ch.Skipped
 		for _, s := range ch.Skips {
 			if len(res.Skips) < harness.MaxSkipRecords {
@@ -269,6 +326,8 @@ func CoverageStudyCtx(ctx context.Context, cfg CoverageConfig) (*CoverageResult,
 			curve := res.Curves[c]
 			curve.faultyNodes += ch.Faulty
 			curve.repairable += cc.Repairable
+			curve.wFaulty += ch.WFaulty
+			curve.wRepairable += cc.WRepairable
 			for _, b := range cc.Caps {
 				curve.caps.Add(b)
 			}
@@ -278,17 +337,21 @@ func CoverageStudyCtx(ctx context.Context, cfg CoverageConfig) (*CoverageResult,
 			cutoff = ci
 		}
 	})
+	red.SetLimit(nChunks)
 	ub := -1                                 // sound upper bound on cutoff (-1 = unknown)
 	specFaulty := 0                          // faulty nodes over every completed chunk, contiguous or not
 	maxStored := -1                          // highest completed chunk index
 	have := make([]bool, nChunks)            // chunks already completed (resume dedup)
+	var foldErr error                        // first reducer rejection (double completion / range)
 	complete := func(ci int, ch *covChunk) { // called with mu held
 		have[ci] = true
 		specFaulty += ch.Faulty
 		if ci > maxStored {
 			maxStored = ci
 		}
-		red.Complete(ci, ch)
+		if err := red.Complete(ci, ch); err != nil && foldErr == nil {
+			foldErr = err
+		}
 		// The prefix [0, maxStored] contains every completed chunk, so once
 		// the completed chunks alone meet the target the true cutoff cannot
 		// lie beyond maxStored; workers stop claiming past the bound.
@@ -430,10 +493,15 @@ func CoverageStudyCtx(ctx context.Context, cfg CoverageConfig) (*CoverageResult,
 		cfg.Mon.Warnf("relsim: %v", err)
 	}
 	reduceStart := cfg.Trace.Now()
+	if foldErr != nil {
+		return nil, fmt.Errorf("relsim: internal error: %w", foldErr)
+	}
 	if f := red.Frontier(); f <= end {
 		return nil, fmt.Errorf("relsim: internal error: reduced %d of %d chunks", f, end+1)
 	}
-	if res.TotalNodes > 0 {
+	if res.WTotalNodes > 0 {
+		res.FaultyFraction = res.WFaultyNodes / res.WTotalNodes
+	} else if res.TotalNodes > 0 {
 		res.FaultyFraction = float64(res.FaultyNodes) / float64(res.TotalNodes)
 	}
 	cfg.Trace.Span(runtrace.TrackMain, "reduce", -1, 0, reduceStart)
@@ -453,6 +521,7 @@ type covScratch struct {
 	plans  []*repair.Plan
 	trial  []covCurveChunk
 	faulty int
+	w      float64 // current trial's importance weight (0 on the naive path: weighted tallies stay exactly zero)
 	batch  covChunk
 }
 
@@ -495,12 +564,14 @@ func (cfg *CoverageConfig) coverageChunk(model *fault.Model, fk stats.Forker, ci
 func (cfg *CoverageConfig) coverageBatch(model *fault.Model, fk stats.Forker, lo, hi int, ch *covChunk, sc *covScratch) {
 	b := &sc.batch
 	b.Nodes, b.Faulty, b.Skipped = 0, 0, 0
+	b.WNodes, b.WFaulty = 0, 0
 	b.Skips = b.Skips[:0]
 	if len(b.Curves) != len(ch.Curves) {
 		b.Curves = make([]covCurveChunk, len(ch.Curves))
 	}
 	for c := range b.Curves {
 		b.Curves[c].Repairable = 0
+		b.Curves[c].WRepairable = 0
 		b.Curves[c].Caps = b.Curves[c].Caps[:0]
 	}
 	for i := lo; i < hi; i++ {
@@ -509,6 +580,8 @@ func (cfg *CoverageConfig) coverageBatch(model *fault.Model, fk stats.Forker, lo
 	}
 	ch.Nodes += b.Nodes
 	ch.Faulty += b.Faulty
+	ch.WNodes += b.WNodes
+	ch.WFaulty += b.WFaulty
 	ch.Skipped += b.Skipped
 	for _, s := range b.Skips {
 		if len(ch.Skips) < harness.MaxSkipRecords {
@@ -517,6 +590,7 @@ func (cfg *CoverageConfig) coverageBatch(model *fault.Model, fk stats.Forker, lo
 	}
 	for c := range b.Curves {
 		ch.Curves[c].Repairable += b.Curves[c].Repairable
+		ch.Curves[c].WRepairable += b.Curves[c].WRepairable
 		ch.Curves[c].Caps = append(ch.Curves[c].Caps, b.Curves[c].Caps...)
 	}
 }
@@ -528,8 +602,15 @@ func (cfg *CoverageConfig) coverageTrial(model *fault.Model, fk stats.Forker, no
 		err := cfg.tryCoverageTrial(model, fk, node, sc)
 		if err == nil {
 			b.Faulty += sc.faulty
+			// Weighted tallies: sc.w is 0 on the naive path, so these stay
+			// exactly zero (and omitted from the chunk payload) there.
+			b.WNodes += sc.w
+			if sc.faulty > 0 {
+				b.WFaulty += sc.w
+			}
 			for c := range sc.trial {
 				b.Curves[c].Repairable += sc.trial[c].Repairable
+				b.Curves[c].WRepairable += sc.w * float64(sc.trial[c].Repairable)
 				b.Curves[c].Caps = append(b.Curves[c].Caps, sc.trial[c].Caps...)
 			}
 			return
@@ -568,11 +649,17 @@ func (cfg *CoverageConfig) tryCoverageTrial(model *fault.Model, fk stats.Forker,
 		sc.trial[c].Caps = sc.trial[c].Caps[:0]
 	}
 	sc.faulty = 0
+	sc.w = 0
 	if cfg.trialHook != nil {
 		cfg.trialHook(node)
 	}
 	fk.Substream(uint64(node), &sc.rng)
-	nf := model.SampleNodeScratch(&sc.rng, &sc.sample)
+	var nf fault.NodeFaults
+	if cfg.est != nil {
+		nf, sc.w = cfg.est.sampleNode(&sc.rng, &sc.sample, node)
+	} else {
+		nf = model.SampleNodeScratch(&sc.rng, &sc.sample)
+	}
 	sc.perm = nf.PermanentFaultsInto(sc.perm)
 	if len(sc.perm) == 0 {
 		return nil

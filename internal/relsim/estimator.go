@@ -1,0 +1,271 @@
+package relsim
+
+import (
+	"fmt"
+	"math"
+
+	"relaxfault/internal/fault"
+	"relaxfault/internal/stats"
+)
+
+// Estimator names accepted by StatsConfig.Estimator.
+const (
+	// EstimatorNaive draws each node from the physical fault-arrival
+	// process with weight 1 — the bit-identical refactor of the original
+	// hardwired accumulation path.
+	EstimatorNaive = "naive"
+	// EstimatorImportance oversamples the fault-arrival process (boosted
+	// Poisson arrival counts on every node) and reweights each trial by
+	// the likelihood ratio of the physical process against the proposal.
+	EstimatorImportance = "importance"
+	// EstimatorStratified allocates trials round-robin across the
+	// (mode, persistence) first-arrival strata of the fault model and
+	// reweights by the stratum probability; the "no faults" stratum
+	// contributes exactly zero and is never simulated.
+	EstimatorStratified = "stratified"
+)
+
+// DefaultBoost is the arrival-count boost used by the importance estimator
+// when StatsConfig.Boost is zero. The sampler bounds the effective boost
+// per node so likelihood-ratio weights stay within e² of unity (see
+// fault.SampleNodeBiased), which keeps this default safe even on models
+// with strongly accelerated nodes.
+const DefaultBoost = 8.0
+
+// DefaultMinTrials is the minimum trial count before the sequential
+// stopping rule may fire when StatsConfig.MinTrials is zero: two full
+// chunks, enough for the variance estimate to stabilise.
+const DefaultMinTrials = 2 * chunkSize
+
+// StatsConfig selects the estimator driving a run's trial pipeline and,
+// optionally, a Chow–Robbins sequential stopping rule. A nil (or zero)
+// StatsConfig reproduces the original pipeline byte for byte and is
+// excluded from fingerprints, so every pre-existing configuration keeps
+// its fingerprint, checkpoints, and journals.
+type StatsConfig struct {
+	// Estimator is one of EstimatorNaive, EstimatorImportance, or
+	// EstimatorStratified ("" selects naive).
+	Estimator string
+	// Boost is the importance estimator's arrival-count multiplier
+	// (0 selects DefaultBoost; ignored by the other estimators).
+	Boost float64
+	// TargetCI, when positive, enables sequential stopping: the run stops
+	// at the first chunk boundary where the 95% CI half-widths of both the
+	// per-system DUE and SDC expectations fall to TargetCI or below.
+	TargetCI float64
+	// MinTrials is the minimum number of trials before the stopping rule
+	// may fire (0 selects DefaultMinTrials). It guards against the
+	// stopping rule firing off an early variance estimate of zero.
+	MinTrials int
+	// MaxTrials, when positive, caps the total trial budget (the run
+	// simulates min(Nodes*Replicas, MaxTrials) trials and scales the
+	// expectations back to per-system values).
+	MaxTrials int
+}
+
+// active reports whether s selects anything beyond the legacy pipeline.
+func (s *StatsConfig) active() bool {
+	return s != nil && *s != StatsConfig{}
+}
+
+// estimatorName resolves the estimator name ("" defaults to naive).
+func (s *StatsConfig) estimatorName() string {
+	if s == nil || s.Estimator == "" {
+		return EstimatorNaive
+	}
+	return s.Estimator
+}
+
+// boost resolves the importance-sampling boost.
+func (s *StatsConfig) boost() float64 {
+	if s == nil || s.Boost == 0 {
+		return DefaultBoost
+	}
+	return s.Boost
+}
+
+// minTrials resolves the sequential-stopping warm-up floor.
+func (s *StatsConfig) minTrials() int {
+	if s == nil || s.MinTrials == 0 {
+		return DefaultMinTrials
+	}
+	return s.MinTrials
+}
+
+// validate reports the first statistics-configuration error, if any.
+func (s *StatsConfig) validate() error {
+	if !s.active() {
+		return nil
+	}
+	switch s.estimatorName() {
+	case EstimatorNaive, EstimatorImportance, EstimatorStratified:
+	default:
+		return fmt.Errorf("relsim: unknown estimator %q (want %s, %s, or %s)",
+			s.Estimator, EstimatorNaive, EstimatorImportance, EstimatorStratified)
+	}
+	if s.Boost < 0 {
+		return fmt.Errorf("relsim: estimator boost must be non-negative, got %v", s.Boost)
+	}
+	if s.Boost > 0 && s.Boost < 1 {
+		return fmt.Errorf("relsim: estimator boost %v would undersample faults; boosts below 1 are not supported", s.Boost)
+	}
+	if s.TargetCI < 0 {
+		return fmt.Errorf("relsim: TargetCI must be non-negative, got %v", s.TargetCI)
+	}
+	if s.MinTrials < 0 {
+		return fmt.Errorf("relsim: MinTrials must be non-negative, got %d", s.MinTrials)
+	}
+	if s.MaxTrials < 0 {
+		return fmt.Errorf("relsim: MaxTrials must be non-negative, got %d", s.MaxTrials)
+	}
+	return nil
+}
+
+// estimator is the trial-sampling strategy: it draws one node's fault
+// history and reports the importance weight that makes the weighted trial
+// an unbiased estimate under the physical process. Implementations must be
+// deterministic functions of (rng stream, node) so that replay, checkpoint
+// resume, and the scheduling differential all reproduce identical bytes.
+type estimator interface {
+	name() string
+	sampleNode(rng *stats.RNG, sc *fault.SampleScratch, node int) (fault.NodeFaults, float64)
+}
+
+// naiveEstimator samples the physical process with weight 1.
+type naiveEstimator struct{ model *fault.Model }
+
+func (naiveEstimator) name() string { return EstimatorNaive }
+
+func (e naiveEstimator) sampleNode(rng *stats.RNG, sc *fault.SampleScratch, _ int) (fault.NodeFaults, float64) {
+	return e.model.SampleNodeScratch(rng, sc), 1
+}
+
+// importanceEstimator boosts the fault-arrival counts and reweights by
+// the Poisson likelihood ratio.
+type importanceEstimator struct {
+	model *fault.Model
+	boost float64
+}
+
+func (importanceEstimator) name() string { return EstimatorImportance }
+
+func (e importanceEstimator) sampleNode(rng *stats.RNG, sc *fault.SampleScratch, _ int) (fault.NodeFaults, float64) {
+	nf, logLR := e.model.SampleNodeBiased(rng, sc, e.boost)
+	return nf, math.Exp(logLR)
+}
+
+// stratifiedEstimator allocates trials round-robin over the nonzero
+// first-arrival strata; the sampler's raw weight already includes the
+// stratum probability and the ≥1-fault conditioning, so the only caller
+// factor is the rotation count.
+type stratifiedEstimator struct {
+	model  *fault.Model
+	strata []int
+}
+
+func (stratifiedEstimator) name() string { return EstimatorStratified }
+
+func (e stratifiedEstimator) sampleNode(rng *stats.RNG, sc *fault.SampleScratch, node int) (fault.NodeFaults, float64) {
+	s := e.strata[node%len(e.strata)]
+	nf, w := e.model.SampleNodeStratified(rng, sc, s)
+	return nf, w * float64(len(e.strata))
+}
+
+func newStratifiedEstimator(model *fault.Model) (*stratifiedEstimator, error) {
+	var strata []int
+	for s := 0; s < model.NumStrata(); s++ {
+		if model.StratumProb(s) > 0 {
+			strata = append(strata, s)
+		}
+	}
+	if len(strata) == 0 {
+		return nil, fmt.Errorf("relsim: stratified estimator: no fault class has positive rate")
+	}
+	return &stratifiedEstimator{model: model, strata: strata}, nil
+}
+
+// newEstimator builds the configured estimator, or nil when s selects the
+// legacy pipeline (nil StatsConfig ⇒ no estimator object at all, so the
+// hot path keeps its original shape).
+func (s *StatsConfig) newEstimator(model *fault.Model) (estimator, error) {
+	if !s.active() {
+		return nil, nil
+	}
+	switch s.estimatorName() {
+	case EstimatorNaive:
+		return naiveEstimator{model: model}, nil
+	case EstimatorImportance:
+		return importanceEstimator{model: model, boost: s.boost()}, nil
+	case EstimatorStratified:
+		return newStratifiedEstimator(model)
+	default:
+		return nil, fmt.Errorf("relsim: unknown estimator %q", s.Estimator)
+	}
+}
+
+// estTally is the per-chunk estimator state: Welford accumulators over the
+// weighted per-trial DUE and SDC contributions (what the stopping rule
+// watches) plus the weight statistics behind the effective sample size.
+// It is part of the chunk checkpoint payload, so it must round-trip
+// through JSON bit for bit (stats.MeanVar and stats.WeightStats do).
+type estTally struct {
+	DUE stats.MeanVar     `json:"due"`
+	SDC stats.MeanVar     `json:"sdc"`
+	W   stats.WeightStats `json:"w"`
+}
+
+// observe records one weighted trial.
+func (t *estTally) observe(w, due, sdc float64) {
+	t.DUE.Add(w * due)
+	t.SDC.Add(w * sdc)
+	t.W.Add(w)
+}
+
+// merge folds o into t (chunk-index order gives deterministic bytes).
+func (t *estTally) merge(o *estTally) {
+	t.DUE.Merge(&o.DUE)
+	t.SDC.Merge(&o.SDC)
+	t.W.Merge(&o.W)
+}
+
+// ciMet reports whether m's 95% half-width, scaled to a per-system
+// expectation, has reached the target on actual evidence. A zero half-width
+// from zero observed events is no information: the per-trial contributions
+// are non-negative, so Mean == 0 && M2 == 0 means no event has been seen
+// yet, and letting that degenerate [0, 0] interval satisfy the rule would
+// stop every rare-event run spuriously at the warm-up floor.
+func ciMet(m *stats.MeanVar, scale, target float64) bool {
+	if m.Mean == 0 && m.M2 == 0 {
+		return false
+	}
+	return scale*m.HalfWidth95() <= target
+}
+
+// runPayload is the chunk checkpoint payload of Run. Result is embedded,
+// so with a nil Est the JSON encoding is byte-identical to the bare Result
+// the pre-estimator checkpoints stored — old checkpoints decode into new
+// runs and naive runs write old-format bytes.
+type runPayload struct {
+	Result
+	Est *estTally `json:"est,omitempty"`
+}
+
+// EstimatorReport summarises an estimator-driven run: it rides on Result
+// so manifests, benches, and the CLI can show what the estimator bought.
+type EstimatorReport struct {
+	// Name is the estimator that produced the run.
+	Name string `json:"name"`
+	// Trials is the number of trials actually simulated; BudgetTrials is
+	// what the configuration would have run without sequential stopping.
+	Trials       int64 `json:"trials"`
+	BudgetTrials int64 `json:"budget_trials"`
+	// DUEHalfWidth and SDCHalfWidth are the final per-system 95% CI
+	// half-widths of the two stopping-rule targets.
+	DUEHalfWidth float64 `json:"due_half_width"`
+	SDCHalfWidth float64 `json:"sdc_half_width"`
+	// ESS is the Kish effective sample size of the importance weights.
+	ESS float64 `json:"ess"`
+	// Stopped reports whether the sequential stopping rule fired (as
+	// opposed to the run exhausting its trial budget).
+	Stopped bool `json:"stopped"`
+}

@@ -1,0 +1,315 @@
+package relsim
+
+// Tests for the estimator layer: configuration validation, the naive
+// estimator's bit-identity with the legacy pipeline, scheduling invariance
+// of importance sampling with sequential stopping, and checkpoint resume
+// of stopped runs.
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"relaxfault/internal/harness"
+)
+
+func TestStatsConfigValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		s    StatsConfig
+		want string
+	}{
+		{"unknown estimator", StatsConfig{Estimator: "magic"}, "unknown estimator"},
+		{"negative boost", StatsConfig{Estimator: EstimatorImportance, Boost: -2}, "non-negative"},
+		{"undersampling boost", StatsConfig{Estimator: EstimatorImportance, Boost: 0.5}, "below 1"},
+		{"negative target", StatsConfig{Estimator: EstimatorNaive, TargetCI: -1}, "TargetCI"},
+		{"negative min trials", StatsConfig{Estimator: EstimatorNaive, MinTrials: -1}, "MinTrials"},
+		{"negative max trials", StatsConfig{Estimator: EstimatorNaive, MaxTrials: -1}, "MaxTrials"},
+	}
+	for _, c := range cases {
+		cfg := smallCfg()
+		s := c.s
+		cfg.Stats = &s
+		_, err := Run(cfg)
+		if err == nil {
+			t.Errorf("%s: accepted", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestNegativeBatchSizeRejected(t *testing.T) {
+	cfg := smallCfg()
+	cfg.BatchSize = -1
+	if _, err := Run(cfg); err == nil || !strings.Contains(err.Error(), "BatchSize") {
+		t.Errorf("run: negative BatchSize got %v, want a BatchSize error", err)
+	}
+	cov := covCfg(t)
+	cov.BatchSize = -8
+	if _, err := CoverageStudy(cov); err == nil || !strings.Contains(err.Error(), "BatchSize") {
+		t.Errorf("coverage: negative BatchSize got %v, want a BatchSize error", err)
+	}
+}
+
+func TestCoverageRejectsStoppingConfig(t *testing.T) {
+	cov := covCfg(t)
+	cov.Stats = &StatsConfig{Estimator: EstimatorImportance, TargetCI: 0.1}
+	if _, err := CoverageStudy(cov); err == nil || !strings.Contains(err.Error(), "TargetCI") {
+		t.Errorf("TargetCI on coverage got %v, want rejection", err)
+	}
+	cov.Stats = &StatsConfig{Estimator: EstimatorImportance, MaxTrials: 100}
+	if _, err := CoverageStudy(cov); err == nil || !strings.Contains(err.Error(), "MaxTrials") {
+		t.Errorf("MaxTrials on coverage got %v, want rejection", err)
+	}
+}
+
+// TestNaiveEstimatorBitIdentical: routing trials through the naive
+// estimator (weight 1, same RNG stream) must reproduce the legacy
+// pipeline's statistics bit for bit — the refactor's core guarantee.
+func TestNaiveEstimatorBitIdentical(t *testing.T) {
+	cfg := smallCfg()
+	legacy, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Stats = &StatsConfig{Estimator: EstimatorNaive}
+	naive, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if naive.Estimator == nil || naive.Estimator.Name != EstimatorNaive {
+		t.Fatalf("estimator report %+v, want naive", naive.Estimator)
+	}
+	if naive.Estimator.Stopped {
+		t.Error("no stopping rule configured, but the report claims a stop")
+	}
+	// Same trial count (Replicas=1, so both scalings are exact identity).
+	rep := naive.Estimator
+	naive.Estimator = nil
+	if !sameResult(naive, legacy) {
+		t.Errorf("naive estimator diverged from the legacy pipeline:\n%+v\n%+v", naive, legacy)
+	}
+	if rep.Trials != int64(cfg.Nodes) || rep.BudgetTrials != int64(cfg.Nodes) {
+		t.Errorf("trials %d/%d, want %d/%d", rep.Trials, rep.BudgetTrials, cfg.Nodes, cfg.Nodes)
+	}
+}
+
+// TestStatsFingerprint: an inactive statistics block keeps the legacy
+// fingerprint (checkpoint/journal compatibility for every existing
+// configuration); active blocks fork it per estimator.
+func TestStatsFingerprint(t *testing.T) {
+	cfg := smallCfg()
+	base := cfg.Fingerprint()
+	cfg.Stats = &StatsConfig{}
+	if fp := cfg.Fingerprint(); fp != base {
+		t.Errorf("zero StatsConfig changed the fingerprint: %s vs %s", fp, base)
+	}
+	cfg.Stats = &StatsConfig{Estimator: EstimatorNaive}
+	naive := cfg.Fingerprint()
+	cfg.Stats = &StatsConfig{Estimator: EstimatorImportance}
+	imp := cfg.Fingerprint()
+	if naive == base || imp == base || naive == imp {
+		t.Errorf("active statistics blocks must fork the fingerprint: base %s naive %s importance %s", base, naive, imp)
+	}
+}
+
+// stoppingCfg returns an importance-sampling configuration whose stopping
+// target is calibrated from a full-budget run so the sequential rule fires
+// partway through the campaign.
+func stoppingCfg(t *testing.T) Config {
+	t.Helper()
+	cfg := smallCfg()
+	cfg.Nodes = 40 * 1000
+	cfg.Stats = &StatsConfig{Estimator: EstimatorImportance, Boost: 4}
+	full, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Estimator.DUEHalfWidth <= 0 || full.Estimator.SDCHalfWidth <= 0 {
+		t.Fatalf("calibration run has degenerate CIs: %+v", full.Estimator)
+	}
+	target := full.Estimator.DUEHalfWidth
+	if s := full.Estimator.SDCHalfWidth; s > target {
+		target = s
+	}
+	// Half-widths shrink like 1/sqrt(n); 1.4x the full-budget width is
+	// reachable at roughly half the budget.
+	cfg.Stats = &StatsConfig{Estimator: EstimatorImportance, Boost: 4, TargetCI: 1.4 * target}
+	return cfg
+}
+
+// TestSequentialStoppingInvariance: a stopped run must produce identical
+// results — including the stop point — for every worker count and batch
+// size, because the cutoff is discovered in the index-ordered fold, not in
+// scheduling order.
+func TestSequentialStoppingInvariance(t *testing.T) {
+	cfg := stoppingCfg(t)
+	var want Result
+	for i, exec := range []Exec{
+		{Workers: 1},
+		{Workers: 2, BatchSize: 1},
+		{Workers: 4, BatchSize: 64},
+		{Workers: 7},
+	} {
+		run := cfg
+		run.Exec = exec
+		got, err := Run(run)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Estimator == nil || !got.Estimator.Stopped {
+			t.Fatalf("exec %+v: stopping rule never fired: %+v", exec, got.Estimator)
+		}
+		if got.Estimator.Trials >= got.Estimator.BudgetTrials {
+			t.Fatalf("exec %+v: stopped run used the full budget (%d/%d)",
+				exec, got.Estimator.Trials, got.Estimator.BudgetTrials)
+		}
+		if i == 0 {
+			want = got
+			continue
+		}
+		if !sameResult(got, want) {
+			t.Errorf("exec %+v diverged:\n%+v\n%+v", exec, got, want)
+		}
+	}
+}
+
+// TestSequentialStoppingResume: an interrupted stopped run resumes from its
+// checkpoint to the exact result of an uninterrupted one, and a fully
+// stopped snapshot resumes without simulating a single extra trial.
+func TestSequentialStoppingResume(t *testing.T) {
+	cfg := stoppingCfg(t)
+	cfg.Workers = 2
+	want, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "ck.json")
+	store, err := harness.OpenStore(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	interrupted := cfg
+	interrupted.Checkpoint = store
+	interrupted.trialHook = func(node int) {
+		if node >= 2*chunkSize {
+			cancel()
+		}
+	}
+	if _, err := RunCtx(ctx, interrupted); !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted run: got %v, want context.Canceled", err)
+	}
+
+	store2, err := harness.OpenStore(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed := cfg
+	resumed.Checkpoint = store2
+	got, err := Run(resumed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameResult(got, want) {
+		t.Errorf("resumed stopped run differs from uninterrupted run:\n%+v\n%+v", want, got)
+	}
+
+	// Second resume from the pruned final snapshot: the stopping prefix is
+	// complete, so zero trials run.
+	store3, err := harness.OpenStore(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again := cfg
+	again.Checkpoint = store3
+	var replayed atomic.Int64
+	again.trialHook = func(int) { replayed.Add(1) }
+	got2, err := Run(again)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameResult(got2, want) {
+		t.Errorf("snapshot-only resume differs:\n%+v\n%+v", want, got2)
+	}
+	if n := replayed.Load(); n != 0 {
+		t.Errorf("snapshot-only resume simulated %d trials, want 0", n)
+	}
+}
+
+// TestMaxTrialsBudget: MaxTrials truncates the campaign and the report
+// records both the spend and the cap.
+func TestMaxTrialsBudget(t *testing.T) {
+	cfg := smallCfg()
+	cfg.Nodes = 20000
+	cfg.Stats = &StatsConfig{Estimator: EstimatorStratified, MaxTrials: 2 * chunkSize}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := res.Estimator
+	if rep == nil || rep.Name != EstimatorStratified {
+		t.Fatalf("estimator report %+v, want stratified", rep)
+	}
+	if rep.Trials != 2*chunkSize || rep.BudgetTrials != 2*chunkSize {
+		t.Errorf("trials %d budget %d, want both %d", rep.Trials, rep.BudgetTrials, 2*chunkSize)
+	}
+	if rep.Stopped {
+		t.Error("budget exhaustion misreported as a sequential stop")
+	}
+	if res.FaultyNodes <= 0 {
+		t.Error("stratified run found no faulty nodes")
+	}
+}
+
+// TestCoverageEstimatorWeighted: a naive-estimator coverage study must
+// reproduce the unweighted ratios exactly (all weights are 1), and an
+// importance-sampling study must land close to them.
+func TestCoverageEstimatorWeighted(t *testing.T) {
+	base := covCfg(t)
+	raw, err := CoverageStudy(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	naive := covCfg(t)
+	naive.Stats = &StatsConfig{Estimator: EstimatorNaive}
+	wres, err := CoverageStudy(naive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wres.WTotalNodes <= 0 || wres.WFaultyNodes <= 0 {
+		t.Fatalf("weighted tallies missing: %+v", wres)
+	}
+	// Same seed and unit weights: the weighted ratios equal the raw ones.
+	if got, want := wres.FaultyFraction, raw.FaultyFraction; got != want {
+		t.Errorf("naive weighted FaultyFraction %v, want %v", got, want)
+	}
+	for i, c := range wres.Curves {
+		if got, want := c.Coverage(), raw.Curves[i].Coverage(); got != want {
+			t.Errorf("curve %d: naive weighted coverage %v, want %v", i, got, want)
+		}
+	}
+
+	imp := covCfg(t)
+	imp.Stats = &StatsConfig{Estimator: EstimatorImportance, Boost: 2}
+	ires, err := CoverageStudy(imp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range ires.Curves {
+		want := raw.Curves[i].Coverage()
+		got := c.Coverage()
+		if got < want-0.1 || got > want+0.1 {
+			t.Errorf("curve %d: importance coverage %v far from naive %v", i, got, want)
+		}
+	}
+}

@@ -130,6 +130,11 @@ type Config struct {
 	// estimates; results are reported per system.
 	Replicas int
 	Seed     uint64
+	// Stats selects the estimator driving the trial pipeline and the
+	// optional sequential stopping rule. nil (or a zero value) keeps the
+	// original naive pipeline, byte for byte, with an unchanged
+	// fingerprint.
+	Stats *StatsConfig
 	// Exec attaches the worker pool, monitor, and checkpoint store.
 	Exec
 
@@ -165,6 +170,12 @@ func (cfg *Config) Validate() error {
 	}
 	if cfg.Replicas <= 0 {
 		return fmt.Errorf("relsim: Replicas must be positive")
+	}
+	if cfg.BatchSize < 0 {
+		return fmt.Errorf("relsim: BatchSize must be non-negative, got %d", cfg.BatchSize)
+	}
+	if err := cfg.Stats.validate(); err != nil {
+		return err
 	}
 	if cfg.Planner != nil {
 		if _, ok := cfg.Planner.(repair.Incremental); !ok {
@@ -209,6 +220,9 @@ type Result struct {
 	// Skips records the first few skipped trials (harness.MaxSkipRecords)
 	// with enough detail to reproduce each one via ReplayNode.
 	Skips []harness.Skip
+	// Estimator summarises the estimator-driven run (trial counts, CI
+	// half-widths, effective sample size); nil on the legacy pipeline.
+	Estimator *EstimatorReport `json:"Estimator,omitempty"`
 }
 
 // add accumulates o's statistics (raw sums and skip records) into r.
@@ -221,6 +235,27 @@ func (r *Result) add(o *Result) {
 	r.RepairedNodes += o.RepairedNodes
 	r.RepairedDIMMs += o.RepairedDIMMs
 	r.FaultyDIMMs += o.FaultyDIMMs
+	r.SkippedTrials += o.SkippedTrials
+	for _, s := range o.Skips {
+		if len(r.Skips) >= harness.MaxSkipRecords {
+			break
+		}
+		r.Skips = append(r.Skips, s)
+	}
+}
+
+// addScaled accumulates o's statistics into r with importance weight w
+// (skip bookkeeping is never weighted). w == 1 is exact in IEEE 754, so
+// the naive estimator's accumulation is bit-identical to add's.
+func (r *Result) addScaled(o *Result, w float64) {
+	r.FaultyNodes += o.FaultyNodes * w
+	r.MultiDeviceFaultDIMMs += o.MultiDeviceFaultDIMMs * w
+	r.DUEs += o.DUEs * w
+	r.SDCs += o.SDCs * w
+	r.Replacements += o.Replacements * w
+	r.RepairedNodes += o.RepairedNodes * w
+	r.RepairedDIMMs += o.RepairedDIMMs * w
+	r.FaultyDIMMs += o.FaultyDIMMs * w
 	r.SkippedTrials += o.SkippedTrials
 	for _, s := range o.Skips {
 		if len(r.Skips) >= harness.MaxSkipRecords {
@@ -259,9 +294,17 @@ func (cfg *Config) Fingerprint() string {
 	if cfg.Planner != nil {
 		planner = cfg.Planner.Name()
 	}
-	return harness.Fingerprint("relsim.Run", cfg.Model, cfg.Nodes, planner,
+	args := []any{"relsim.Run", cfg.Model, cfg.Nodes, planner,
 		cfg.WayLimit, cfg.Policy, cfg.ReplBActivationsPerHour,
-		cfg.SDCAliasProb, cfg.TripleSDCProb, cfg.Replicas, cfg.Seed, chunkSize)
+		cfg.SDCAliasProb, cfg.TripleSDCProb, cfg.Replicas, cfg.Seed, chunkSize}
+	// The statistics block changes which trials run and how they are
+	// interpreted, so it is part of the statistical identity — but only
+	// when active, so every pre-estimator configuration keeps its exact
+	// fingerprint (and with it checkpoint and journal compatibility).
+	if cfg.Stats.active() {
+		args = append(args, "stats", *cfg.Stats)
+	}
+	return harness.Fingerprint(args...)
 }
 
 // Run simulates cfg.Replicas systems and returns per-system averages.
@@ -283,7 +326,17 @@ func RunCtx(ctx context.Context, cfg Config) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	statsOn := cfg.Stats.active()
 	totalNodes := cfg.Nodes * cfg.Replicas
+	if statsOn && cfg.Stats.MaxTrials > 0 && cfg.Stats.MaxTrials < totalNodes {
+		totalNodes = cfg.Stats.MaxTrials
+	}
+	targetCI := 0.0
+	minTrials := 0
+	if statsOn {
+		targetCI = cfg.Stats.TargetCI
+		minTrials = cfg.Stats.minTrials()
+	}
 	nChunks := (totalNodes + chunkSize - 1) / chunkSize
 	root := stats.NewRNG(cfg.Seed)
 
@@ -294,20 +347,53 @@ func RunCtx(ctx context.Context, cfg Config) (Result, error) {
 	// moment they touch the frontier. A straggler chunk pins at most the
 	// spans behind the in-flight window (≤ worker count), not a
 	// whole-campaign results table.
+	//
+	// With sequential stopping the fold is also where the stopping rule
+	// lives: the cumulative estimator tally advances in exact chunk-index
+	// order, so the cutoff — the first chunk whose prefix drives both CI
+	// half-widths to the target — is a deterministic function of the
+	// configuration, never of scheduling. Chunks folding after the cutoff
+	// are the speculative tail; their results are discarded.
 	var sum Result
-	red := harness.NewSpanReducer[*Result](func(_ int, c *Result) { sum.add(c) })
+	var cum estTally
+	cutoff := -1                  // first chunk where the stopping rule is met
+	hwScale := float64(cfg.Nodes) // per-trial mean → per-system expectation
+	red := harness.NewSpanReducer[*runPayload](func(ci int, c *runPayload) {
+		if cutoff >= 0 {
+			return // beyond the stopping cutoff: speculative, discarded
+		}
+		sum.add(&c.Result)
+		if c.Est == nil {
+			return
+		}
+		cum.merge(c.Est)
+		if targetCI > 0 && cum.DUE.N >= int64(minTrials) &&
+			ciMet(&cum.DUE, hwScale, targetCI) &&
+			ciMet(&cum.SDC, hwScale, targetCI) {
+			cutoff = ci
+		}
+	})
+	red.SetLimit(nChunks)
 	var redMu sync.Mutex
+	var foldErr error
+	complete := func(ci int, c *runPayload) { // called with redMu held
+		if err := red.Complete(ci, c); err != nil && foldErr == nil {
+			foldErr = err
+		}
+	}
 
 	// Resume: chunks already present in the checkpoint section are adopted
-	// verbatim; only the remainder is simulated.
+	// verbatim; only the remainder is simulated. Estimator runs require the
+	// estimator tally in the payload (it is part of the stopping state);
+	// a chunk without one is recomputed.
 	resumeStart := cfg.Trace.Now()
 	cp := cfg.Checkpoint.Section(RunSection(cfg.Fingerprint()), cfg.Fingerprint())
 	var todo []int
 	for ci := 0; ci < nChunks; ci++ {
 		if raw, ok := cp.Get(ci); ok {
-			var r Result
-			if err := json.Unmarshal(raw, &r); err == nil {
-				red.Complete(ci, &r)
+			var r runPayload
+			if err := json.Unmarshal(raw, &r); err == nil && (!statsOn || r.Est != nil) {
+				complete(ci, &r)
 				rm.trialsResumed.Add(int64(chunkSpan(ci, totalNodes)))
 				for _, s := range r.Skips {
 					cfg.Mon.RecordSkip(s)
@@ -322,27 +408,85 @@ func RunCtx(ctx context.Context, cfg Config) (Result, error) {
 	if nChunks > len(todo) {
 		cfg.Trace.Span(runtrace.TrackMain, "resume.load", -1, 0, resumeStart)
 	}
+	if cutoff >= 0 {
+		// The resumed prefix already satisfied the stopping rule; nothing
+		// past the cutoff runs.
+		keep := todo[:0]
+		for _, ci := range todo {
+			if ci <= cutoff {
+				keep = append(keep, ci)
+			}
+		}
+		todo = keep
+	}
 	cfg.Mon.Expect(int64(len(todo)) * chunkSize)
+
+	// Claim-admission gate (sequential stopping only). Before the cutoff is
+	// known, workers may only start chunks within a small window ahead of
+	// the fold frontier; otherwise fast workers would race arbitrarily far
+	// past the eventual cutoff computing chunks the fold then discards.
+	// The gate cannot deadlock: the worker holding the lowest in-flight
+	// chunk always has ci == frontier (every lower chunk has folded), which
+	// is inside the window. Once the cutoff is known, chunks past it are
+	// refused outright and their workers retire.
+	workers := harness.PoolWorkers(cfg.Workers)
+	const gateSlack = 2
+	cond := sync.NewCond(&redMu)
+	cancelled := false
+	if targetCI > 0 {
+		stopWatch := context.AfterFunc(ctx, func() {
+			redMu.Lock()
+			cancelled = true
+			redMu.Unlock()
+			cond.Broadcast()
+		})
+		defer stopWatch()
+	}
 
 	// Per-worker simulators (repair state and sampling scratch); the span
 	// reducer is the only shared mutable state and is serialised by redMu.
 	batch := cfg.batch()
 	forker := root.Forker()
-	sims := make([]*nodeSim, harness.PoolWorkers(cfg.Workers))
+	sims := make([]*nodeSim, workers)
 	eng := harness.Engine{Workers: cfg.Workers, Mon: cfg.Mon, Trace: cfg.Trace}
 	runErr := eng.Run(ctx, len(todo), func(w, k int) (int64, bool) {
+		ci := todo[k]
+		if targetCI > 0 {
+			redMu.Lock()
+			for {
+				if cancelled {
+					redMu.Unlock()
+					return 0, false
+				}
+				if cutoff >= 0 {
+					if ci > cutoff {
+						redMu.Unlock()
+						return 0, false
+					}
+					break // at or below the cutoff: always admitted
+				}
+				if ci <= red.Frontier()+workers+gateSlack {
+					break
+				}
+				rm.estGateWaits.Inc()
+				cond.Wait()
+			}
+			redMu.Unlock()
+		}
 		sim := sims[w]
 		if sim == nil {
-			sim, _ = newNodeSim(model, cfg) // planner validated above
+			sim, _ = newNodeSim(model, cfg) // planner and estimator validated above
 			sims[w] = sim
 		}
-		ci := todo[k]
 		lo := ci * chunkSize
 		hi := lo + chunkSize
 		if hi > totalNodes {
 			hi = totalNodes
 		}
-		res := &Result{}
+		res := &runPayload{}
+		if statsOn {
+			res.Est = &estTally{}
+		}
 		sim.runChunk(forker, lo, hi, batch, res, &cfg)
 		rm.trialsDone.Add(int64(hi - lo))
 		ckptStart := cfg.Trace.Now()
@@ -351,8 +495,11 @@ func RunCtx(ctx context.Context, cfg Config) (Result, error) {
 		}
 		cfg.Trace.Span(w, runtrace.SpanCheckpoint, ci, 0, ckptStart)
 		redMu.Lock()
-		red.Complete(ci, res)
+		complete(ci, res)
 		redMu.Unlock()
+		if targetCI > 0 {
+			cond.Broadcast()
+		}
 		return int64(hi - lo), true
 	})
 	_ = runErr // identical to ctx.Err(), checked below after the flush
@@ -362,14 +509,66 @@ func RunCtx(ctx context.Context, cfg Config) (Result, error) {
 	if err := ctx.Err(); err != nil {
 		return Result{}, err
 	}
+	if foldErr != nil {
+		return Result{}, fmt.Errorf("relsim: internal error: %w", foldErr)
+	}
 
-	// The reducer folded every chunk in index order as it completed; all
-	// that remains is scaling to per-system averages.
+	// The reducer folded every chunk up to the stopping cutoff (or all of
+	// them) in index order as it completed; all that remains is scaling to
+	// per-system values.
 	reduceStart := cfg.Trace.Now()
-	if red.Frontier() != nChunks {
-		return Result{}, fmt.Errorf("relsim: internal error: reduced %d of %d chunks", red.Frontier(), nChunks)
+	end := nChunks - 1
+	if cutoff >= 0 {
+		end = cutoff
+		// The result aggregated exactly chunks [0, end]; drop the
+		// speculative tail from the checkpoint too so the final snapshot is
+		// byte-identical for any worker count.
+		cp.PruneAbove(end)
+		if err := cfg.Checkpoint.Flush(); err != nil {
+			cfg.Mon.Warnf("relsim: %v", err)
+		}
+	}
+	if f := red.Frontier(); f <= end {
+		return Result{}, fmt.Errorf("relsim: internal error: reduced %d of %d chunks", f, end+1)
 	}
 	cfg.Trace.Span(runtrace.TrackMain, "reduce", -1, 0, reduceStart)
+	if statsOn {
+		n := cum.W.N
+		if n == 0 {
+			return Result{}, fmt.Errorf("relsim: estimator run completed zero trials")
+		}
+		// Weighted per-trial sums → per-system expectations: the estimator
+		// makes each weighted trial an unbiased per-node estimate, so the
+		// system expectation is Nodes × the weighted mean over however many
+		// trials actually ran (budget cap or sequential stop).
+		scale := float64(cfg.Nodes) / float64(n)
+		sum.FaultyNodes *= scale
+		sum.MultiDeviceFaultDIMMs *= scale
+		sum.DUEs *= scale
+		sum.SDCs *= scale
+		sum.Replacements *= scale
+		sum.RepairedNodes *= scale
+		sum.RepairedDIMMs *= scale
+		sum.FaultyDIMMs *= scale
+		sum.Replicas = cfg.Replicas
+		budget := int64(cfg.Nodes) * int64(cfg.Replicas)
+		if cfg.Stats.MaxTrials > 0 && int64(cfg.Stats.MaxTrials) < budget {
+			budget = int64(cfg.Stats.MaxTrials)
+		}
+		sum.Estimator = &EstimatorReport{
+			Name:         cfg.Stats.estimatorName(),
+			Trials:       n,
+			BudgetTrials: budget,
+			DUEHalfWidth: hwScale * cum.DUE.HalfWidth95(),
+			SDCHalfWidth: hwScale * cum.SDC.HalfWidth95(),
+			ESS:          cum.W.ESS(),
+			Stopped:      cutoff >= 0,
+		}
+		rm.estTrialsSaved.Add(budget - n)
+		rm.estESS.Set(sum.Estimator.ESS)
+		rm.estHalfWidth.Set(sum.Estimator.DUEHalfWidth)
+		return sum, nil
+	}
 	inv := 1 / float64(cfg.Replicas)
 	sum.FaultyNodes *= inv
 	sum.MultiDeviceFaultDIMMs *= inv
@@ -389,7 +588,7 @@ func RunCtx(ctx context.Context, cfg Config) (Result, error) {
 // results still accumulate into res one trial at a time, in index order —
 // batching restructures the kernel, never the float accumulation order — so
 // the chunk's bytes are identical for every batch size.
-func (s *nodeSim) runChunk(fk stats.Forker, lo, hi, batch int, res *Result, cfg *Config) {
+func (s *nodeSim) runChunk(fk stats.Forker, lo, hi, batch int, res *runPayload, cfg *Config) {
 	if batch < 1 {
 		batch = 1
 	}
@@ -403,7 +602,7 @@ func (s *nodeSim) runChunk(fk stats.Forker, lo, hi, batch int, res *Result, cfg 
 }
 
 // runBatch runs the trials of one batch through the reusable trial kernel.
-func (s *nodeSim) runBatch(fk stats.Forker, lo, hi int, res *Result, cfg *Config) {
+func (s *nodeSim) runBatch(fk stats.Forker, lo, hi int, res *runPayload, cfg *Config) {
 	for i := lo; i < hi; i++ {
 		runTrial(s, fk, i, res, cfg)
 	}
@@ -416,11 +615,18 @@ func (s *nodeSim) runBatch(fk stats.Forker, lo, hi int, res *Result, cfg *Config
 // into the simulator's scratch Result so a mid-trial panic cannot corrupt
 // res; the scratch and the substream RNG are reused, so a steady-state trial
 // allocates nothing here.
-func runTrial(sim *nodeSim, fk stats.Forker, node int, res *Result, cfg *Config) {
+func runTrial(sim *nodeSim, fk stats.Forker, node int, res *runPayload, cfg *Config) {
 	for attempt := 0; ; attempt++ {
 		err := sim.tryTrial(fk, node, cfg)
 		if err == nil {
-			res.add(&sim.trialRes)
+			if sim.est == nil {
+				res.add(&sim.trialRes)
+			} else {
+				res.addScaled(&sim.trialRes, sim.trialW)
+			}
+			if res.Est != nil {
+				res.Est.observe(sim.trialW, sim.trialRes.DUEs, sim.trialRes.SDCs)
+			}
 			return
 		}
 		if attempt == 0 {
@@ -448,12 +654,26 @@ func (s *nodeSim) tryTrial(fk stats.Forker, node int, cfg *Config) (err error) {
 		}
 	}()
 	s.trialRes = Result{}
+	s.trialW = 1
 	if cfg.trialHook != nil {
 		cfg.trialHook(node)
 	}
 	fk.Substream(uint64(node), &s.trialRNG)
-	s.runNode(&s.trialRNG, &s.trialRes)
+	s.trialW = s.sampleAndSimulate(&s.trialRNG, node, &s.trialRes)
 	return nil
+}
+
+// sampleAndSimulate runs one trial through the configured estimator (the
+// physical process with weight 1 when none is configured), returning the
+// trial's importance weight.
+func (s *nodeSim) sampleAndSimulate(rng *stats.RNG, node int, res *Result) float64 {
+	if s.est == nil {
+		s.runNode(rng, res)
+		return 1
+	}
+	nf, w := s.est.sampleNode(rng, &s.sampleSc, node)
+	s.simulate(nf, res)
+	return w
 }
 
 // ReplayNode re-executes the single trial `node` of the run described by
@@ -479,7 +699,7 @@ func ReplayNode(cfg Config, node int) (Result, error) {
 		return Result{}, err
 	}
 	var res Result
-	sim.runNode(stats.NewRNG(cfg.Seed).Fork(uint64(node)), &res)
+	sim.sampleAndSimulate(stats.NewRNG(cfg.Seed).Fork(uint64(node)), node, &res)
 	return res, nil
 }
 
@@ -499,13 +719,18 @@ type nodeSim struct {
 	cfg   Config
 	inc   repair.Incremental // nil when no repair is configured
 	state repair.NodeState   // reused across trials (Reset per node)
+	// est is the configured sampling strategy; nil selects the original
+	// naive pipeline with its exact code path.
+	est estimator
 
 	sampleSc fault.SampleScratch
 	// trialRNG is the per-trial substream (seeded in place per trial) and
 	// trialRes the panic-isolation scratch; both live here so steady-state
-	// trials allocate nothing.
+	// trials allocate nothing. trialW is the current trial's importance
+	// weight (1 on the naive path).
 	trialRNG stats.RNG
 	trialRes Result
+	trialW   float64
 	// Per-trial working state, cleared at the start of each faulty trial
 	// (fault-free trials never touch it): devSeen is a flat
 	// [dimm*devPerDIMM+device] bit of which devices faulted, devCount the
@@ -527,12 +752,23 @@ func newNodeSim(model *fault.Model, cfg Config) (*nodeSim, error) {
 		}
 		s.inc = inc
 	}
+	est, err := cfg.Stats.newEstimator(model)
+	if err != nil {
+		return nil, err
+	}
+	s.est = est
 	return s, nil
 }
 
-// runNode simulates one node's 6-year history and accumulates metrics.
+// runNode samples one node from the physical fault process and simulates
+// its 6-year history (the original, naive trial).
 func (s *nodeSim) runNode(rng *stats.RNG, res *Result) {
-	nf := s.model.SampleNodeScratch(rng, &s.sampleSc)
+	s.simulate(s.model.SampleNodeScratch(rng, &s.sampleSc), res)
+}
+
+// simulate runs one node's sampled fault history through the repair and
+// replacement policies and accumulates metrics.
+func (s *nodeSim) simulate(nf fault.NodeFaults, res *Result) {
 	if len(nf.Faults) == 0 {
 		return
 	}

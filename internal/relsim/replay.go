@@ -97,9 +97,13 @@ func (r *runReplayer) ReplayChunk(ci int) ([]byte, int, int, error) {
 	}
 	// Identical to the chunk body of RunCtx: trial i draws from fork(i),
 	// accumulation order is trial order (batch size never changes bytes),
-	// and the payload is the marshalled *Result exactly as PutSpan
-	// received it.
-	res := &Result{}
+	// and the payload is the marshalled *runPayload exactly as PutSpan
+	// received it (estimator runs carry their tally; naive payloads are
+	// byte-identical to the historical bare Result encoding).
+	res := &runPayload{}
+	if r.cfg.Stats.active() {
+		res.Est = &estTally{}
+	}
 	sim.runChunk(root.Forker(), lo, hi, r.cfg.batch(), res, &r.cfg)
 	raw, err := json.Marshal(res)
 	if err != nil {
@@ -127,6 +131,10 @@ func NewCoverageReplayer(cfg CoverageConfig) (Replayer, error) {
 		return nil, err
 	}
 	model, err := fault.NewModel(cfg.Model)
+	if err != nil {
+		return nil, err
+	}
+	cfg.est, err = cfg.Stats.newEstimator(model)
 	if err != nil {
 		return nil, err
 	}

@@ -204,6 +204,23 @@ func buildPlanner(spec PlannerSpec, tech memtech.Tech, geo dram.Geometry) (repai
 	}
 }
 
+// statsConfig lowers the scenario's statistics block onto the simulator's
+// estimator configuration. nil stays nil, so scenarios without the block
+// lower onto configurations whose fingerprints are bit-identical to the
+// pre-estimator era.
+func statsConfig(sp *StatisticsSpec) *relsim.StatsConfig {
+	if sp == nil {
+		return nil
+	}
+	return &relsim.StatsConfig{
+		Estimator: sp.Estimator,
+		Boost:     sp.Boost,
+		TargetCI:  sp.TargetCI,
+		MinTrials: sp.MinTrials,
+		MaxTrials: sp.MaxTrials,
+	}
+}
+
 // PerfUnitConfig is one lowered (workload, prefetch degree) simulation
 // cell: the base system configuration plus the lock variants to measure
 // against its unlocked baseline. Tech and Energy carry the resolved
@@ -275,6 +292,7 @@ func (sc *Scenario) lowerCoverage(out *Lowered, tech memtech.Tech) error {
 		cfg.FaultyNodes = int(float64(sc.Budget.FaultyNodes) * st.FaultyNodesFrac)
 		cfg.MaxNodes = st.MaxNodes
 		cfg.WayLimits = append([]int(nil), st.WayLimits...)
+		cfg.Stats = statsConfig(sc.Statistics)
 		for _, ps := range st.Planners {
 			p, err := buildPlanner(ps, tech, geo)
 			if err != nil {
@@ -315,6 +333,7 @@ func (sc *Scenario) lowerReliability(out *Lowered, tech memtech.Tech) error {
 		cfg.Seed = *sc.Seed
 		cfg.Policy = policy
 		cfg.WayLimit = cell.WayLimit
+		cfg.Stats = statsConfig(sc.Statistics)
 		if cell.Planner != nil {
 			p, err := buildPlanner(*cell.Planner, tech, geo)
 			if err != nil {

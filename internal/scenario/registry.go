@@ -79,6 +79,20 @@ func coverageVsCapacity(fitScale float64) *CoverageSpec {
 	}}}
 }
 
+// rareFault is the fault model of the rare-event estimator presets: a fifth
+// of the field-study FIT rates with dynamic FIT acceleration disabled, so a
+// node-level DUE is a genuinely rare (~1.4e-6 per trial) homogeneous event —
+// the regime where the naive estimator sees no events at the quick budget
+// while importance sampling and stratification still measure it.
+func rareFault() *FaultSpec {
+	return &FaultSpec{
+		FITScale:      0.2,
+		AccelFactor:   fp(1),
+		AccelNodeFrac: fp(0),
+		AccelDIMMFrac: fp(0),
+	}
+}
+
 // perfLocks is the Figure 15/16 repair-capacity axis; locks[0] is the
 // required unlocked baseline.
 func perfLocks() []LockSpec {
@@ -206,6 +220,32 @@ var registry = []Entry{
 					{Label: "4-way", Ways: 4},
 				},
 			},
+		}
+	}),
+	sim("rare-due", KindReliability, "rare-event DUE estimation: importance sampling + sequential CI stopping", func() *Scenario {
+		return &Scenario{
+			Reliability: &ReliabilitySpec{Cells: []ReliabilityCell{{
+				Label:    "RelaxFault-1way",
+				Planner:  &PlannerSpec{Kind: "relaxfault"},
+				WayLimit: 1,
+				Fault:    rareFault(),
+			}}},
+			// Boost 16 oversamples the fault-arrival process so the DUE CI
+			// half-width 0.02 (per system) is reachable at roughly half the
+			// quick-scale budget; the naive estimator sees zero DUE events
+			// at that budget (see the bench experiment's estimator block).
+			Statistics: &StatisticsSpec{Estimator: "importance", Boost: 16, TargetCI: 0.02},
+		}
+	}),
+	sim("strat-due", KindReliability, "rare-event DUE estimation: stratified-by-fault-mode sampling", func() *Scenario {
+		return &Scenario{
+			Reliability: &ReliabilitySpec{Cells: []ReliabilityCell{{
+				Label:    "RelaxFault-1way",
+				Planner:  &PlannerSpec{Kind: "relaxfault"},
+				WayLimit: 1,
+				Fault:    rareFault(),
+			}}},
+			Statistics: &StatisticsSpec{Estimator: "stratified"},
 		}
 	}),
 	sim("bench", KindCoverage, "quick coverage study timed sequential vs parallel", func() *Scenario {

@@ -202,6 +202,14 @@ func (r *Result) String() string {
 		for i, res := range r.Reliability {
 			fmt.Fprintf(&b, "%-24s %12.0f %10.4f %10.6f %12.4f\n",
 				sc.Reliability.Cells[i].Label, res.FaultyNodes, res.DUEs, res.SDCs, res.Replacements)
+			if e := res.Estimator; e != nil {
+				fmt.Fprintf(&b, "%-24s   %s: %d/%d trials, DUE +-%.4f, SDC +-%.6f, ESS %.0f",
+					"", e.Name, e.Trials, e.BudgetTrials, e.DUEHalfWidth, e.SDCHalfWidth, e.ESS)
+				if e.Stopped {
+					fmt.Fprintf(&b, " (stopped early)")
+				}
+				fmt.Fprintf(&b, "\n")
+			}
 		}
 	}
 	if len(r.Perf) > 0 {

@@ -265,6 +265,89 @@ func TestPresetsAllValidateAndAreFresh(t *testing.T) {
 	}
 }
 
+// TestStatisticsBlock covers the estimator-selection layer of the spec:
+// normalization, kind gating, lowering onto relsim.StatsConfig for both
+// Monte Carlo kinds, and the listing summary.
+func TestStatisticsBlock(t *testing.T) {
+	// Normalize defaults an empty estimator name to naive.
+	sc := minimalCoverage()
+	sc.Statistics = &StatisticsSpec{}
+	sc.Normalize()
+	if got := sc.Statistics.Estimator; got != "naive" {
+		t.Errorf("normalized estimator = %q, want naive", got)
+	}
+
+	// Coverage lowering carries the block onto every study config.
+	sc = minimalCoverage()
+	sc.Statistics = &StatisticsSpec{Estimator: "importance", Boost: 4}
+	low, err := sc.Lower()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := low.Coverage[0].Stats
+	if st == nil || st.Estimator != "importance" || st.Boost != 4 {
+		t.Errorf("lowered coverage stats = %+v, want importance boost 4", st)
+	}
+
+	// Reliability lowering carries stopping parameters onto every cell.
+	rel, err := Preset("rare-due")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rlow, err := rel.Lower()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rst := rlow.Reliability[0].Stats
+	if rst == nil || rst.Estimator != "importance" || rst.Boost != 16 || rst.TargetCI != 0.02 {
+		t.Errorf("rare-due lowered stats = %+v, want importance boost 16 target 0.02", rst)
+	}
+
+	// A scenario without the block lowers onto a nil Stats pointer, keeping
+	// the engine fingerprints of every pre-statistics configuration.
+	plain, err := Preset("fig12")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plow, err := plain.Lower()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plow.Reliability[0].Stats != nil {
+		t.Error("preset without a statistics block lowered a non-nil StatsConfig")
+	}
+
+	// Statistics on a perf scenario is a validation error.
+	pf := &Scenario{
+		Name:       "p",
+		Kind:       KindPerf,
+		Perf:       &PerfSpec{Locks: []LockSpec{{Label: "base"}}},
+		Statistics: &StatisticsSpec{Estimator: "importance"},
+	}
+	if err := pf.Validate(); err == nil || !strings.Contains(err.Error(), "statistics block") {
+		t.Errorf("Validate() = %v, want statistics-block kind error", err)
+	}
+
+	// A bad estimator name fails at Validate (through cfg.Validate in Lower).
+	bad := minimalCoverage()
+	bad.Statistics = &StatisticsSpec{Estimator: "magic"}
+	if err := bad.Validate(); err == nil || !strings.Contains(err.Error(), "unknown estimator") {
+		t.Errorf("Validate() = %v, want unknown-estimator error", err)
+	}
+
+	// Summary renders for listings.
+	if got := (*StatisticsSpec)(nil).Summary(); got != "naive" {
+		t.Errorf("nil summary = %q, want naive", got)
+	}
+	sp := &StatisticsSpec{Estimator: "importance", Boost: 16, TargetCI: 0.02}
+	if got := sp.Summary(); got != "importance(boost=16 target_ci=0.02)" {
+		t.Errorf("summary = %q", got)
+	}
+	if got := (&StatisticsSpec{Estimator: "stratified"}).Summary(); got != "stratified" {
+		t.Errorf("summary = %q, want stratified", got)
+	}
+}
+
 func TestSweepExpand(t *testing.T) {
 	base := minimalCoverage()
 	base.Fault = &FaultSpec{FITScale: 1}

@@ -18,6 +18,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"strings"
 
 	"relaxfault/internal/harness"
 	"relaxfault/internal/memtech"
@@ -72,6 +73,12 @@ type Scenario struct {
 	// ECC adjusts the error-detection escape probabilities and the ReplB
 	// threshold (reliability scenarios only).
 	ECC *ECCSpec `json:"ecc,omitempty"`
+	// Statistics selects the Monte Carlo estimator and the optional
+	// sequential-stopping rule (coverage and reliability scenarios).
+	// Absent means the naive pipeline; because the field is omitted from
+	// canonical forms when nil, every pre-existing scenario keeps its
+	// canonical bytes and fingerprint.
+	Statistics *StatisticsSpec `json:"statistics,omitempty"`
 
 	Coverage    *CoverageSpec    `json:"coverage,omitempty"`
 	Reliability *ReliabilitySpec `json:"reliability,omitempty"`
@@ -123,6 +130,55 @@ type ECCSpec struct {
 	SDCAliasProb            *float64 `json:"sdc_alias_prob,omitempty"`
 	TripleSDCProb           *float64 `json:"triple_sdc_prob,omitempty"`
 	ReplBActivationsPerHour *float64 `json:"replb_activations_per_hour,omitempty"`
+}
+
+// StatisticsSpec selects the estimator driving the Monte Carlo trial
+// pipeline and, for reliability scenarios, a sequential CI stopping rule.
+// It lowers onto relsim.StatsConfig.
+type StatisticsSpec struct {
+	// Estimator is "naive", "importance", or "stratified" (Normalize
+	// defaults an empty name to "naive").
+	Estimator string `json:"estimator"`
+	// Boost is the importance estimator's fault-arrival multiplier
+	// (0 = relsim.DefaultBoost).
+	Boost float64 `json:"boost,omitempty"`
+	// TargetCI enables Chow–Robbins sequential stopping: the run stops
+	// once the per-system 95% CI half-widths of both the DUE and SDC
+	// expectations reach it (reliability scenarios only).
+	TargetCI float64 `json:"target_ci,omitempty"`
+	// MinTrials is the stopping rule's warm-up floor (0 = default).
+	MinTrials int `json:"min_trials,omitempty"`
+	// MaxTrials caps the trial budget below nodes x replicas.
+	MaxTrials int `json:"max_trials,omitempty"`
+}
+
+// Summary renders the statistics configuration for listings: "naive" for
+// an absent block, otherwise the estimator name with its non-default knobs.
+func (sp *StatisticsSpec) Summary() string {
+	if sp == nil {
+		return "naive"
+	}
+	name := sp.Estimator
+	if name == "" {
+		name = "naive"
+	}
+	var opts []string
+	if sp.Boost != 0 {
+		opts = append(opts, fmt.Sprintf("boost=%g", sp.Boost))
+	}
+	if sp.TargetCI != 0 {
+		opts = append(opts, fmt.Sprintf("target_ci=%g", sp.TargetCI))
+	}
+	if sp.MinTrials != 0 {
+		opts = append(opts, fmt.Sprintf("min_trials=%d", sp.MinTrials))
+	}
+	if sp.MaxTrials != 0 {
+		opts = append(opts, fmt.Sprintf("max_trials=%d", sp.MaxTrials))
+	}
+	if len(opts) == 0 {
+		return name
+	}
+	return name + "(" + strings.Join(opts, " ") + ")"
 }
 
 // PlannerSpec names a repair engine and its budget. Unknown kinds and
@@ -279,6 +335,9 @@ func (sc *Scenario) Normalize() {
 	if sc.Perf != nil && len(sc.Perf.PrefetchDegrees) == 0 {
 		sc.Perf.PrefetchDegrees = []int{0}
 	}
+	if sc.Statistics != nil && sc.Statistics.Estimator == "" {
+		sc.Statistics.Estimator = "naive"
+	}
 }
 
 // Validate normalizes the scenario and reports the first specification
@@ -311,6 +370,9 @@ func (sc *Scenario) Validate() error {
 	}
 	if n := countSections(sc); n > 1 {
 		return fmt.Errorf("scenario %s: exactly one of coverage/reliability/perf may be set, found %d", sc.Name, n)
+	}
+	if sc.Statistics != nil && sc.Kind == KindPerf {
+		return fmt.Errorf("scenario %s: the statistics block applies to coverage and reliability scenarios, not %q", sc.Name, sc.Kind)
 	}
 	// Lowering constructs every planner and simulator configuration through
 	// the validating constructors; any error it reports is the precise
