@@ -1,0 +1,54 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestValidateFlags pins the cross-flag rules: every inconsistent
+// combination fails fast at parse time with a message naming the flags
+// involved, and every legal combination passes.
+func TestValidateFlags(t *testing.T) {
+	cases := []struct {
+		name    string
+		r       flagRules
+		wantErr string // empty = must pass
+	}{
+		{"bare run", flagRules{}, ""},
+		{"checkpoint only", flagRules{Checkpoint: "c"}, ""},
+		{"checkpoint+resume", flagRules{Checkpoint: "c", Resume: true}, ""},
+		{"full journal resume", flagRules{Checkpoint: "c", Journal: "j", Resume: true, RepairJournal: true}, ""},
+		{"store only", flagRules{Store: "s"}, ""},
+		{"store with repair", flagRules{Store: "s", RepairJournal: true}, ""},
+		{"sweep with sets", flagRules{Sub: "sweep", Sets: 2}, ""},
+		{"verify", flagRules{Sub: "verify", Journal: "j"}, ""},
+		{"cache", flagRules{Sub: "cache", Store: "s"}, ""},
+
+		{"resume without checkpoint", flagRules{Resume: true}, "-resume requires -checkpoint"},
+		{"journal without checkpoint", flagRules{Journal: "j"}, "-journal requires -checkpoint"},
+		{"repair without resume", flagRules{Checkpoint: "c", Journal: "j", RepairJournal: true}, "-repair-journal requires -resume"},
+		{"repair without journal", flagRules{Checkpoint: "c", Resume: true, RepairJournal: true}, "-repair-journal requires -resume"},
+		{"repair alone", flagRules{RepairJournal: true}, "-repair-journal requires -resume"},
+		{"store+checkpoint", flagRules{Store: "s", Checkpoint: "c"}, "conflicts with -checkpoint"},
+		{"store+journal", flagRules{Store: "s", Journal: "j"}, "conflicts with -checkpoint"},
+		{"store+resume", flagRules{Store: "s", Resume: true}, "conflicts with -checkpoint"},
+		{"negative batch", flagRules{Batch: -1}, "-batch must be non-negative"},
+		{"sets without sweep", flagRules{Sets: 1}, "-set is only meaningful"},
+		{"verify+resume", flagRules{Sub: "verify", Journal: "j", Resume: true}, "verify replays a journal only"},
+		{"verify+checkpoint", flagRules{Sub: "verify", Journal: "j", Checkpoint: "c"}, "verify replays a journal only"},
+		{"verify+store", flagRules{Sub: "verify", Journal: "j", Store: "s"}, "verify replays a journal only"},
+		{"cache without store", flagRules{Sub: "cache"}, "cache requires -store"},
+	}
+	for _, tc := range cases {
+		err := validateFlags(tc.r)
+		if tc.wantErr == "" {
+			if err != nil {
+				t.Errorf("%s: validateFlags = %v, want nil", tc.name, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: validateFlags = %v, want error containing %q", tc.name, err, tc.wantErr)
+		}
+	}
+}

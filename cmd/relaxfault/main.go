@@ -7,9 +7,10 @@
 //	           [-progress D] [-checkpoint FILE [-resume] [-journal FILE]]
 //	           [-metrics FILE|-] [-events FILE] [-pprof ADDR] [-trace FILE]
 //	           <experiment> [...]
-//	relaxfault -scenario FILE|PRESET
+//	relaxfault -scenario FILE|PRESET [-store DIR]
 //	relaxfault sweep -scenario FILE|PRESET -set path=v1,v2 [-set ...]
 //	relaxfault verify -journal FILE
+//	relaxfault cache [list|show KEY|evict KEY] -store DIR
 //	relaxfault list
 //
 // Experiments: tab1 tab2 tab3 tab4 fig2 fig8 fig9 fig10 fig11 fig12 fig13
@@ -41,6 +42,13 @@
 // "relaxfault verify -journal FILE" later re-executes every journaled chunk
 // from the campaign specs embedded in the journal itself and compares
 // digests — no checkpoint or original command line needed.
+//
+// -store DIR replaces the explicit -checkpoint/-journal plumbing with a
+// content-addressed campaign store: every scenario run is keyed by its
+// budget-free campaign fingerprint and seed, repeated runs are verified
+// cache hits (zero trials execute), and a bumped trial budget resumes from
+// the largest cached entry instead of starting over. "relaxfault cache"
+// lists, inspects, and evicts store entries.
 //
 // Telemetry (see OBSERVABILITY.md): -metrics writes a run manifest with the
 // full metrics snapshot, -events streams JSONL progress/skip/run events, and
@@ -75,6 +83,8 @@ import (
 	"syscall"
 	"time"
 
+	"relaxfault/internal/campaign"
+	cstore "relaxfault/internal/campaign/store"
 	"relaxfault/internal/experiments"
 	"relaxfault/internal/harness"
 	"relaxfault/internal/journal"
@@ -109,6 +119,7 @@ func run() int {
 	parallel := flag.Int("parallel", 0, "Monte Carlo worker pool size (0 = all cores); results are identical for any value")
 	batchFlag := flag.Int("batch", 0, "Monte Carlo trial-batch size (0 = engine default); results are identical for any value")
 	scenarioFlag := flag.String("scenario", "", "run a scenario: a preset name or a JSON spec file (see the list subcommand)")
+	storeFlag := flag.String("store", "", "content-addressed campaign store DIR: repeated runs are verified cache hits, budget bumps resume from cached checkpoints (conflicts with -checkpoint/-journal/-resume)")
 	var setFlagsRaw repeatedFlag
 	flag.Var(&setFlagsRaw, "set", "sweep axis as path=v1[,v2...]; repeatable, used with the sweep subcommand")
 	flag.Usage = usage
@@ -119,16 +130,37 @@ func run() int {
 			seedSet = true
 		}
 	})
-	if *batchFlag < 0 {
-		fmt.Fprintf(os.Stderr, "-batch must be non-negative, got %d (0 selects the engine default)\n", *batchFlag)
+	// Subcommand detection feeds the centralized flag validation: every
+	// cross-flag rule is checked here, at parse time, before any artifact is
+	// touched.
+	sub := ""
+	if len(args) > 0 {
+		switch args[0] {
+		case "verify", "cache", "sweep":
+			sub = args[0]
+		case "list":
+			if len(args) == 1 {
+				sub = "list"
+			}
+		}
+	}
+	if err := validateFlags(flagRules{
+		Sub:        sub,
+		Checkpoint: *checkpoint, Journal: *journalFlag, Store: *storeFlag,
+		Resume: *resume, RepairJournal: *repairJournal,
+		Batch: *batchFlag, Sets: len(setFlagsRaw),
+	}); err != nil {
+		fmt.Fprintf(os.Stderr, "relaxfault: %v\n", err)
 		return 2
 	}
-	if len(args) == 1 && args[0] == "list" {
+	switch sub {
+	case "list":
 		printPresetList()
 		return 0
-	}
-	if len(args) > 0 && args[0] == "verify" {
+	case "verify":
 		return runVerify(args[1:], *journalFlag, *parallel, *progress)
+	case "cache":
+		return runCache(args[1:], *storeFlag)
 	}
 	if len(args) == 0 && *scenarioFlag == "" {
 		usage()
@@ -147,18 +179,6 @@ func run() int {
 	scale.Seed = *seed
 	scale.Workers = *parallel
 	scale.Batch = *batchFlag
-	if *resume && *checkpoint == "" {
-		fmt.Fprintf(os.Stderr, "-resume requires -checkpoint\n")
-		return 2
-	}
-	if *journalFlag != "" && *checkpoint == "" {
-		fmt.Fprintf(os.Stderr, "-journal requires -checkpoint (chunk records are cut when chunks are checkpointed)\n")
-		return 2
-	}
-	if *repairJournal && (*journalFlag == "" || !*resume) {
-		fmt.Fprintf(os.Stderr, "-repair-journal requires -resume and -journal\n")
-		return 2
-	}
 
 	// Mode selection: the classic experiment list, one -scenario, or a sweep.
 	const (
@@ -208,11 +228,6 @@ func run() int {
 			}
 			fmt.Fprintf(os.Stderr, "relaxfault: sweep expands to %d points\n", len(sweepPoints))
 		}
-	default:
-		if len(setFlagsRaw) > 0 {
-			fmt.Fprintf(os.Stderr, "relaxfault: -set is only meaningful with the sweep subcommand\n")
-			return 2
-		}
 	}
 	if mode == modeExperiments && len(args) == 1 && args[0] == "all" {
 		args = allExperiments
@@ -226,12 +241,12 @@ func run() int {
 	sweepRecs := make([]*harness.ScenarioRecord, len(sweepPoints))
 	switch mode {
 	case modeScenario:
-		if rec, err := scenarioRecord(baseScenario); err == nil {
+		if rec, err := baseScenario.Record(); err == nil {
 			records = append(records, rec)
 		}
 	case modeSweep:
 		for i, pt := range sweepPoints {
-			if rec, err := scenarioRecord(pt); err == nil {
+			if rec, err := pt.Record(); err == nil {
 				sweepRecs[i] = &rec
 				records = append(records, rec)
 			}
@@ -240,7 +255,7 @@ func run() int {
 		for _, name := range args {
 			if scenario.IsPreset(strings.ToLower(name)) {
 				if sc, err := scale.PresetScenario(strings.ToLower(name)); err == nil {
-					if rec, err := scenarioRecord(sc); err == nil {
+					if rec, err := sc.Record(); err == nil {
 						records = append(records, rec)
 					}
 				}
@@ -283,6 +298,21 @@ func run() int {
 	}
 	scale.Trace = tracer
 
+	// -store: open the content-addressed campaign store and route every
+	// scenario run through the keyed campaign layer. The records every
+	// keyed campaign resolves to are collected for the run manifest.
+	var campRecs []harness.CampaignRecord
+	if *storeFlag != "" {
+		cs, err := cstore.Open(*storeFlag)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "relaxfault: %v\n", err)
+			return 1
+		}
+		scale.Campaigns = cs
+		scale.OnCampaign = func(r harness.CampaignRecord) { campRecs = append(campRecs, r) }
+		scale.OnJournal = func(w *journal.Writer) { jwLive.Store(w) }
+	}
+
 	if *pprofAddr != "" {
 		// Importing obs pulls in expvar, whose init registers /debug/vars on
 		// the default mux; net/http/pprof likewise registers /debug/pprof/*.
@@ -317,87 +347,33 @@ func run() int {
 		mon.SetEventWriter(f)
 	}
 	manifest := harness.NewManifest()
-	if *checkpoint != "" {
-		store, err := harness.OpenStore(*checkpoint, *resume)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "relaxfault: %v\n", err)
-			return 1
-		}
-		if *flushInterval != harness.DefaultFlushInterval {
-			store.SetFlushInterval(*flushInterval)
-		}
-		store.SetTracer(tracer)
-		scale.Store = store
+	// The legacy explicit-path artifacts (-checkpoint/-journal/-resume) are
+	// one unkeyed campaign: the campaign layer opens the checkpoint store,
+	// opens or resumes the journal (cross-checking the snapshot first), and
+	// embeds the resolved scenario records in the journal's open record.
+	camp, err := campaign.OpenUnkeyed(campaign.UnkeyedConfig{
+		Checkpoint: *checkpoint, Journal: *journalFlag, Resume: *resume,
+		Seed: *seed, Records: records,
+	}, campaign.Options{
+		Workers: *parallel, BatchSize: *batchFlag, Mon: mon, Trace: tracer,
+		FlushInterval: *flushInterval, RepairJournal: *repairJournal,
+		OnJournal: func(w *journal.Writer) { jwLive.Store(w) },
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "relaxfault: %v\n", err)
+		return 1
+	}
+	defer camp.Close()
+	scale.Store = camp.Store()
+	if st := camp.Store(); st != nil {
 		defer func() {
-			if err := store.Flush(); err != nil {
+			if err := st.Flush(); err != nil {
 				fmt.Fprintf(os.Stderr, "relaxfault: %v\n", err)
 			}
 		}()
 	}
-
-	// Journal: open (or resume) before any simulation so every completed
-	// chunk is durably acknowledged before it can reach a snapshot. On
-	// resume the snapshot must first survive the digest cross-check.
-	var jw *journal.Writer
-	crossVerified := 0
-	if *journalFlag != "" {
-		camps := make([]journal.Campaign, len(records))
-		for i, r := range records {
-			camps[i] = journal.Campaign{
-				Name: r.Name, Fingerprint: r.Fingerprint,
-				Technology: r.Technology, TechFingerprint: r.TechFingerprint,
-				Spec: r.Spec,
-			}
-		}
-		if _, statErr := os.Stat(*journalFlag); *resume && statErr == nil {
-			w, loaded, err := journal.Resume(*journalFlag)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "relaxfault: %v\n", err)
-				return 1
-			}
-			ccStart := tracer.Now()
-			res, err := scale.Store.CrossCheck(loaded, *repairJournal, mon)
-			tracer.Span(runtrace.TrackMain, "resume.crosscheck", -1, 0, ccStart)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "relaxfault: %v\n", err)
-				w.Close()
-				return 1
-			}
-			crossVerified = res.Verified
-			fmt.Fprintf(os.Stderr, "relaxfault: journal cross-check: %d chunk(s) verified, %d quarantined, %d foreign section(s)\n",
-				res.Verified, len(res.Quarantined), res.ForeignSections)
-			err = w.Append(journal.Record{
-				Type: journal.TypeResume, Schema: journal.Schema,
-				Seed: *seed, Campaigns: camps,
-			})
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "relaxfault: %v\n", err)
-				w.Close()
-				return 1
-			}
-			jw = w
-		} else {
-			w, err := journal.Create(*journalFlag)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "relaxfault: %v\n", err)
-				return 1
-			}
-			err = w.Append(journal.Record{
-				Type: journal.TypeOpen, Schema: journal.Schema,
-				Seed: *seed, Campaigns: camps,
-			})
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "relaxfault: %v\n", err)
-				w.Close()
-				return 1
-			}
-			jw = w
-		}
-		defer jw.Close()
-		jw.SetTracer(tracer)
-		jwLive.Store(jw)
-		scale.Store.AttachJournal(jw)
-	}
+	jw := camp.Journal()
+	crossVerified := camp.CrossVerified()
 
 	runNames := args
 	switch mode {
@@ -467,12 +443,13 @@ func run() int {
 				pm.Scenarios = []harness.ScenarioRecord{*rec}
 				pm.Fingerprint = rec.Fingerprint
 			}
-			done0, skip0, fail0 := mon.DoneTrials(), mon.Skipped(), len(failures)
+			done0, skip0, fail0, camp0 := mon.DoneTrials(), mon.Skipped(), len(failures), len(campRecs)
 			runOne(pt.Name, func(ctx context.Context) error {
 				return runScenarioPoint(ctx, pt, scale, *timeout)
 			})
 			pm.TrialsDone = mon.DoneTrials() - done0
 			pm.TrialsSkipped = mon.Skipped() - skip0
+			pm.Campaigns = append([]harness.CampaignRecord(nil), campRecs[camp0:]...)
 			if len(failures) > fail0 {
 				pm.ExitCode = 1
 				pm.Failures = failures[fail0:]
@@ -529,6 +506,8 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "relaxfault: %s", verb)
 		if *checkpoint != "" {
 			fmt.Fprintf(os.Stderr, "; partial results checkpointed to %s (restart with -resume)", *checkpoint)
+		} else if *storeFlag != "" {
+			fmt.Fprintf(os.Stderr, "; partial results checkpointed in %s (rerun the same command to resume)", *storeFlag)
 		}
 		fmt.Fprintf(os.Stderr, "\n")
 		code = sig
@@ -580,6 +559,7 @@ func run() int {
 		manifest.JournalVerifiedChunks = crossVerified
 	}
 	manifest.Scenarios = records
+	manifest.Campaigns = campRecs
 	manifest.TrialsDone = mon.DoneTrials()
 	manifest.TrialsSkipped = mon.Skipped()
 	manifest.Skips = mon.Skips()
@@ -647,6 +627,55 @@ func runVerify(rest []string, path string, workers int, progress time.Duration) 
 	return 3
 }
 
+// flagRules is the cross-flag validation input: the detected subcommand
+// plus every flag that participates in a cross-flag rule.
+type flagRules struct {
+	Sub                        string // "", "list", "verify", "cache", "sweep"
+	Checkpoint, Journal, Store string
+	Resume, RepairJournal      bool
+	Batch                      int
+	Sets                       int // number of -set occurrences
+}
+
+// validateFlags enforces every cross-flag rule in one place, at parse time,
+// so an inconsistent invocation fails fast with a usage error instead of
+// surfacing mid-run after artifacts were touched.
+func validateFlags(r flagRules) error {
+	if r.Batch < 0 {
+		return fmt.Errorf("-batch must be non-negative, got %d (0 selects the engine default)", r.Batch)
+	}
+	switch r.Sub {
+	case "verify":
+		if r.Resume || r.Checkpoint != "" || r.Store != "" {
+			return errors.New("verify replays a journal only; -resume, -checkpoint, and -store do not apply")
+		}
+		return nil
+	case "cache":
+		if r.Store == "" {
+			return errors.New("cache requires -store DIR")
+		}
+		return nil
+	case "list":
+		return nil
+	}
+	if r.Store != "" && (r.Checkpoint != "" || r.Journal != "" || r.Resume) {
+		return errors.New("-store manages checkpoints, journals, and resume itself; it conflicts with -checkpoint, -journal, and -resume")
+	}
+	if r.Resume && r.Checkpoint == "" {
+		return errors.New("-resume requires -checkpoint")
+	}
+	if r.Journal != "" && r.Checkpoint == "" {
+		return errors.New("-journal requires -checkpoint (chunk records are cut when chunks are checkpointed)")
+	}
+	if r.RepairJournal && r.Store == "" && (r.Journal == "" || !r.Resume) {
+		return errors.New("-repair-journal requires -resume and -journal (or -store)")
+	}
+	if r.Sets > 0 && r.Sub != "sweep" {
+		return errors.New("-set is only meaningful with the sweep subcommand")
+	}
+	return nil
+}
+
 // repeatedFlag collects every occurrence of a repeatable string flag.
 type repeatedFlag []string
 
@@ -679,35 +708,30 @@ func loadScenarioArg(arg string, scale experiments.Scale, seedSet bool, seed uin
 	return sc, nil
 }
 
-// scenarioRecord renders a scenario into its manifest embedding: name,
-// fingerprint, the canonical spec document, and the resolved memory
-// technology.
-func scenarioRecord(sc *scenario.Scenario) (harness.ScenarioRecord, error) {
-	doc, err := sc.Canonical()
-	if err != nil {
-		return harness.ScenarioRecord{}, err
-	}
-	fpr, err := sc.Fingerprint()
-	if err != nil {
-		return harness.ScenarioRecord{}, err
-	}
-	rec := harness.ScenarioRecord{Name: sc.Name, Fingerprint: fpr, Spec: json.RawMessage(doc)}
-	if tech, err := sc.Tech(); err == nil {
-		rec.Technology = tech.Name
-		rec.TechFingerprint = tech.Fingerprint()
-	}
-	return rec, nil
-}
-
-// runScenarioPoint executes one scenario on the generic runner and prints
-// its generic rendering to stdout.
+// runScenarioPoint executes one scenario — through the keyed campaign
+// layer when a -store is attached, directly on the generic runner
+// otherwise — and prints its generic rendering to stdout. Either path
+// prints byte-identical artifacts.
 func runScenarioPoint(ctx context.Context, sc *scenario.Scenario, scale experiments.Scale, timeout time.Duration) error {
 	if timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, timeout)
 		defer cancel()
 	}
-	res, err := scenario.RunCtx(ctx, sc, scenario.Exec{Workers: scale.Workers, Mon: scale.Mon, Store: scale.Store, Trace: scale.Trace, BatchSize: scale.Batch})
+	var res *scenario.Result
+	var err error
+	if scale.Campaigns != nil {
+		var rec *harness.CampaignRecord
+		res, rec, err = campaign.RunStore(ctx, sc, scale.Campaigns, campaign.Options{
+			Workers: scale.Workers, BatchSize: scale.Batch, Mon: scale.Mon, Trace: scale.Trace,
+			OnJournal: scale.OnJournal,
+		})
+		if rec != nil && scale.OnCampaign != nil {
+			scale.OnCampaign(*rec)
+		}
+	} else {
+		res, err = scenario.RunCtx(ctx, sc, scenario.Exec{Workers: scale.Workers, Mon: scale.Mon, Store: scale.Store, Trace: scale.Trace, BatchSize: scale.Batch})
+	}
 	if err != nil {
 		return err
 	}
@@ -949,9 +973,10 @@ func usage() {
 	fmt.Fprintf(os.Stderr, `relaxfault regenerates the evaluation of "RelaxFault Memory Repair" (ISCA 2016).
 
 usage: relaxfault [flags] <experiment> [...]
-       relaxfault -scenario FILE|PRESET
+       relaxfault -scenario FILE|PRESET [-store DIR]
        relaxfault sweep -scenario FILE|PRESET -set path=v1,v2 [-set ...]
        relaxfault verify -journal FILE
+       relaxfault cache [list|show KEY|evict KEY] -store DIR
        relaxfault list
 
 flags:
@@ -967,9 +992,17 @@ flags:
                       completed chunk, written before the chunk may enter a
                       snapshot; on -resume the snapshot is cross-checked
                       against it and mismatches refuse the resume
-  -repair-journal     with -resume and -journal, quarantine chunks that fail
-                      the cross-check (they are recomputed) instead of
-                      refusing
+  -repair-journal     with -resume and -journal (or -store), quarantine
+                      chunks that fail the cross-check (they are recomputed)
+                      instead of refusing
+  -store DIR          content-addressed campaign store: runs are keyed by
+                      the scenario's budget-free campaign fingerprint + seed;
+                      a repeat of a completed run is a verified cache hit
+                      (digest cross-check, zero trials), and a larger trial
+                      budget resumes from the largest cached entry — output
+                      stays byte-identical to a from-scratch run; conflicts
+                      with -checkpoint/-journal/-resume (the store lays its
+                      own out per entry)
   -flush-interval D   checkpoint snapshot rate limit (default 2s); lower it
                       so short campaigns persist chunks quickly
   -metrics FILE|-     write the run manifest (config fingerprint, timings,
@@ -1035,6 +1068,12 @@ extensions beyond the paper:
 Scenarios may pin a memory technology ("technology": "ddr3-1600", "ddr4-2400",
 "lpddr4", or "hbm"); timing, energies, FIT table, and PPR provisioning follow,
 and manifests record the resolved name + fingerprint.
+
+The cache subcommand manages a -store DIR: "cache list" prints every
+completed entry (campaign key, seed, trials, scenario, age), "cache show
+KEY" dumps the matching entries' metadata as JSON, and "cache evict KEY"
+removes every entry under a key prefix (refusing keys a live run has
+claimed).
 
 The verify subcommand replays a journal end to end: campaign specs embedded
 in the journal's open record are lowered and every journaled chunk is

@@ -1,0 +1,233 @@
+package campaign
+
+import (
+	"context"
+	"io"
+	"testing"
+
+	cstore "relaxfault/internal/campaign/store"
+	"relaxfault/internal/harness"
+	"relaxfault/internal/scenario"
+)
+
+// covScenario is a small coverage campaign: 10x FIT so a couple of 2048-
+// node chunks satisfy the faulty-node budget, which keeps every test run
+// under a second while leaving a tail to extend into at larger budgets.
+func covScenario(t *testing.T, budget int) *scenario.Scenario {
+	t.Helper()
+	sc := &scenario.Scenario{
+		Name:   "cov-test",
+		Kind:   scenario.KindCoverage,
+		Budget: scenario.Budget{FaultyNodes: budget},
+		Fault:  &scenario.FaultSpec{FITScale: 10},
+		Coverage: &scenario.CoverageSpec{Studies: []scenario.CoverageStudy{{
+			Planners:  []scenario.PlannerSpec{{Kind: "relaxfault"}},
+			WayLimits: []int{1},
+		}}},
+	}
+	if err := sc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return sc
+}
+
+// relScenario is a small reliability campaign; a non-zero targetCI adds
+// Chow–Robbins sequential stopping.
+func relScenario(t *testing.T, replicas int, targetCI float64) *scenario.Scenario {
+	t.Helper()
+	sc := &scenario.Scenario{
+		Name:   "rel-test",
+		Kind:   scenario.KindReliability,
+		Budget: scenario.Budget{Nodes: 9000, Replicas: replicas},
+		Fault:  &scenario.FaultSpec{FITScale: 10},
+		Reliability: &scenario.ReliabilitySpec{
+			Cells: []scenario.ReliabilityCell{{Label: "no-repair", Policy: "replace-after-due"}},
+		},
+	}
+	if targetCI != 0 {
+		sc.Statistics = &scenario.StatisticsSpec{Estimator: "naive", TargetCI: targetCI, MinTrials: 100}
+	}
+	if err := sc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return sc
+}
+
+// runKeyed executes sc through the keyed campaign lifecycle with a fresh
+// monitor and returns the rendered result, the campaign record, and how
+// many trials this run actually executed.
+func runKeyed(t *testing.T, sc *scenario.Scenario, st *cstore.Store) (string, *harness.CampaignRecord, int64) {
+	t.Helper()
+	mon := harness.NewMonitor(io.Discard, 0)
+	res, rec, err := RunStore(context.Background(), sc, st, Options{Mon: mon})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec == nil {
+		t.Fatal("RunStore returned no campaign record")
+	}
+	return res.String(), rec, mon.DoneTrials()
+}
+
+func TestExactBudgetCacheHit(t *testing.T) {
+	st, err := cstore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out1, rec1, done1 := runKeyed(t, covScenario(t, 200), st)
+	if rec1.Source != harness.CampaignComputed {
+		t.Fatalf("first run source = %q, want computed", rec1.Source)
+	}
+	if done1 == 0 {
+		t.Fatal("first run executed no trials")
+	}
+
+	out2, rec2, done2 := runKeyed(t, covScenario(t, 200), st)
+	if rec2.Source != harness.CampaignCacheHit {
+		t.Fatalf("second run source = %q, want cache-hit", rec2.Source)
+	}
+	if done2 != 0 {
+		t.Errorf("cache hit executed %d trials, want 0", done2)
+	}
+	if rec2.VerifiedChunks == 0 {
+		t.Error("cache hit verified no chunks")
+	}
+	if out1 != out2 {
+		t.Errorf("cache hit output differs from the computed run:\n%s\nvs\n%s", out1, out2)
+	}
+	if rec1.Key != rec2.Key || rec1.Entry != rec2.Entry {
+		t.Errorf("hit resolved to a different entry: %+v vs %+v", rec1, rec2)
+	}
+}
+
+// TestLargerBudgetCovers: a completed larger-budget entry satisfies a
+// smaller request without executing any trials — its chunks seed the new
+// entry and the runner only re-reduces them.
+func TestLargerBudgetCovers(t *testing.T) {
+	st, err := cstore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	runKeyed(t, covScenario(t, 400), st)
+
+	// Reference output for the smaller budget, from scratch.
+	scratch, err := cstore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, _ := runKeyed(t, covScenario(t, 100), scratch)
+
+	out, rec, done := runKeyed(t, covScenario(t, 100), st)
+	if rec.Source != harness.CampaignResumed {
+		t.Fatalf("covered request source = %q, want resumed", rec.Source)
+	}
+	if rec.ReusedChunks == 0 {
+		t.Error("covered request reused no chunks")
+	}
+	if done != 0 {
+		t.Errorf("covered request executed %d trials, want 0", done)
+	}
+	if out != want {
+		t.Errorf("covered request output differs from scratch:\n%s\nvs\n%s", out, want)
+	}
+
+	// The seeded entry sealed at its own budget: the same request again is
+	// now an exact hit.
+	_, rec2, _ := runKeyed(t, covScenario(t, 100), st)
+	if rec2.Source != harness.CampaignCacheHit {
+		t.Errorf("repeat source = %q, want cache-hit", rec2.Source)
+	}
+}
+
+// TestSmallerBudgetSeedsExtend: bumping the budget resumes from the
+// largest cached entry, computes only the missing tail, and reproduces the
+// from-scratch output byte for byte.
+func TestSmallerBudgetSeedsExtend(t *testing.T) {
+	st, err := cstore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, doneSmall := runKeyed(t, covScenario(t, 100), st)
+
+	scratch, err := cstore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, doneScratch := runKeyed(t, covScenario(t, 400), scratch)
+
+	out, rec, done := runKeyed(t, covScenario(t, 400), st)
+	if rec.Source != harness.CampaignResumed {
+		t.Fatalf("bumped budget source = %q, want resumed", rec.Source)
+	}
+	if rec.ReusedChunks == 0 {
+		t.Error("bumped budget reused no chunks")
+	}
+	if done >= doneScratch {
+		t.Errorf("bumped budget executed %d trials, want fewer than the %d a scratch run takes", done, doneScratch)
+	}
+	if done == 0 && doneSmall != doneScratch {
+		t.Errorf("bumped budget executed no trials but the budgets differ in work (%d vs %d)", doneSmall, doneScratch)
+	}
+	if out != want {
+		t.Errorf("bumped budget output differs from scratch:\n%s\nvs\n%s", out, want)
+	}
+}
+
+// TestStoppedEntryCoversLargerBudget: a run whose sequential stopping rule
+// fired is final for every larger trial budget — the bumped request reuses
+// it without executing trials and reproduces the same answer.
+func TestStoppedEntryCoversLargerBudget(t *testing.T) {
+	st, err := cstore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A huge target CI stops the run right after the warm-up floor.
+	_, _, done1 := runKeyed(t, relScenario(t, 1, 100), st)
+	if done1 == 0 {
+		t.Fatal("stopped run executed no trials")
+	}
+	es, err := st.Entries()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(es) != 1 || !es[0].Meta.Stopped {
+		t.Fatalf("entry not recorded as stopped: %+v", es)
+	}
+
+	// Reference output for the tripled replica budget, from scratch: the
+	// stopping cutoff is a prefix property, so it lands on the same trials.
+	scratch, err := cstore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, doneScratch := runKeyed(t, relScenario(t, 3, 100), scratch)
+	if doneScratch == 0 {
+		t.Fatal("scratch run executed no trials")
+	}
+
+	// Triple the replica budget: same campaign key, larger elastic budget;
+	// the stopped entry serves it without a single trial.
+	out2, rec, done2 := runKeyed(t, relScenario(t, 3, 100), st)
+	if rec.Source != harness.CampaignResumed {
+		t.Fatalf("bumped request source = %q, want resumed", rec.Source)
+	}
+	if done2 != 0 {
+		t.Errorf("bumped request executed %d trials, want 0 (stopping cutoff is a prefix property)", done2)
+	}
+	if out2 != want {
+		t.Errorf("stopped-entry reuse differs from scratch:\n%s\nvs\n%s", out2, want)
+	}
+}
+
+// TestUnkeyedNoArtifacts: with neither checkpoint nor journal the unkeyed
+// campaign is a plain run wrapper.
+func TestUnkeyedNoArtifacts(t *testing.T) {
+	c, err := OpenUnkeyed(UnkeyedConfig{}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if c.Store() != nil || c.Journal() != nil || c.CacheHit() {
+		t.Errorf("empty unkeyed campaign has attachments: store=%v journal=%v", c.Store(), c.Journal())
+	}
+}

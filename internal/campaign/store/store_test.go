@@ -1,0 +1,277 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// putEntry writes a minimal completed entry plus a sentinel artifact file,
+// returning the entry directory.
+func putEntry(t *testing.T, st *Store, key string, seed uint64, trials int, stopped bool) string {
+	t.Helper()
+	dir := st.EntryDir(key, seed, trials)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, CheckpointFile), []byte("sentinel"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := WriteMeta(dir, Meta{
+		Key: key, Seed: seed, Trials: trials, Name: "t",
+		ScenarioFingerprint: fmt.Sprintf("fp-%d", trials),
+		Stopped:             stopped, Status: StatusComplete,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestLookupBudgetAxes(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	putEntry(t, st, "k", 7, 100, false)
+	putEntry(t, st, "k", 7, 300, false)
+
+	// Exact budget.
+	exact, cover, seedE, err := st.Lookup("k", 7, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact == nil || exact.Meta.Trials != 100 {
+		t.Fatalf("exact = %+v, want trials 100", exact)
+	}
+
+	// Between the two: the larger entry covers, the smaller seeds.
+	exact, cover, seedE, err = st.Lookup("k", 7, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact != nil {
+		t.Errorf("exact = %+v, want nil", exact)
+	}
+	if cover == nil || cover.Meta.Trials != 300 {
+		t.Errorf("cover = %+v, want trials 300", cover)
+	}
+	if seedE == nil || seedE.Meta.Trials != 100 {
+		t.Errorf("seed = %+v, want trials 100", seedE)
+	}
+
+	// Above both: nothing covers, the largest completed budget seeds.
+	exact, cover, seedE, err = st.Lookup("k", 7, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact != nil || cover != nil {
+		t.Errorf("exact/cover = %+v/%+v, want nil/nil", exact, cover)
+	}
+	if seedE == nil || seedE.Meta.Trials != 300 {
+		t.Errorf("seed = %+v, want trials 300", seedE)
+	}
+
+	// A sequentially-stopped entry covers every larger budget.
+	putEntry(t, st, "s", 7, 100, true)
+	_, cover, _, err = st.Lookup("s", 7, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cover == nil || cover.Meta.Trials != 100 {
+		t.Errorf("stopped entry: cover = %+v, want trials 100", cover)
+	}
+
+	// Other seeds and keys are invisible.
+	exact, cover, seedE, err = st.Lookup("k", 8, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact != nil || cover != nil || seedE != nil {
+		t.Errorf("seed 8: got %+v/%+v/%+v, want all nil", exact, cover, seedE)
+	}
+}
+
+// TestLookupIgnoresIncomplete: a directory without its metadata file — a
+// writer mid-flight or a crashed run — must be invisible to readers.
+func TestLookupIgnoresIncomplete(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := st.EntryDir("k", 7, 100)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, CheckpointFile), []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	exact, cover, seedE, err := st.Lookup("k", 7, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact != nil || cover != nil || seedE != nil {
+		t.Errorf("incomplete entry leaked into lookup: %+v/%+v/%+v", exact, cover, seedE)
+	}
+	es, err := st.Entries()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(es) != 0 {
+		t.Errorf("Entries() = %d, want 0", len(es))
+	}
+}
+
+// TestClaimRace: many claimants race for one entry directory; exactly one
+// wins, every loser gets a clean error naming the winner's pid, and the
+// winner's artifacts survive untouched.
+func TestClaimRace(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := st.EntryDir("k", 7, 100)
+
+	const racers = 8
+	var wg sync.WaitGroup
+	claims := make([]*Claim, racers)
+	errs := make([]error, racers)
+	for i := 0; i < racers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			claims[i], errs[i] = st.Claim(dir)
+		}(i)
+	}
+	wg.Wait()
+	var winner *Claim
+	for i := 0; i < racers; i++ {
+		switch {
+		case claims[i] != nil && errs[i] == nil:
+			if winner != nil {
+				t.Fatalf("two racers both hold the claim")
+			}
+			winner = claims[i]
+		case errs[i] != nil:
+			if !strings.Contains(errs[i].Error(), "claimed by running pid") {
+				t.Errorf("loser error = %v, want a live-claim message", errs[i])
+			}
+		default:
+			t.Errorf("racer %d got neither claim nor error", i)
+		}
+	}
+	if winner == nil {
+		t.Fatal("no racer won the claim")
+	}
+
+	// The winner writes its artifacts; a late loser must not disturb them.
+	artifact := filepath.Join(dir, CheckpointFile)
+	if err := os.WriteFile(artifact, []byte("winner"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Claim(dir); err == nil {
+		t.Fatal("second claim while held: got nil error")
+	}
+	data, err := os.ReadFile(artifact)
+	if err != nil || string(data) != "winner" {
+		t.Fatalf("winner artifact corrupted: %q, %v", data, err)
+	}
+
+	// After release the claim is free again.
+	if err := winner.Release(); err != nil {
+		t.Fatal(err)
+	}
+	c, err := st.Claim(dir)
+	if err != nil {
+		t.Fatalf("claim after release: %v", err)
+	}
+	c.Release()
+}
+
+// TestClaimStaleTakeover: a claim whose owner process is gone is removed
+// and taken over; unreadable garbage counts as stale too.
+func TestClaimStaleTakeover(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := st.EntryDir("k", 7, 100)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	// A real pid that is certainly dead: a child we already reaped.
+	cmd := exec.Command("true")
+	if err := cmd.Run(); err != nil {
+		t.Skipf("cannot run true: %v", err)
+	}
+	deadPid := cmd.Process.Pid
+	claimPath := filepath.Join(dir, ".claim")
+	if err := os.WriteFile(claimPath, []byte(fmt.Sprintf("%d\n", deadPid)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c, err := st.Claim(dir)
+	if err != nil {
+		t.Fatalf("takeover of dead pid %d: %v", deadPid, err)
+	}
+	c.Release()
+
+	if err := os.WriteFile(claimPath, []byte("not a pid"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c, err = st.Claim(dir)
+	if err != nil {
+		t.Fatalf("takeover of garbage claim: %v", err)
+	}
+	c.Release()
+}
+
+// TestEvict: prefix eviction counts entries, spares other keys, and
+// refuses a key with a live claim.
+func TestEvict(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	putEntry(t, st, "aaa1", 7, 100, false)
+	putEntry(t, st, "aaa1", 7, 200, false)
+	putEntry(t, st, "bbb2", 7, 100, false)
+
+	if _, err := st.Evict(""); err == nil {
+		t.Error("empty prefix: want error")
+	}
+	n, err := st.Evict("aaa")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Errorf("evicted %d, want 2", n)
+	}
+	es, err := st.Entries()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(es) != 1 || es[0].Meta.Key != "bbb2" {
+		t.Errorf("surviving entries = %+v, want only bbb2", es)
+	}
+
+	c, err := st.Claim(st.EntryDir("bbb2", 7, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Release()
+	if _, err := st.Evict("bbb"); err == nil {
+		t.Error("evicting a live-claimed key: want error")
+	}
+	es, err = st.Entries()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(es) != 1 {
+		t.Errorf("claimed entry was evicted")
+	}
+}

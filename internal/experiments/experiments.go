@@ -11,9 +11,12 @@ import (
 	"fmt"
 	"strings"
 
+	"relaxfault/internal/campaign"
+	campaignstore "relaxfault/internal/campaign/store"
 	"relaxfault/internal/core"
 	"relaxfault/internal/fault"
 	"relaxfault/internal/harness"
+	"relaxfault/internal/journal"
 	"relaxfault/internal/relsim"
 	"relaxfault/internal/runtrace"
 	"relaxfault/internal/scenario"
@@ -49,6 +52,17 @@ type Scale struct {
 	// Batch caps the Monte Carlo trial-batch size (0 = engine default).
 	// Results are bitwise independent of the value, like Workers.
 	Batch int
+	// Campaigns, if non-nil, routes every preset run through the keyed
+	// campaign layer (-store): repeated runs of the same preset at the same
+	// scale are verified cache hits, and scale bumps resume from the cached
+	// checkpoints. Mutually exclusive with Store.
+	Campaigns *campaignstore.Store
+	// OnCampaign, if non-nil, observes each keyed campaign's manifest
+	// record (cmd/relaxfault collects them into the run manifest).
+	OnCampaign func(harness.CampaignRecord)
+	// OnJournal, if non-nil, observes each keyed campaign's live journal
+	// writer (cmd/relaxfault feeds /debug/status with it).
+	OnJournal func(*journal.Writer)
 }
 
 // Exec bundles the scale's execution plumbing (worker cap, monitor,
@@ -80,11 +94,23 @@ func (s Scale) PresetScenario(name string) (*scenario.Scenario, error) {
 
 // runPreset executes a registry preset at this scale on the generic
 // scenario runner. Every sim experiment below is this call plus a
-// figure-shaped presentation of the result.
+// figure-shaped presentation of the result. With a campaign store
+// attached the preset runs as a keyed campaign, so repeated bench/golden
+// runs are incremental (cache hits or seeded resumes).
 func runPreset(ctx context.Context, name string, s Scale) (*scenario.Result, error) {
 	sc, err := s.PresetScenario(name)
 	if err != nil {
 		return nil, err
+	}
+	if s.Campaigns != nil {
+		res, rec, err := campaign.RunStore(ctx, sc, s.Campaigns, campaign.Options{
+			Workers: s.Workers, BatchSize: s.Batch, Mon: s.Mon, Trace: s.Trace,
+			OnJournal: s.OnJournal,
+		})
+		if rec != nil && s.OnCampaign != nil {
+			s.OnCampaign(*rec)
+		}
+		return res, err
 	}
 	return scenario.RunCtx(ctx, sc, scenario.Exec{Workers: s.Workers, Mon: s.Mon, Store: s.Store, Trace: s.Trace, BatchSize: s.Batch})
 }

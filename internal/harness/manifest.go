@@ -17,8 +17,9 @@ import (
 // schemas they do not understand rather than guess. Schema 2 added the
 // journal audit fields (journal path, sealed state, chunk-record and
 // verified-chunk counts); schema 3 added the scheduler-attribution trace
-// block.
-const ManifestSchema = 3
+// block; schema 4 added the campaigns block (campaign key, store
+// coordinates, and cache-hit/resume provenance of keyed -store runs).
+const ManifestSchema = 4
 
 // Manifest is the machine-readable record of one CLI run: enough to
 // reproduce it (command, seed, fingerprint, version), audit it (wall/CPU
@@ -49,6 +50,11 @@ type Manifest struct {
 	// manifest alone reproduces the run without the preset registry or the
 	// original -scenario file.
 	Scenarios []ScenarioRecord `json:"scenarios,omitempty"`
+	// Campaigns (schema 4) records every keyed campaign a -store run
+	// resolved: the budget-free campaign key, the store entry served or
+	// written, and whether the result was computed, resumed from a cached
+	// checkpoint, or a pure cache hit.
+	Campaigns []CampaignRecord `json:"campaigns,omitempty"`
 	// Trace (schema 3) is the scheduler-attribution report of a traced run:
 	// per-worker busy/claim/fsync/reduce-wait/idle percentages, straggler
 	// chunks, and the critical-path estimate. Present only under -trace.
@@ -83,6 +89,41 @@ type ScenarioRecord struct {
 	// every parameter the simulators consumed.
 	Technology      string `json:"technology,omitempty"`
 	TechFingerprint string `json:"tech_fingerprint,omitempty"`
+}
+
+// Campaign provenance values for CampaignRecord.Source.
+const (
+	// CampaignComputed: the campaign ran its trials (fresh entry).
+	CampaignComputed = "computed"
+	// CampaignResumed: the campaign resumed from a cached (or crashed)
+	// checkpoint and computed only the missing chunks.
+	CampaignResumed = "resumed"
+	// CampaignCacheHit: a completed store entry served the request after a
+	// digest cross-check; zero trials executed.
+	CampaignCacheHit = "cache-hit"
+)
+
+// CampaignRecord is one keyed campaign of a -store run: the campaign key
+// (the scenario fingerprint with its elastic trial-budget axes cleared),
+// the store coordinates of the entry that served or recorded the result,
+// and the reuse provenance.
+type CampaignRecord struct {
+	Key  string `json:"key"`
+	Seed uint64 `json:"seed"`
+	// Scenario and Fingerprint name the exact scenario (budget included).
+	Scenario    string `json:"scenario"`
+	Fingerprint string `json:"fingerprint"`
+	StoreRoot   string `json:"store_root"`
+	// Entry is the entry directory relative to the store root.
+	Entry string `json:"entry"`
+	// Trials is the elastic budget the request resolved at.
+	Trials int `json:"trials"`
+	// Source is computed, resumed, or cache-hit.
+	Source string `json:"source"`
+	// ReusedChunks counts chunks seeded verbatim from another entry;
+	// VerifiedChunks counts chunks that passed the digest cross-check.
+	ReusedChunks   int `json:"reused_chunks,omitempty"`
+	VerifiedChunks int `json:"verified_chunks,omitempty"`
 }
 
 // NewManifest starts a manifest for the current process: schema, build

@@ -200,6 +200,17 @@ func (cfg *CoverageConfig) Validate() error {
 // studies (nodes per chunk).
 const covChunkSize = 2048
 
+// CoverageChunkSize is covChunkSize for callers outside the package (see
+// RunChunkSize).
+const CoverageChunkSize = covChunkSize
+
+// TotalTrials is the number of candidate nodes CoverageStudyCtx scans in
+// the worst case (MaxNodes); the study's chunk index space is
+// [0, ⌈TotalTrials/CoverageChunkSize⌉). The faulty-node budget cuts the
+// scan short, so a completed study's checkpoint usually holds a prefix of
+// that space.
+func (cfg *CoverageConfig) TotalTrials() int { return cfg.MaxNodes }
+
 // covCurveChunk is one curve's contribution from one chunk: how many of the
 // chunk's faulty nodes are repairable, and the per-node capacity samples.
 type covCurveChunk struct {

@@ -270,6 +270,27 @@ func (r *Result) addScaled(o *Result, w float64) {
 // chunks are the unit of checkpoint persistence.
 const chunkSize = 4096
 
+// RunChunkSize is chunkSize for callers outside the package: campaign
+// planning predicts a section's chunk spans from it without running the
+// engine, and seeded resumes use it to decide whether a cached chunk's
+// journaled trial span matches the span a new budget would compute.
+const RunChunkSize = chunkSize
+
+// TotalTrials is the number of Monte Carlo trials RunCtx will execute:
+// Nodes × Replicas, capped by Stats.MaxTrials when the statistics block is
+// active. The run's chunk index space is [0, ⌈TotalTrials/RunChunkSize⌉).
+func (cfg *Config) TotalTrials() int {
+	repl := cfg.Replicas
+	if repl <= 0 {
+		repl = 1
+	}
+	total := cfg.Nodes * repl
+	if cfg.Stats.active() && cfg.Stats.MaxTrials > 0 && cfg.Stats.MaxTrials < total {
+		total = cfg.Stats.MaxTrials
+	}
+	return total
+}
+
 // chunkSpan returns how many trials chunk ci covers (the last chunk may be
 // short).
 func chunkSpan(ci, totalNodes int) int {
